@@ -1,0 +1,70 @@
+"""Ablation — buffer replacement policy under the paper's workload.
+
+The paper fixes LRU; this ablation re-runs OBJ with FIFO and CLOCK
+replacement at the paper's default buffer fraction (1 % of the total
+tree size).  Expected shape: the join's depth-first locality favours
+recency — LRU and its CLOCK approximation fault comparably, FIFO never
+beats them by more than noise.
+"""
+
+from repro.core.bij import bij
+from repro.datasets.synthetic import uniform
+from repro.evaluation.report import format_table
+from repro.rtree.bulk import bulk_load
+from repro.storage.policies import POLICIES
+
+from benchmarks.conftest import emit
+
+PAPER_N = 200_000
+#: 5 % instead of the paper's 1 % default: at the reduced REPRO_SCALE the
+#: trees are small and a 1 % buffer holds ~2 pages, which no policy can
+#: differentiate.
+BUFFER_FRACTION = 0.05
+
+
+def _run(n: int):
+    points_q = uniform(n, seed=290)
+    points_p = uniform(n, seed=291, start_oid=n)
+    out = {}
+    for policy, make in POLICIES.items():
+        tree_q = bulk_load(points_q, name="TQ")
+        tree_p = bulk_load(points_p, name="TP")
+        total_pages = tree_q.disk.num_pages + tree_p.disk.num_pages
+        buf = make(max(1, int(total_pages * BUFFER_FRACTION)))
+        tree_q.attach_buffer(buf)
+        tree_p.attach_buffer(buf)
+        report = bij(tree_q, tree_p, symmetric=True)
+        out[policy] = report
+    return out
+
+
+def test_ablation_buffer_policy(benchmark, scale):
+    n = scale.synthetic_n(PAPER_N)
+    results = benchmark.pedantic(lambda: _run(n), rounds=1, iterations=1)
+    rows = [
+        [
+            policy,
+            report.result_count,
+            report.page_faults,
+            report.buffer_hits,
+            f"{report.io_seconds:.2f}",
+        ]
+        for policy, report in results.items()
+    ]
+    table = format_table(
+        ["policy", "results", "faults", "hits", "io(s)"],
+        rows,
+        title=(
+            f"Ablation: buffer replacement policy, OBJ, UI |P|=|Q|={n}, "
+            f"buffer {BUFFER_FRACTION:.0%}"
+        ),
+    )
+    emit("ablation_buffer_policy", table)
+
+    # Correctness is policy-independent.
+    keys = {p: r.pair_keys() for p, r in results.items()}
+    assert keys["LRU"] == keys["FIFO"] == keys["CLOCK"]
+    # Recency-aware policies do not lose to FIFO beyond noise on the
+    # depth-first workload.
+    assert results["LRU"].page_faults <= results["FIFO"].page_faults * 1.1
+    assert results["CLOCK"].page_faults <= results["FIFO"].page_faults * 1.1

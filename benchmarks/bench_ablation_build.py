@@ -1,0 +1,96 @@
+"""Ablation — STR vs Hilbert bulk loading vs R* insertion as the build.
+
+Not a paper experiment: it validates that the benchmark suite's choice
+of STR bulk loading (fast builds, well-packed pages) does not change
+the join result and compares build cost and page counts against
+one-by-one R* insertion (the paper's R*-trees).
+"""
+
+import time
+
+from repro.core.bij import bij
+from repro.datasets.synthetic import uniform
+from repro.evaluation.report import format_table
+from repro.rtree.bulk import bulk_load, hilbert_bulk_load
+from repro.rtree.tree import RTree
+from repro.storage.buffer import buffer_for_trees
+
+from benchmarks.conftest import emit
+
+PAPER_N = 100_000  # build ablation needs less scale than the joins
+
+
+def _build_both(points, name):
+    t0 = time.perf_counter()
+    bulk_tree = bulk_load(points, name=f"{name}-str")
+    bulk_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    hilbert_tree = hilbert_bulk_load(points, name=f"{name}-hil")
+    hilbert_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    rstar_tree = RTree(name=f"{name}-r*")
+    for p in points:
+        rstar_tree.insert(p)
+    rstar_time = time.perf_counter() - t0
+    return (bulk_tree, bulk_time), (hilbert_tree, hilbert_time), (rstar_tree, rstar_time)
+
+
+def _run(n: int):
+    points_q = uniform(n, seed=210)
+    points_p = uniform(n, seed=211, start_oid=n)
+    (bulk_q, t_bulk_q), (hil_q, t_hil_q), (rstar_q, t_rstar_q) = _build_both(
+        points_q, "TQ"
+    )
+    (bulk_p, t_bulk_p), (hil_p, t_hil_p), (rstar_p, t_rstar_p) = _build_both(
+        points_p, "TP"
+    )
+
+    out = {}
+    for name, tq, tp, t_build in (
+        ("STR bulk", bulk_q, bulk_p, t_bulk_q + t_bulk_p),
+        ("Hilbert bulk", hil_q, hil_p, t_hil_q + t_hil_p),
+        ("R* insert", rstar_q, rstar_p, t_rstar_q + t_rstar_p),
+    ):
+        buf = buffer_for_trees([tq, tp], 0.01)
+        tq.attach_buffer(buf)
+        tp.attach_buffer(buf)
+        out[name] = (t_build, tq, tp, bij(tq, tp, symmetric=True))
+    return out
+
+
+def test_ablation_build(benchmark, scale):
+    n = scale.synthetic_n(PAPER_N)
+    results = benchmark.pedantic(lambda: _run(n), rounds=1, iterations=1)
+    rows = []
+    for name, (build_time, tree_q, tree_p, join) in results.items():
+        rows.append(
+            [
+                name,
+                f"{build_time:.2f}",
+                tree_q.disk.num_pages + tree_p.disk.num_pages,
+                join.result_count,
+                f"{join.modeled_total_seconds:.2f}",
+            ]
+        )
+    table = format_table(
+        ["build", "build wall(s)", "pages", "results", "OBJ total(s)"],
+        rows,
+        title=f"Ablation: index build method, UI |P|=|Q|={n}",
+    )
+    emit("ablation_build", table)
+
+    bulk = results["STR bulk"]
+    hilbert = results["Hilbert bulk"]
+    rstar = results["R* insert"]
+    # The join result is independent of how the index was built.
+    assert bulk[3].pair_keys() == rstar[3].pair_keys() == hilbert[3].pair_keys()
+    # Both bulk loaders build faster than one-by-one R* insertion and
+    # pack pages at least as tightly.
+    assert bulk[0] < rstar[0]
+    assert hilbert[0] < rstar[0]
+    rstar_pages = rstar[1].disk.num_pages + rstar[2].disk.num_pages
+    for packed in (bulk, hilbert):
+        pages = packed[1].disk.num_pages + packed[2].disk.num_pages
+        assert pages <= rstar_pages

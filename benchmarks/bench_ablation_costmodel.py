@@ -1,0 +1,70 @@
+"""Ablation — analytical node-access models vs measurement.
+
+The paper's future work: "devise accurate I/O cost models for our
+proposed algorithms".  This bench runs INJ and BIJ over uniform data at
+several sizes and compares measured logical node accesses with the
+first-order models of :mod:`repro.evaluation.analysis`, asserting the
+factor-3 accuracy class the models document.
+"""
+
+from repro.bench.runner import build_workload, run_algorithm
+from repro.datasets.synthetic import uniform
+from repro.evaluation.analysis import (
+    estimate_bij_node_accesses,
+    estimate_inj_node_accesses,
+    speedup_bij_over_inj,
+)
+from repro.evaluation.report import format_table
+
+from benchmarks.conftest import emit
+
+PAPER_SIZES = [50_000, 100_000, 200_000]
+
+
+def _run(sizes: list[int]):
+    rows = []
+    checks = []
+    for n in sizes:
+        points_q = uniform(n, seed=260)
+        points_p = uniform(n, seed=261, start_oid=n)
+        workload = build_workload(points_q, points_p)
+        inj_report = run_algorithm(workload, "INJ")
+        bij_report = run_algorithm(workload, "BIJ")
+        leaf_cap = workload.tree_p.leaf_capacity
+        branch_cap = workload.tree_p.branch_capacity
+        inj_model = estimate_inj_node_accesses(n, n, leaf_cap, branch_cap)
+        bij_model = estimate_bij_node_accesses(n, n, leaf_cap, branch_cap)
+        rows.append(
+            [
+                n,
+                inj_report.node_accesses,
+                f"{inj_model:.0f}",
+                bij_report.node_accesses,
+                f"{bij_model:.0f}",
+                f"{speedup_bij_over_inj(n, n, leaf_cap, branch_cap):.1f}",
+            ]
+        )
+        checks.append(
+            (inj_report.node_accesses, inj_model, bij_report.node_accesses, bij_model)
+        )
+    return rows, checks
+
+
+def test_ablation_costmodel(benchmark, scale):
+    sizes = [scale.synthetic_n(n) for n in PAPER_SIZES]
+    rows, checks = benchmark.pedantic(
+        lambda: _run(sizes), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["n", "INJ measured", "INJ model", "BIJ measured", "BIJ model", "speedup model"],
+        rows,
+        title="Ablation: node-access cost models vs measurement, UI data",
+    )
+    emit("ablation_costmodel", table)
+
+    for inj_meas, inj_model, bij_meas, bij_model in checks:
+        assert inj_model / 3 <= inj_meas <= inj_model * 3
+        assert bij_model / 3 <= bij_meas <= bij_model * 3
+        # The models reproduce the paper's qualitative finding: bulk
+        # computation reduces node accesses.
+        assert bij_meas < inj_meas

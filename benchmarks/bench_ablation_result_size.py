@@ -1,0 +1,99 @@
+"""Ablation — RCJ result size across distribution regimes.
+
+The paper's future work: "determine the theoretical upper bound of RCJ
+result size ... for the 'worst' possible data distributions".  This
+bench measures the result cardinality of every adversarial family in
+:mod:`repro.datasets.worstcase` next to uniform data, against the
+analytical model (4|P||Q|/N) and the general-position bound (3N-6).
+"""
+
+from repro.core.gabriel import gabriel_rcj
+from repro.datasets.synthetic import uniform
+from repro.datasets.worstcase import (
+    cocircular,
+    coincident,
+    collinear,
+    lattice,
+    split_alternating,
+    two_clusters,
+)
+from repro.evaluation.analysis import (
+    expected_result_size,
+    upper_bound_result_size,
+)
+from repro.evaluation.report import format_table
+
+from benchmarks.conftest import emit
+
+PAPER_N = 100_000
+
+#: Families needing the quadratic brute comparator are capped.
+_DEGENERATE_CAP = 400
+
+
+def _families(n: int):
+    small = min(n, _DEGENERATE_CAP)
+    ps_u = uniform(n // 2, seed=250)
+    qs_u = uniform(n - n // 2, seed=251, start_oid=n // 2)
+    yield "uniform", ps_u, qs_u, True
+    for name, pts in (
+        ("collinear", collinear(small)),
+        ("cocircular", cocircular(small)),
+        ("lattice", lattice(small)),
+        ("two_clusters", two_clusters(small, seed=252)),
+        ("coincident", coincident(min(small, 60))),
+    ):
+        ps, qs = split_alternating(pts)
+        yield name, ps, qs, name in ("collinear", "two_clusters")
+
+
+def _run(n: int):
+    rows = []
+    checks = {}
+    for name, ps, qs, in_general_position in _families(n):
+        result = gabriel_rcj(ps, qs)
+        measured = len(result)
+        model = expected_result_size(len(ps), len(qs))
+        bound_gp = upper_bound_result_size(len(ps), len(qs))
+        bound_any = upper_bound_result_size(
+            len(ps), len(qs), general_position=False
+        )
+        rows.append(
+            [
+                name,
+                len(ps),
+                len(qs),
+                measured,
+                f"{model:.0f}",
+                bound_gp,
+                bound_any,
+            ]
+        )
+        checks[name] = (measured, model, bound_gp, bound_any)
+    return rows, checks
+
+
+def test_ablation_result_size(benchmark, scale):
+    n = scale.synthetic_n(PAPER_N)
+    rows, checks = benchmark.pedantic(lambda: _run(n), rounds=1, iterations=1)
+    table = format_table(
+        ["family", "|P|", "|Q|", "measured", "model 4ab/N", "3N-6", "|P||Q|"],
+        rows,
+        title="Ablation: result size per distribution regime",
+    )
+    emit("ablation_result_size", table)
+
+    # Universal bound: nothing exceeds |P||Q|.
+    for name, (measured, _model, _gp, bound_any) in checks.items():
+        assert measured <= bound_any, name
+    # General-position families respect the planar bound...
+    measured, model, bound_gp, _ = checks["uniform"]
+    assert measured <= bound_gp
+    # ...and the first-order model is accurate there (±20 %).
+    assert 0.8 * model <= measured <= 1.2 * model
+    # Coincident duplicates realise the quadratic bound exactly.
+    measured, _m, _g, bound_any = checks["coincident"]
+    assert measured == bound_any
+    # Collinear alternating split is exactly the path.
+    measured = checks["collinear"][0]
+    assert measured == _DEGENERATE_CAP - 1 or measured == n - 1

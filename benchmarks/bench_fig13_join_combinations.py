@@ -1,0 +1,61 @@
+"""Figure 13 — execution time by join combination, real-data stand-ins.
+
+Paper's findings: BIJ beats INJ (bulk computation slashes node
+accesses); OBJ beats both and is robust across combinations; a
+combination with a smaller outer tree TQ is cheaper than its primed
+counterpart (LP faster than LP').
+"""
+
+from repro.bench.runner import build_workload, run_all_algorithms
+from repro.datasets.real import join_combination
+from repro.evaluation.report import format_table
+
+from benchmarks.conftest import REPORT_HEADERS, emit, report_row
+
+COMBINATIONS = ("SP", "LP", "SP'", "LP'")
+
+
+def _run(scale_factor: int):
+    results = {}
+    for combo in COMBINATIONS:
+        points_q, points_p = join_combination(combo, scale=scale_factor)
+        workload = build_workload(points_q, points_p)
+        results[combo] = run_all_algorithms(workload)
+    return results
+
+
+def test_fig13_join_combinations(benchmark, scale):
+    results = benchmark.pedantic(
+        lambda: _run(scale.scale), rounds=1, iterations=1
+    )
+    rows = []
+    for combo, reports in results.items():
+        for name, report in reports.items():
+            rows.append([combo] + report_row(report))
+    table = format_table(
+        ["combo"] + REPORT_HEADERS,
+        rows,
+        title="Figure 13: cost by join combination (io = faults x 10ms, "
+        "cpu = node accesses x 0.05ms)",
+    )
+    emit("fig13_join_combinations", table)
+
+    for combo, reports in results.items():
+        # All algorithms compute the same join.
+        assert (
+            reports["INJ"].pair_keys()
+            == reports["BIJ"].pair_keys()
+            == reports["OBJ"].pair_keys()
+        ), combo
+        # Bulk computation beats per-point traversal; OBJ never loses.
+        total = {n: r.modeled_total_seconds for n, r in reports.items()}
+        assert total["BIJ"] < total["INJ"], combo
+        assert total["OBJ"] <= total["BIJ"] * 1.05, combo
+        assert total["OBJ"] < total["INJ"], combo
+
+    # Smaller outer tree is cheaper: LP (Q = LO, the smaller set)
+    # beats LP' (Q = PP) for the best algorithm.
+    assert (
+        results["LP"]["OBJ"].modeled_total_seconds
+        < results["LP'"]["OBJ"].modeled_total_seconds
+    )

@@ -1,0 +1,54 @@
+"""Figure 14 — cost of the verification step, uniform data.
+
+Paper's finding: because the filter step is so selective, verification
+accounts for a small fraction of total cost (< ~25 %): the bars with
+and without the verification step are close.
+"""
+
+from repro.bench.runner import build_workload, run_algorithm
+from repro.datasets.synthetic import uniform
+from repro.evaluation.report import format_table
+
+from benchmarks.conftest import REPORT_HEADERS, emit, report_row
+
+PAPER_N = 200_000  # |P| = |Q| in the paper's Figure 14
+
+
+def _run(n: int):
+    points_q = uniform(n, seed=140)
+    points_p = uniform(n, seed=141, start_oid=n)
+    workload = build_workload(points_q, points_p)
+    out = {}
+    for algo in ("INJ", "BIJ", "OBJ"):
+        out[(algo, True)] = run_algorithm(workload, algo, verify=True)
+        out[(algo, False)] = run_algorithm(workload, algo, verify=False)
+    return out
+
+
+def test_fig14_verification_cost(benchmark, scale):
+    n = scale.synthetic_n(PAPER_N)
+    results = benchmark.pedantic(lambda: _run(n), rounds=1, iterations=1)
+    rows = []
+    for (algo, verified), report in sorted(results.items()):
+        label = "with" if verified else "without"
+        rows.append([label] + report_row(report))
+    table = format_table(
+        ["verification"] + REPORT_HEADERS,
+        rows,
+        title=f"Figure 14: cost with/without verification, UI |P|=|Q|={n}",
+    )
+    emit("fig14_verification_cost", table)
+
+    for algo in ("INJ", "BIJ", "OBJ"):
+        with_v = results[(algo, True)]
+        without_v = results[(algo, False)]
+        # Verification can only cost extra work...
+        assert with_v.node_accesses >= without_v.node_accesses
+        # ...but that extra is a minor fraction of the total (the
+        # paper: "less than 25% of the total cost").
+        extra = (
+            with_v.modeled_total_seconds - without_v.modeled_total_seconds
+        )
+        assert extra <= 0.30 * with_v.modeled_total_seconds, algo
+        # Without verification every candidate is reported.
+        assert without_v.result_count == without_v.candidate_count

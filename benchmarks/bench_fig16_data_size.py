@@ -1,0 +1,65 @@
+"""Figure 16 — effect of data size n (time and result cardinality).
+
+Paper's findings: all three algorithms scale well with n; the gap
+between OBJ and its competitors widens as n grows; the RCJ result
+cardinality grows linearly with n.
+"""
+
+from repro.bench.runner import build_workload, run_all_algorithms
+from repro.datasets.synthetic import uniform
+from repro.evaluation.report import format_table
+
+from benchmarks.conftest import emit
+
+#: The paper sweeps n in {50, 100, 200, 400, 800} thousand points.
+PAPER_SIZES = (50_000, 100_000, 200_000, 400_000)
+
+
+def _run(sizes):
+    results = {}
+    for n in sizes:
+        points_q = uniform(n, seed=160)
+        points_p = uniform(n, seed=161, start_oid=n)
+        workload = build_workload(points_q, points_p)
+        results[n] = run_all_algorithms(workload)
+    return results
+
+
+def test_fig16_data_size(benchmark, scale):
+    sizes = [scale.synthetic_n(paper_n) for paper_n in PAPER_SIZES]
+    results = benchmark.pedantic(lambda: _run(sizes), rounds=1, iterations=1)
+    rows = []
+    for n, reports in results.items():
+        for algo, report in reports.items():
+            rows.append(
+                [
+                    n,
+                    algo,
+                    report.result_count,
+                    f"{report.io_seconds:.2f}",
+                    f"{report.modeled_cpu_seconds:.2f}",
+                    f"{report.modeled_total_seconds:.2f}",
+                ]
+            )
+    table = format_table(
+        ["n", "algo", "results", "io(s)", "cpu(s)", "total(s)"],
+        rows,
+        title="Figure 16: effect of data size n, UI data, |P|=|Q|=n",
+    )
+    emit("fig16_data_size", table)
+
+    # (a) OBJ wins at every size, and its lead over INJ widens with n.
+    gaps = []
+    for n in sizes:
+        totals = {
+            a: results[n][a].modeled_total_seconds for a in ("INJ", "BIJ", "OBJ")
+        }
+        assert totals["OBJ"] <= totals["BIJ"] * 1.05, n
+        assert totals["OBJ"] < totals["INJ"], n
+        gaps.append(totals["INJ"] - totals["OBJ"])
+    assert gaps[-1] > gaps[0]
+
+    # (b) Result cardinality grows linearly with n: the per-point yield
+    # is stable across a 8x size range.
+    yields = [results[n]["OBJ"].result_count / n for n in sizes]
+    assert max(yields) / min(yields) < 1.25

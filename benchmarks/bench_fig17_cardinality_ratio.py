@@ -1,0 +1,69 @@
+"""Figure 17 — effect of the cardinality ratio |P| : |Q|.
+
+The sum |P| + |Q| is fixed (paper: 400K).  Findings: cost falls as |Q|
+shrinks (fewer filter/verification rounds drive the outer loop); OBJ is
+stable across ratios; the result cardinality peaks at the balanced 1:1
+ratio.
+"""
+
+from repro.bench.runner import build_workload, run_all_algorithms
+from repro.datasets.synthetic import uniform
+from repro.evaluation.report import format_table
+
+from benchmarks.conftest import emit
+
+PAPER_TOTAL = 400_000
+RATIOS = ((1, 4), (1, 2), (1, 1), (2, 1), (4, 1))  # |P| : |Q|
+
+
+def _run(total: int):
+    results = {}
+    for rp, rq in RATIOS:
+        size_p = total * rp // (rp + rq)
+        size_q = total - size_p
+        points_q = uniform(size_q, seed=170)
+        points_p = uniform(size_p, seed=171, start_oid=size_q)
+        workload = build_workload(points_q, points_p)
+        results[(rp, rq)] = run_all_algorithms(workload)
+    return results
+
+
+def test_fig17_cardinality_ratio(benchmark, scale):
+    total = 2 * scale.synthetic_n(PAPER_TOTAL // 2)
+    results = benchmark.pedantic(lambda: _run(total), rounds=1, iterations=1)
+    rows = []
+    for (rp, rq), reports in results.items():
+        for algo, report in reports.items():
+            rows.append(
+                [
+                    f"{rp}:{rq}",
+                    algo,
+                    report.result_count,
+                    f"{report.io_seconds:.2f}",
+                    f"{report.modeled_cpu_seconds:.2f}",
+                    f"{report.modeled_total_seconds:.2f}",
+                ]
+            )
+    table = format_table(
+        ["|P|:|Q|", "algo", "results", "io(s)", "cpu(s)", "total(s)"],
+        rows,
+        title=f"Figure 17: cardinality ratio, |P|+|Q|={total}, UI data",
+    )
+    emit("fig17_cardinality_ratio", table)
+
+    # Cost decreases as |Q| shrinks (left to right on the ratio axis).
+    for algo in ("INJ", "BIJ", "OBJ"):
+        first = results[RATIOS[0]][algo].modeled_total_seconds
+        last = results[RATIOS[-1]][algo].modeled_total_seconds
+        assert last < first, algo
+
+    # OBJ beats INJ at every ratio (robustness).
+    for ratio, reports in results.items():
+        assert (
+            reports["OBJ"].modeled_total_seconds
+            < reports["INJ"].modeled_total_seconds
+        ), ratio
+
+    # Result cardinality is maximised at the balanced ratio.
+    counts = {r: reports["OBJ"].result_count for r, reports in results.items()}
+    assert counts[(1, 1)] == max(counts.values())

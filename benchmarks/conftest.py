@@ -1,0 +1,68 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's Section 5 at
+a reduced scale (``REPRO_SCALE``, default 64; see DESIGN.md §5), writes
+the paper-style rows to ``benchmarks/results/<id>.txt`` and asserts the
+qualitative shape the paper reports.
+
+Reported time columns follow the paper's accounting:
+
+- ``io(s)``  — page faults x 10 ms at the shared LRU buffer;
+- ``cpu(s)`` — node accesses x 0.05 ms (the paper: CPU time "roughly
+  models the total number ... of R-tree node accesses");
+- ``wall(s)`` — measured Python wall-clock, shown for transparency but
+  not used in shape assertions (host constant factors differ from the
+  paper's C++).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import BenchScale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+    print(f"\n{text}")
+
+
+def report_row(report) -> list:
+    """The standard per-algorithm columns used across benches."""
+    return [
+        report.algorithm,
+        report.result_count,
+        report.candidate_count,
+        report.node_accesses,
+        report.page_faults,
+        f"{report.io_seconds:.2f}",
+        f"{report.modeled_cpu_seconds:.2f}",
+        f"{report.modeled_total_seconds:.2f}",
+        f"{report.cpu_seconds:.2f}",
+    ]
+
+
+REPORT_HEADERS = [
+    "algo",
+    "results",
+    "candidates",
+    "node_acc",
+    "faults",
+    "io(s)",
+    "cpu(s)",
+    "total(s)",
+    "wall(s)",
+]
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    """Session-wide scaling configuration."""
+    return BenchScale()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: environments without the `wheel` package cannot use
+PEP 517 editable installs; `pip install -e . --no-use-pep517` uses this."""
+from setuptools import setup
+
+setup()

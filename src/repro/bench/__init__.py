@@ -1,0 +1,19 @@
+"""Benchmark-harness support: workload building and algorithm running."""
+
+from repro.bench.runner import (
+    ALGORITHMS,
+    BenchScale,
+    Workload,
+    build_workload,
+    run_algorithm,
+    run_all_algorithms,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BenchScale",
+    "Workload",
+    "build_workload",
+    "run_algorithm",
+    "run_all_algorithms",
+]

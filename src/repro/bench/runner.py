@@ -1,0 +1,109 @@
+"""Workload construction and algorithm execution for the benches.
+
+A :class:`Workload` bundles the two datasets, their bulk-loaded R-trees
+and the shared LRU buffer (sized as a fraction of the summed tree sizes,
+paper default 1 %).  :func:`run_algorithm` executes one of the paper's
+algorithms with fresh counters so each measurement is independent.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.bij import bij
+from repro.core.inj import inj
+from repro.core.pairs import JoinReport
+from repro.geometry.point import Point
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+from repro.storage.buffer import BufferManager, buffer_for_trees
+from repro.storage.disk import DEFAULT_PAGE_SIZE
+
+#: Paper default: buffer = 1 % of the sum of both tree sizes.
+DEFAULT_BUFFER_FRACTION = 0.01
+
+#: The paper's three R-tree algorithms, by report label.
+ALGORITHMS: dict[str, Callable[[RTree, RTree], JoinReport]] = {
+    "INJ": lambda tq, tp, **kw: inj(tq, tp, **kw),
+    "BIJ": lambda tq, tp, **kw: bij(tq, tp, symmetric=False, **kw),
+    "OBJ": lambda tq, tp, **kw: bij(tq, tp, symmetric=True, **kw),
+}
+
+
+@dataclass
+class BenchScale:
+    """Scale knobs shared by all benches.
+
+    ``REPRO_SCALE`` divides the paper's dataset cardinalities (default
+    64, which keeps the full bench suite under ~10 minutes on a laptop;
+    lower values increase fidelity); ``REPRO_BENCH_N`` overrides the
+    base synthetic size directly.
+    """
+
+    scale: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_SCALE", "64"))
+    )
+
+    def synthetic_n(self, paper_n: int) -> int:
+        """Scale a paper cardinality, honouring ``REPRO_BENCH_N``."""
+        override = os.environ.get("REPRO_BENCH_N")
+        if override:
+            return int(override)
+        return max(64, paper_n // self.scale)
+
+
+@dataclass
+class Workload:
+    """Two indexed datasets plus their shared buffer."""
+
+    points_q: list[Point]
+    points_p: list[Point]
+    tree_q: RTree
+    tree_p: RTree
+    buffer: BufferManager
+
+    def reset(self) -> None:
+        """Clear buffer contents and all counters before a measurement."""
+        self.buffer.clear()
+        self.buffer.stats.reset()
+        self.tree_q.reset_stats()
+        self.tree_p.reset_stats()
+
+    def set_buffer_fraction(self, fraction: float) -> None:
+        """Resize the shared buffer to ``fraction`` of total tree size."""
+        total_pages = self.tree_q.disk.num_pages + self.tree_p.disk.num_pages
+        self.buffer.resize(max(1, int(total_pages * fraction)))
+
+
+def build_workload(
+    points_q: Sequence[Point],
+    points_p: Sequence[Point],
+    buffer_fraction: float = DEFAULT_BUFFER_FRACTION,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> Workload:
+    """Index both datasets (STR bulk load) behind one shared buffer."""
+    tree_q = bulk_load(list(points_q), page_size=page_size, name="TQ")
+    tree_p = bulk_load(list(points_p), page_size=page_size, name="TP")
+    buffer = buffer_for_trees([tree_q, tree_p], buffer_fraction)
+    tree_q.attach_buffer(buffer)
+    tree_p.attach_buffer(buffer)
+    return Workload(list(points_q), list(points_p), tree_q, tree_p, buffer)
+
+
+def run_algorithm(workload: Workload, name: str, **kwargs) -> JoinReport:
+    """Run one algorithm (``INJ``/``BIJ``/``OBJ``) with fresh counters."""
+    try:
+        algo = ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+    workload.reset()
+    return algo(workload.tree_q, workload.tree_p, **kwargs)
+
+
+def run_all_algorithms(workload: Workload, **kwargs) -> dict[str, JoinReport]:
+    """Run INJ, BIJ and OBJ on the same workload."""
+    return {name: run_algorithm(workload, name, **kwargs) for name in ALGORITHMS}

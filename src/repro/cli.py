@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro generate --kind uniform -n 1000 --seed 1 -o p.txt
+    python -m repro generate --kind gaussian -n 1000 -w 8 --seed 2 -o q.txt
+    python -m repro join p.txt q.txt --method obj -o pairs.txt
+    python -m repro selfjoin p.txt -o postboxes.txt
+    python -m repro topk p.txt q.txt -k 10
+    python -m repro resemblance p.txt q.txt --join eps --param 50
+
+Pointset files are plain text (``oid x y`` per line, see
+:mod:`repro.datasets.io`); the join output has one
+``p_oid q_oid center_x center_y radius`` line per result pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import ring_constrained_join
+from repro.core.selfjoin import self_rcj
+from repro.datasets.io import load_points, save_points
+from repro.datasets.synthetic import gaussian_clusters, uniform
+
+
+def _write_pairs(pairs, out) -> None:
+    for pair in pairs:
+        cx, cy = pair.center
+        out.write(
+            f"{pair.p.oid} {pair.q.oid} {cx!r} {cy!r} {pair.radius!r}\n"
+        )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "uniform":
+        points = uniform(args.n, seed=args.seed, start_oid=args.start_oid)
+    else:
+        points = gaussian_clusters(
+            args.n, w=args.clusters, seed=args.seed, start_oid=args.start_oid
+        )
+    save_points(points, args.output)
+    print(f"wrote {len(points)} points to {args.output}")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    points_p = load_points(args.pointset_p)
+    points_q = load_points(args.pointset_q)
+    pairs = ring_constrained_join(points_p, points_q, method=args.method)
+    if args.output:
+        with open(args.output, "w") as f:
+            _write_pairs(pairs, f)
+    else:
+        _write_pairs(pairs, sys.stdout)
+    print(
+        f"RCJ({args.pointset_p} x {args.pointset_q}) via {args.method}: "
+        f"{len(pairs)} pairs",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_selfjoin(args: argparse.Namespace) -> int:
+    points = load_points(args.pointset)
+    pairs = self_rcj(points, algorithm=args.method)
+    if args.output:
+        with open(args.output, "w") as f:
+            _write_pairs(pairs, f)
+    else:
+        _write_pairs(pairs, sys.stdout)
+    print(
+        f"self-RCJ({args.pointset}) via {args.method}: {len(pairs)} pairs",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    from repro.core.topk import top_k_rcj
+    from repro.rtree.bulk import bulk_load
+
+    points_p = load_points(args.pointset_p)
+    points_q = load_points(args.pointset_q)
+    tree_p = bulk_load(points_p, name="TP")
+    tree_q = bulk_load(points_q, name="TQ")
+    pairs = top_k_rcj(tree_p, tree_q, args.k)
+    if args.output:
+        with open(args.output, "w") as f:
+            _write_pairs(pairs, f)
+    else:
+        _write_pairs(pairs, sys.stdout)
+    print(
+        f"top-{args.k} RCJ pairs by ring diameter: {len(pairs)} reported",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_resemblance(args: argparse.Namespace) -> int:
+    from repro.core.gabriel import gabriel_rcj
+    from repro.evaluation.resemblance import precision_recall
+    from repro.joins.closest_pairs import k_closest_pairs
+    from repro.joins.common_influence import common_influence_join
+    from repro.joins.epsilon import epsilon_join_arrays
+    from repro.joins.knn import knn_join
+    from repro.rtree.bulk import bulk_load
+
+    points_p = load_points(args.pointset_p)
+    points_q = load_points(args.pointset_q)
+    rcj_keys = {r.key() for r in gabriel_rcj(points_p, points_q)}
+
+    if args.join in ("eps", "kcp", "knn") and args.param is None:
+        print(f"--param is required for {args.join}", file=sys.stderr)
+        return 2
+    if args.join == "eps":
+        other = epsilon_join_arrays(points_p, points_q, float(args.param))
+    elif args.join == "kcp":
+        tree_p = bulk_load(points_p, name="TP")
+        tree_q = bulk_load(points_q, name="TQ")
+        other = {
+            (p.oid, q.oid)
+            for _d, p, q in k_closest_pairs(tree_p, tree_q, int(args.param))
+        }
+    elif args.join == "knn":
+        tree_q = bulk_load(points_q, name="TQ")
+        other = {
+            (p.oid, q.oid) for p, q in knn_join(points_p, tree_q, int(args.param))
+        }
+    else:  # cij — parameterless, like RCJ itself
+        other = {
+            (p.oid, q.oid)
+            for p, q in common_influence_join(points_p, points_q)
+        }
+
+    prec, rec = precision_recall(other, rcj_keys)
+    print(
+        f"{args.join} vs RCJ: |RCJ|={len(rcj_keys)} |{args.join}|={len(other)} "
+        f"precision={prec:.1f}% recall={rec:.1f}%"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ring-constrained join over planar pointsets (EDBT 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic pointset file")
+    gen.add_argument("--kind", choices=("uniform", "gaussian"), default="uniform")
+    gen.add_argument("-n", type=int, required=True, help="number of points")
+    gen.add_argument("-w", "--clusters", type=int, default=10,
+                     help="cluster count (gaussian only)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--start-oid", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    join = sub.add_parser("join", help="ring-constrained join of two pointset files")
+    join.add_argument("pointset_p")
+    join.add_argument("pointset_q")
+    join.add_argument(
+        "--method",
+        choices=("obj", "bij", "inj", "gabriel", "brute"),
+        default="obj",
+    )
+    join.add_argument("-o", "--output", default=None)
+    join.set_defaults(func=_cmd_join)
+
+    selfjoin = sub.add_parser("selfjoin", help="self-RCJ of one pointset file")
+    selfjoin.add_argument("pointset")
+    selfjoin.add_argument(
+        "--method",
+        choices=("obj", "bij", "inj", "gabriel", "brute"),
+        default="obj",
+    )
+    selfjoin.add_argument("-o", "--output", default=None)
+    selfjoin.set_defaults(func=_cmd_selfjoin)
+
+    topk = sub.add_parser(
+        "topk", help="smallest-diameter RCJ pairs (tourist recommendation)"
+    )
+    topk.add_argument("pointset_p")
+    topk.add_argument("pointset_q")
+    topk.add_argument("-k", type=int, required=True)
+    topk.add_argument("-o", "--output", default=None)
+    topk.set_defaults(func=_cmd_topk)
+
+    res = sub.add_parser(
+        "resemblance",
+        help="precision/recall of another spatial join w.r.t. RCJ",
+    )
+    res.add_argument("pointset_p")
+    res.add_argument("pointset_q")
+    res.add_argument("--join", choices=("eps", "kcp", "knn", "cij"), required=True)
+    res.add_argument(
+        "--param",
+        default=None,
+        help="join parameter: eps distance, or k (cij takes none)",
+    )
+    res.set_defaults(func=_cmd_resemblance)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The ring-constrained join: the paper's primary contribution.
+
+Public entry points:
+
+- :func:`~repro.core.brute.brute_force_rcj` — quadratic reference
+  implementation (the correctness oracle);
+- :func:`~repro.core.inj.inj` — Index Nested Loop Join (Algorithms 4/5);
+- :func:`~repro.core.bij.bij` — Bulk Index Nested Loop Join
+  (Algorithms 6/7); with ``symmetric=True`` it is the paper's OBJ;
+- :func:`~repro.core.obj.obj` — convenience wrapper for OBJ;
+- :func:`~repro.core.gabriel.gabriel_rcj` — main-memory comparator via
+  the Delaunay/Gabriel-graph equivalence;
+- :func:`~repro.core.selfjoin.self_rcj` — the self-join variant (both
+  inputs are the same pointset, e.g. the postboxes application);
+- :func:`~repro.core.metric_rcj.metric_rcj` — the ring constraint under
+  L1 / L∞ metrics (the paper's future-work generalisation).
+"""
+
+from repro.core.bij import bij, bulk_filter
+from repro.core.brute import brute_force_rcj, brute_candidate_count
+from repro.core.filtering import filter_candidates
+from repro.core.gabriel import gabriel_rcj
+from repro.core.inj import inj
+from repro.core.metric_rcj import metric_rcj
+from repro.core.obj import obj
+from repro.core.pairs import Candidate, JoinReport, RCJPair
+from repro.core.selfjoin import self_rcj
+from repro.core.topk import incremental_rcj, top_k_rcj
+from repro.core.verification import verify_circles
+
+__all__ = [
+    "Candidate",
+    "JoinReport",
+    "RCJPair",
+    "bij",
+    "brute_candidate_count",
+    "brute_force_rcj",
+    "bulk_filter",
+    "filter_candidates",
+    "gabriel_rcj",
+    "incremental_rcj",
+    "inj",
+    "metric_rcj",
+    "obj",
+    "self_rcj",
+    "top_k_rcj",
+    "verify_circles",
+]

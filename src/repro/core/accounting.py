@@ -1,0 +1,60 @@
+"""Cost accounting shared by the join algorithms.
+
+Wraps an algorithm execution with snapshots of the logical node-access
+counters of both trees and of the shared buffer's fault counters, and
+converts them into a :class:`~repro.core.pairs.JoinReport` using the
+paper's cost model (10 ms per page fault by default).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pairs import JoinReport
+from repro.rtree.tree import RTree
+from repro.storage.stats import CostModel, IOStats
+
+
+class JoinAccounting:
+    """Collects cost counters around one join execution."""
+
+    def __init__(
+        self,
+        algorithm: str,
+        trees: list[RTree],
+        cost_model: CostModel | None = None,
+    ):
+        self.algorithm = algorithm
+        self.trees = trees
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self._node_access_start = [t.node_accesses for t in trees]
+        # Buffers may be shared between trees; account each once.
+        self._buffers = []
+        seen: set[int] = set()
+        for t in trees:
+            if t.buffer is not None and id(t.buffer) not in seen:
+                seen.add(id(t.buffer))
+                self._buffers.append(t.buffer)
+        self._buffer_start = [b.stats.snapshot() for b in self._buffers]
+        self._t0 = time.perf_counter()
+
+    def finish(self, report: JoinReport) -> JoinReport:
+        """Fill the cost fields of ``report`` and return it."""
+        elapsed = time.perf_counter() - self._t0
+        report.algorithm = self.algorithm
+        report.node_accesses = sum(
+            t.node_accesses - s for t, s in zip(self.trees, self._node_access_start)
+        )
+        faults = IOStats()
+        for buffer, start in zip(self._buffers, self._buffer_start):
+            delta = buffer.stats.delta(start)
+            faults.page_faults += delta.page_faults
+            faults.buffer_hits += delta.buffer_hits
+        report.page_faults = faults.page_faults
+        report.buffer_hits = faults.buffer_hits
+        report.io_seconds = self.cost_model.io_seconds(faults)
+        report.cpu_seconds = elapsed
+        report.modeled_cpu_seconds = self.cost_model.cpu_seconds(
+            report.node_accesses
+        )
+        return report

@@ -1,0 +1,70 @@
+"""Brute-force RCJ: the quadratic reference implementation.
+
+The paper's BRUTE baseline performs a nested-loop join and verifies
+every pair with a range search, taking the full Cartesian product as its
+candidate set.  Here it doubles as the *correctness oracle* for every
+other algorithm: it evaluates the exact dot-product form of the ring
+predicate — ``x`` is strictly inside the circle with diameter ``pq`` iff
+``(x - p) . (x - q) < 0`` — the same arithmetic (element-wise in numpy)
+used by :class:`~repro.geometry.ring.Ring`, so results match the R-tree
+algorithms bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.pairs import RCJPair
+from repro.geometry.point import Point
+
+
+def brute_candidate_count(size_p: int, size_q: int) -> int:
+    """Candidate pairs examined by BRUTE: the full ``|P| x |Q|`` product
+    (Table 4's first row)."""
+    return size_p * size_q
+
+
+def brute_force_rcj(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    exclude_same_oid: bool = False,
+) -> list[RCJPair]:
+    """Compute the RCJ result by exhaustive verification.
+
+    Quadratic in the input — intended for oracles, small workloads and
+    the BRUTE baseline row.
+
+    Parameters
+    ----------
+    points_p, points_q:
+        The two datasets.
+    exclude_same_oid:
+        Skip pairs whose endpoints carry the same ``oid`` — used by the
+        self-join, where both inputs are the same pointset.
+    """
+    if not points_p or not points_q:
+        return []
+
+    coords = np.array(
+        [(pt.x, pt.y) for pt in points_p] + [(pt.x, pt.y) for pt in points_q],
+        dtype=np.float64,
+    )
+    xs = coords[:, 0]
+    ys = coords[:, 1]
+
+    results: list[RCJPair] = []
+    for p in points_p:
+        # Hoist the p-dependent differences out of the inner loop.
+        dx_p = xs - p.x
+        dy_p = ys - p.y
+        for q in points_q:
+            if exclude_same_oid and p.oid == q.oid:
+                continue
+            # (x - p) . (x - q) < 0  <=>  x strictly inside the ring;
+            # endpoints contribute exactly zero and never block.
+            dots = dx_p * (xs - q.x) + dy_p * (ys - q.y)
+            if not np.any(dots < 0.0):
+                results.append(RCJPair(p, q))
+    return results

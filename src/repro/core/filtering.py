@@ -1,0 +1,93 @@
+"""The Filter step (paper, Algorithm 2).
+
+For a join point ``q`` the filter retrieves the set ``S`` of points of
+``P`` that can possibly form RCJ pairs with ``q``.  It ranks R-tree
+entries by MINDIST from ``q`` (the incremental-NN order, which maximises
+pruning power: near points are discovered first and their Ψ− regions are
+large) and discards any entry — point or whole subtree — that lies
+entirely inside the Ψ− region of an already-discovered point (Lemmas 1
+and 3).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.rtree.tree import RTree
+
+
+def filter_candidates(
+    q: Point,
+    tree_p: RTree,
+    extra_prune_points: Sequence[Point] = (),
+    exclude_same_oid: bool = False,
+) -> list[Point]:
+    """Candidates of ``P`` that may join with ``q`` (Algorithm 2).
+
+    Parameters
+    ----------
+    q:
+        The probe point (from ``Q``).
+    tree_p:
+        R-tree over ``P``.
+    extra_prune_points:
+        Additional points usable for pruning but not candidate
+        themselves — the symmetric rule of Lemma 5 passes other points
+        of ``Q`` here.
+    exclude_same_oid:
+        Drop candidates sharing ``q``'s oid (self-join mode).  Such a
+        point still cannot prune anything: its Ψ− region is degenerate.
+
+    Returns
+    -------
+    The candidate list, in ascending distance from ``q``.
+    """
+    candidates: list[Point] = []
+    planes: list[HalfPlane] = []
+    for extra in extra_prune_points:
+        plane = HalfPlane.psi_minus(q, extra)
+        if not plane.is_degenerate():
+            planes.append(plane)
+
+    if tree_p.root_pid is None:
+        return candidates
+
+    counter = itertools.count()
+    # Heap of (mindist_sq, tiebreak, is_point, payload); payload is a
+    # child page id for subtree items and a Point for data items.
+    heap: list[tuple[float, int, bool, object]] = [
+        (0.0, next(counter), False, tree_p.root_pid)
+    ]
+    while heap:
+        _dist, _tie, is_point, payload = heapq.heappop(heap)
+        if is_point:
+            p: Point = payload  # type: ignore[assignment]
+            if any(pl.contains_point(p.x, p.y) for pl in planes):
+                continue
+            if exclude_same_oid and p.oid == q.oid:
+                continue
+            candidates.append(p)
+            plane = HalfPlane.psi_minus(q, p)
+            if not plane.is_degenerate():
+                planes.append(plane)
+            continue
+        node = tree_p.read_node(payload)  # type: ignore[arg-type]
+        if node.is_leaf:
+            for pt in node.entries:
+                dx, dy = pt.x - q.x, pt.y - q.y
+                heapq.heappush(
+                    heap, (dx * dx + dy * dy, next(counter), True, pt)
+                )
+        else:
+            for b in node.entries:
+                if any(pl.contains_rect(b.rect) for pl in planes):
+                    continue
+                heapq.heappush(
+                    heap,
+                    (b.rect.mindist_sq(q.x, q.y), next(counter), False, b.child),
+                )
+    return candidates

@@ -1,0 +1,70 @@
+"""The ring constraint under alternative metrics (paper future work).
+
+The paper's Section 6 proposes generalising the ring constraint beyond
+Euclidean space, naming the Manhattan distance explicitly.  Here the
+"ring" of a pair becomes the metric ball centred at the coordinate
+midpoint with radius ``d(p, q) / 2``; a pair joins when no other point
+of ``P ∪ Q`` lies strictly inside that ball.  Under L2 the ball is the
+classic enclosing circle, so ``metric_rcj(..., "l2")`` coincides with
+the standard RCJ (property-tested against the oracle).
+
+The Euclidean pruning lemmas (perpendicular-bisector half-planes) do not
+transfer to L1/L∞ geometry, so this implementation verifies each pair's
+ball directly against a :class:`~repro.grid.index.GridIndex` — a sound,
+exploratory algorithm rather than an optimised one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pairs import RCJPair
+from repro.geometry.enclosing import enclosing_circle
+from repro.geometry.metrics import get_metric
+from repro.geometry.point import Point
+from repro.grid.index import GridIndex
+
+
+def metric_rcj(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    metric: str = "l2",
+    exclude_same_oid: bool = False,
+) -> list[RCJPair]:
+    """Ring-constrained join under the named metric.
+
+    Parameters
+    ----------
+    points_p, points_q:
+        The two datasets.
+    metric:
+        ``"l1"``, ``"l2"`` or ``"linf"`` (plus aliases; see
+        :func:`repro.geometry.metrics.get_metric`).
+    exclude_same_oid:
+        Self-join mode.
+
+    Returns
+    -------
+    Result pairs.  The attached circle is always the *Euclidean*
+    enclosing circle of the pair (the middleman location is the midpoint
+    in every supported metric); the join predicate uses the requested
+    metric's ball.
+    """
+    if not points_p or not points_q:
+        return []
+    m = get_metric(metric)
+    grid = GridIndex(list(points_p) + list(points_q))
+
+    results: list[RCJPair] = []
+    for p in points_p:
+        for q in points_q:
+            if exclude_same_oid and p.oid == q.oid:
+                continue
+            ball = m.pair_ball(p, q)
+            occupied = grid.any_point_where(
+                ball.bounding_rect(),
+                lambda pt, b=ball: b.contains_point(pt.x, pt.y),
+            )
+            if not occupied:
+                results.append(RCJPair(p, q, enclosing_circle(p, q)))
+    return results

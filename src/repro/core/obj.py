@@ -1,0 +1,32 @@
+"""OBJ — Optimized Bulk Index Nested Loop Join (paper, Section 4.2).
+
+OBJ is BIJ with the symmetric pruning rule of Lemma 5: points of the
+same ``TQ`` leaf prune each other's search space before any ``P`` point
+has been discovered.  It is the paper's best algorithm across every
+experiment.
+"""
+
+from __future__ import annotations
+
+from repro.core.bij import bij
+from repro.core.pairs import JoinReport
+from repro.rtree.tree import RTree
+from repro.storage.stats import CostModel
+
+
+def obj(
+    tree_q: RTree,
+    tree_p: RTree,
+    verify: bool = True,
+    exclude_same_oid: bool = False,
+    cost_model: CostModel | None = None,
+) -> JoinReport:
+    """Compute the RCJ with BIJ plus symmetric pruning (Lemma 5)."""
+    return bij(
+        tree_q,
+        tree_p,
+        symmetric=True,
+        verify=verify,
+        exclude_same_oid=exclude_same_oid,
+        cost_model=cost_model,
+    )

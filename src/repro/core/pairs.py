@@ -1,0 +1,132 @@
+"""Result and accounting types shared by all RCJ algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.ring import Ring
+
+
+class RCJPair:
+    """One ring-constrained join result pair.
+
+    Besides the pair itself the enclosing circle is part of the result:
+    its centre is the derived *fair middleman location* and its radius
+    (half the pair distance) the fairness radius, both of which the
+    paper's applications consume directly.
+    """
+
+    __slots__ = ("p", "q", "circle")
+
+    def __init__(self, p: Point, q: Point, circle: Circle | None = None):
+        self.p = p
+        self.q = q
+        self.circle = circle if circle is not None else Ring.of_pair(p, q)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """The fair middleman location (circle centre)."""
+        return self.circle.cx, self.circle.cy
+
+    @property
+    def radius(self) -> float:
+        """Distance from the middleman location to either endpoint."""
+        return self.circle.r
+
+    @property
+    def diameter(self) -> float:
+        """The pair distance (sort key of the tourist-recommendation
+        application)."""
+        return 2.0 * self.circle.r
+
+    def key(self) -> tuple[int, int]:
+        """Identity of the pair as ``(p.oid, q.oid)``."""
+        return (self.p.oid, self.q.oid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RCJPair):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return (
+            f"RCJPair(p={self.p.oid}, q={self.q.oid}, "
+            f"center=({self.circle.cx:.2f}, {self.circle.cy:.2f}), "
+            f"r={self.circle.r:.2f})"
+        )
+
+
+class Candidate:
+    """A candidate pair flowing through the verification step."""
+
+    __slots__ = ("p", "q", "circle", "alive")
+
+    def __init__(self, p: Point, q: Point):
+        self.p = p
+        self.q = q
+        self.circle = Ring.of_pair(p, q)
+        self.alive = True
+
+    def to_pair(self) -> RCJPair:
+        """Promote a surviving candidate to a result pair."""
+        return RCJPair(self.p, self.q, self.circle)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "pruned"
+        return f"Candidate(p={self.p.oid}, q={self.q.oid}, {state})"
+
+
+@dataclass
+class JoinReport:
+    """Everything an RCJ algorithm reports about one execution.
+
+    Cost figures follow the paper's model: ``io_seconds`` charges a
+    fixed cost per page fault observed at the shared buffer;
+    ``cpu_seconds`` is the measured wall-clock time of the computation;
+    ``node_accesses`` counts logical R-tree node reads (the paper notes
+    CPU time "roughly models the total number ... of R-tree node
+    accesses").
+    """
+
+    algorithm: str
+    pairs: list[RCJPair] = field(default_factory=list)
+    candidate_count: int = 0
+    node_accesses: int = 0
+    page_faults: int = 0
+    buffer_hits: int = 0
+    cpu_seconds: float = 0.0
+    io_seconds: float = 0.0
+    modeled_cpu_seconds: float = 0.0
+
+    @property
+    def result_count(self) -> int:
+        """Number of result pairs."""
+        return len(self.pairs)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock CPU plus modelled I/O time."""
+        return self.cpu_seconds + self.io_seconds
+
+    @property
+    def modeled_total_seconds(self) -> float:
+        """Fully modelled time: per-fault I/O charge plus per-node-access
+        CPU charge (the paper's own accounting, host-independent)."""
+        return self.modeled_cpu_seconds + self.io_seconds
+
+    def pair_keys(self) -> set[tuple[int, int]]:
+        """Result identity set for resemblance / equality comparisons."""
+        return {pair.key() for pair in self.pairs}
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinReport({self.algorithm}: results={self.result_count}, "
+            f"candidates={self.candidate_count}, node_accesses={self.node_accesses}, "
+            f"faults={self.page_faults}, cpu={self.cpu_seconds:.3f}s, "
+            f"io={self.io_seconds:.3f}s)"
+        )

@@ -1,0 +1,103 @@
+"""The Verification step (paper, Algorithm 3).
+
+Candidate circles are verified concurrently against one R-tree.  At a
+non-leaf entry a candidate dies when the entry's MBR has a whole face
+strictly inside the circle (the MBR property guarantees a data point on
+every face); a subtree is descended only when its MBR intersects at
+least one live circle; at leaf entries the strict-interior containment
+test is applied directly.
+
+For large candidate sets a plane-sweep fast path narrows the
+circle-vs-entry comparisons by x-interval overlap, as the paper suggests
+("plane-sweep is an efficient method for detecting the intersection
+between two groups of rectangles").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.core.pairs import Candidate
+from repro.rtree.tree import RTree
+
+#: Below this many live candidates the simple nested loop beats the
+#: sweep's sorting overhead.
+_SWEEP_THRESHOLD = 16
+
+
+def _verify_node(tree: RTree, pid: int, cands: list[Candidate]) -> None:
+    node = tree.read_node(pid)
+    if node.is_leaf:
+        for p in node.entries:
+            for cand in cands:
+                if cand.alive and cand.circle.contains_point(p.x, p.y):
+                    cand.alive = False
+        return
+    for b in node.entries:
+        sub: list[Candidate] = []
+        for cand in cands:
+            if not cand.alive:
+                continue
+            circle = cand.circle
+            if not circle.intersects_rect(b.rect):
+                continue
+            if circle.contains_rect_face(b.rect):
+                cand.alive = False
+                continue
+            sub.append(cand)
+        if sub:
+            _verify_node(tree, b.child, sub)
+
+
+def _verify_node_sweep(tree: RTree, pid: int, cands: list[Candidate]) -> None:
+    """Same semantics as :func:`_verify_node` with an x-interval index.
+
+    Candidates are sorted by the left edge of their circle's bounding
+    box; for each node entry only candidates whose x-interval overlaps
+    the entry's are examined.
+    """
+    node = tree.read_node(pid)
+    ordered = sorted(cands, key=lambda c: c.circle.cx - c.circle.r)
+    starts = [c.circle.cx - c.circle.r for c in ordered]
+
+    def overlapping(xmin: float, xmax: float) -> list[Candidate]:
+        # Candidates with start <= xmax whose interval reaches xmin.
+        hi = bisect_left(starts, xmax, 0, len(starts))
+        out = []
+        for i in range(hi):
+            c = ordered[i]
+            if c.alive and c.circle.cx + c.circle.r >= xmin:
+                out.append(c)
+        return out
+
+    if node.is_leaf:
+        for p in node.entries:
+            for cand in overlapping(p.x, p.x):
+                if cand.circle.contains_point(p.x, p.y):
+                    cand.alive = False
+        return
+    for b in node.entries:
+        sub: list[Candidate] = []
+        for cand in overlapping(b.rect.xmin, b.rect.xmax):
+            circle = cand.circle
+            if not circle.intersects_rect(b.rect):
+                continue
+            if circle.contains_rect_face(b.rect):
+                cand.alive = False
+                continue
+            sub.append(cand)
+        if sub:
+            _verify_node(tree, b.child, sub)
+
+
+def verify_circles(tree: RTree, candidates: Sequence[Candidate]) -> None:
+    """Kill every candidate whose circle strictly contains a point of
+    ``tree`` (Algorithm 3).  Mutates ``alive`` flags in place."""
+    live = [c for c in candidates if c.alive]
+    if not live or tree.root_pid is None:
+        return
+    if len(live) >= _SWEEP_THRESHOLD:
+        _verify_node_sweep(tree, tree.root_pid, live)
+    else:
+        _verify_node(tree, tree.root_pid, live)

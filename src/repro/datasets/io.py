@@ -1,0 +1,41 @@
+"""Plain-text pointset serialisation.
+
+One point per line: ``oid x y`` separated by whitespace.  The format is
+deliberately trivial so external datasets (e.g. the original USGS
+files, if available) can be dropped in.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.geometry.point import Point
+
+
+def save_points(points: Sequence[Point], path: str) -> None:
+    """Write a pointset to ``path`` (one ``oid x y`` line per point)."""
+    with open(path, "w", encoding="ascii") as f:
+        for p in points:
+            f.write(f"{p.oid} {p.x!r} {p.y!r}\n")
+
+
+def load_points(path: str) -> list[Point]:
+    """Read a pointset written by :func:`save_points`.
+
+    Blank lines and lines starting with ``#`` are ignored.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    points: list[Point] = []
+    with open(path, "r", encoding="ascii") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{lineno}: expected 'oid x y', got {line!r}")
+            oid, x, y = parts
+            points.append(Point(float(x), float(y), int(oid)))
+    return points

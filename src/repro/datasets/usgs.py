@@ -1,0 +1,141 @@
+"""Loader for real USGS GNIS files (the paper's actual datasets).
+
+The paper's real workloads — PP (Populated Places), SC (Schools), LO
+(Locales) — come from the U.S. Board on Geographic Names
+(geonames.usgs.gov).  Those files are not redistributable inside this
+repository, so the benchmarks run on seeded stand-ins
+(:mod:`repro.datasets.real`); but anyone holding the originals can feed
+them straight in with this module and reproduce on the true data.
+
+The GNIS *National File* is pipe-delimited with a header row::
+
+    FEATURE_ID|FEATURE_NAME|FEATURE_CLASS|...|PRIM_LAT_DEC|PRIM_LONG_DEC|...
+
+:func:`load_gnis` filters rows by feature class, drops records without
+usable coordinates, and :func:`normalize` maps longitude/latitude to
+the paper's ``[0, 10000]²`` domain.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Sequence, TextIO
+
+from repro.geometry.point import Point
+
+#: GNIS feature classes of the paper's three datasets.
+FEATURE_CLASSES = {
+    "PP": "Populated Place",
+    "SC": "School",
+    "LO": "Locale",
+}
+
+#: Target domain of the paper (Section 5).
+DOMAIN_SIZE = 10000.0
+
+
+class GNISFormatError(ValueError):
+    """The file does not look like a GNIS national/state file."""
+
+
+def _open_reader(f: TextIO) -> tuple[csv.reader, dict[str, int]]:
+    reader = csv.reader(f, delimiter="|")
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise GNISFormatError("empty GNIS file") from None
+    columns = {name.strip().upper(): i for i, name in enumerate(header)}
+    required = ("FEATURE_ID", "FEATURE_CLASS", "PRIM_LAT_DEC", "PRIM_LONG_DEC")
+    missing = [c for c in required if c not in columns]
+    if missing:
+        raise GNISFormatError(f"missing GNIS columns: {', '.join(missing)}")
+    return reader, columns
+
+
+def load_gnis(
+    path: str,
+    feature_class: str,
+    limit: int | None = None,
+) -> list[Point]:
+    """Load one feature class from a GNIS pipe-delimited file.
+
+    Parameters
+    ----------
+    path:
+        The national/state file (plain text, pipe-delimited).
+    feature_class:
+        Either a GNIS class name ("Populated Place") or one of the
+        paper's dataset ids ("PP", "SC", "LO").
+    limit:
+        Optional cap on the number of points loaded.
+
+    Returns
+    -------
+    Points in raw (longitude, latitude) coordinates with the GNIS
+    FEATURE_ID as oid — normalise with :func:`normalize` before
+    joining, so both datasets share the paper's domain.
+
+    Raises
+    ------
+    GNISFormatError
+        When the header lacks the GNIS columns.
+    """
+    wanted = FEATURE_CLASSES.get(feature_class.upper(), feature_class)
+    out: list[Point] = []
+    with open(path, newline="", encoding="utf-8", errors="replace") as f:
+        reader, cols = _open_reader(f)
+        i_id = cols["FEATURE_ID"]
+        i_class = cols["FEATURE_CLASS"]
+        i_lat = cols["PRIM_LAT_DEC"]
+        i_lon = cols["PRIM_LONG_DEC"]
+        width = max(i_id, i_class, i_lat, i_lon) + 1
+        for row in reader:
+            if len(row) < width or row[i_class].strip() != wanted:
+                continue
+            try:
+                lat = float(row[i_lat])
+                lon = float(row[i_lon])
+                oid = int(row[i_id])
+            except ValueError:
+                continue
+            if lat == 0.0 and lon == 0.0:  # GNIS's "unknown" sentinel
+                continue
+            out.append(Point(lon, lat, oid))
+            if limit is not None and len(out) >= limit:
+                break
+    return out
+
+
+def normalize(
+    datasets: Sequence[Iterable[Point]],
+    domain_size: float = DOMAIN_SIZE,
+) -> list[list[Point]]:
+    """Map several pointsets onto the paper's shared square domain.
+
+    All datasets are scaled by one joint bounding box (the paper:
+    "Coordinate values in all datasets are normalized to the interval
+    [0, 10000]"), preserving the relative geometry between sets; the
+    longer geographic axis spans the full domain.
+
+    Raises
+    ------
+    ValueError
+        When every dataset is empty.
+    """
+    materialised = [list(ds) for ds in datasets]
+    all_points = [p for ds in materialised for p in ds]
+    if not all_points:
+        raise ValueError("cannot normalise empty datasets")
+    xmin = min(p.x for p in all_points)
+    xmax = max(p.x for p in all_points)
+    ymin = min(p.y for p in all_points)
+    ymax = max(p.y for p in all_points)
+    span = max(xmax - xmin, ymax - ymin)
+    scale = domain_size / span if span > 0 else 0.0
+    return [
+        [
+            Point((p.x - xmin) * scale, (p.y - ymin) * scale, p.oid)
+            for p in ds
+        ]
+        for ds in materialised
+    ]

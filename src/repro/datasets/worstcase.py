@@ -1,0 +1,153 @@
+"""Adversarial pointset families for the result-size study.
+
+The paper's future work asks for "the theoretical upper bound of RCJ
+result size ... for the 'worst' possible data distributions".  These
+generators materialise the distributions that stress the bound and the
+algorithms: degenerate (collinear, cocircular, lattice) configurations
+maximise ties in the strict-containment predicate, and widely separated
+clusters produce the giant empty rings that defeat locality heuristics.
+
+All families deal out alternating set labels through the ``parity``
+helpers so a single generator serves both join sides.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.geometry.point import Point
+
+#: Shared coordinate domain (the paper's normalised space).
+_LO, _HI = 0.0, 10000.0
+
+
+def _split(points: list[Point]) -> tuple[list[Point], list[Point]]:
+    """Alternate points into two sets, re-numbering oids per set."""
+    ps = [Point(p.x, p.y, i) for i, p in enumerate(points[0::2])]
+    qs = [Point(p.x, p.y, i) for i, p in enumerate(points[1::2])]
+    return ps, qs
+
+
+def collinear(n: int, jitter: float = 0.0, seed: int = 0) -> list[Point]:
+    """``n`` evenly spaced points on a horizontal line.
+
+    The Gabriel graph of distinct collinear points is the path graph,
+    so the RCJ of an alternating split is exactly the adjacent pairs —
+    the sparsest non-trivial family (result size ``n - 1``).
+
+    Parameters
+    ----------
+    jitter:
+        Optional uniform perturbation magnitude, to study how fast the
+        path degenerates into a general-position result.
+    """
+    if n < 0:
+        raise ValueError(f"negative dataset size {n}")
+    rng = random.Random(seed)
+    step = (_HI - _LO) / max(n, 1)
+    out = []
+    for i in range(n):
+        dy = rng.uniform(-jitter, jitter) if jitter else 0.0
+        out.append(Point(_LO + (i + 0.5) * step, (_LO + _HI) / 2.0 + dy, i))
+    return out
+
+
+def cocircular(n: int, radius: float = 4000.0) -> list[Point]:
+    """``n`` points on a common circle (a regular n-gon).
+
+    The maximal-tie configuration: every diametral pair's ring passes
+    *through* the remaining points' circle, so boundary conventions
+    decide the result.  In exact arithmetic the strict (open-disk)
+    convention admits the ``2m`` sides of a regular ``2m``-gon plus all
+    ``m`` diameters (``1.5 n`` edges).  With floating-point cos/sin the
+    diametral ties resolve pseudo-randomly — each off-axis vertex lands
+    a few ulps inside or outside the circumcircle — so only the sides
+    are robust and the observed count lies in ``[n, 1.5 n]``.  Either
+    way the family is linear, far below the degenerate-lattice regime.
+    """
+    if n < 0:
+        raise ValueError(f"negative dataset size {n}")
+    cx = cy = (_LO + _HI) / 2.0
+    return [
+        Point(
+            cx + radius * math.cos(2.0 * math.pi * i / n),
+            cy + radius * math.sin(2.0 * math.pi * i / n),
+            i,
+        )
+        for i in range(n)
+    ]
+
+
+def lattice(n: int, spacing: float | None = None) -> list[Point]:
+    """About ``n`` points on a square integer lattice.
+
+    Unit squares are cocircular 4-tuples: both diagonals of every cell
+    tie on the ring boundary and qualify under the strict convention,
+    the densest planar-degenerate family (~``3n`` Gabriel edges:
+    horizontal, vertical and both diagonals per cell amortised).
+    """
+    if n < 0:
+        raise ValueError(f"negative dataset size {n}")
+    if n == 0:
+        return []
+    side = max(1, math.isqrt(n))
+    if spacing is None:
+        spacing = (_HI - _LO) / (side + 1)
+    out = []
+    oid = 0
+    for gy in range(side):
+        for gx in range(side):
+            if oid >= n:
+                break
+            out.append(
+                Point(_LO + (gx + 1) * spacing, _LO + (gy + 1) * spacing, oid)
+            )
+            oid += 1
+    return out
+
+
+def two_clusters(
+    n: int, separation: float = 8000.0, spread: float = 100.0, seed: int = 0
+) -> list[Point]:
+    """Two tight Gaussian clusters far apart (a dumbbell).
+
+    Stresses the filter step: pairs bridging the clusters have enormous
+    rings that almost always contain a third point, so nearly the whole
+    result is intra-cluster — yet every filter probe must still *prove*
+    that, which is exactly where Ψ− subtree pruning pays off.
+    """
+    if n < 0:
+        raise ValueError(f"negative dataset size {n}")
+    rng = random.Random(seed)
+    mid = (_LO + _HI) / 2.0
+    cx1 = mid - separation / 2.0
+    cx2 = mid + separation / 2.0
+    out = []
+    for i in range(n):
+        # Random cluster choice, so an alternating split leaves both
+        # join sides present in both clusters.
+        cx = cx1 if rng.random() < 0.5 else cx2
+        x = min(max(rng.gauss(cx, spread), _LO), _HI)
+        y = min(max(rng.gauss(mid, spread), _LO), _HI)
+        out.append(Point(x, y, i))
+    return out
+
+
+def coincident(n: int, x: float = 5000.0, y: float = 5000.0) -> list[Point]:
+    """``n`` copies of one location.
+
+    The duplicate-handling stress case: every cross-set pair has a
+    degenerate ring whose boundary carries all other duplicates, so
+    under the strict convention *every* pair qualifies — the only
+    family with a quadratic result, which is why the theoretical bound
+    must assume distinct locations.
+    """
+    if n < 0:
+        raise ValueError(f"negative dataset size {n}")
+    return [Point(x, y, i) for i in range(n)]
+
+
+def split_alternating(points: list[Point]) -> tuple[list[Point], list[Point]]:
+    """Deal a family into the two join sides (even/odd positions)."""
+    return _split(points)

@@ -1,0 +1,21 @@
+"""Result-set evaluation utilities.
+
+Precision/recall resemblance of a distance-based join against the RCJ
+result (Section 5.1) and tabular report formatting for the benchmark
+harness; a Figure-1-style SVG join map; LaTeX table emission for
+write-ups.
+"""
+
+from repro.evaluation.joinmap import draw_join_map
+from repro.evaluation.resemblance import precision, precision_recall, recall
+from repro.evaluation.report import format_latex_table, format_series, format_table
+
+__all__ = [
+    "draw_join_map",
+    "format_latex_table",
+    "format_series",
+    "format_table",
+    "precision",
+    "precision_recall",
+    "recall",
+]

@@ -1,0 +1,174 @@
+"""Analytical models for RCJ result size and index cost.
+
+The paper's future work asks for (i) an I/O cost model for the proposed
+algorithms and (ii) a theoretical bound on the RCJ result size.  This
+module provides first-order versions of both, validated empirically by
+the test suite and the benches.
+
+Result size
+-----------
+The RCJ result is the set of bichromatic Gabriel-graph edges of
+``P ∪ Q``.  For points in general position the Gabriel graph is planar,
+so with ``N = |P| + |Q|`` vertices it has at most ``3N - 8`` edges and
+empirically close to ``2N`` on Poisson-like data (average degree ≈ 4).
+Under random labelling, a fraction ``2 |P||Q| / N²`` of edges is
+bichromatic, giving::
+
+    E[|RCJ|] ≈ 2N * 2|P||Q|/N² = 4 |P||Q| / N
+
+which is linear in the input (the paper's Figure 16b) and maximised at
+the balanced ratio (Figure 17b).
+
+Worst case
+----------
+``upper_bound_result_size`` is exact for points in *general position*
+(no two coincident, no four cocircular): the Gabriel graph is then
+planar and no pointset can exceed ``3N - 6`` pairs.  Degenerate inputs
+break planarity under the strict-containment convention — the unit
+lattice reaches ~``4N`` edges (both diagonals of every cocircular unit
+cell qualify and cross), and coincident duplicates are quadratic — so
+the general bound degrades to ``|P| · |Q|``.  The adversarial families
+in :mod:`repro.datasets.worstcase` exhibit each regime and the tests
+pin them down.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_result_size(size_p: int, size_q: int) -> float:
+    """First-order estimate of the RCJ result cardinality.
+
+    Assumes both datasets are drawn from the same spatial distribution
+    (so set membership is an independent label) and points are in
+    general position.  Accurate within ~15 % on uniform data — see
+    ``tests/evaluation/test_analysis.py``.
+    """
+    if size_p < 0 or size_q < 0:
+        raise ValueError("dataset sizes must be non-negative")
+    total = size_p + size_q
+    if total == 0 or size_p == 0 or size_q == 0:
+        return 0.0
+    return 4.0 * size_p * size_q / total
+
+
+def upper_bound_result_size(
+    size_p: int, size_q: int, general_position: bool = True
+) -> int:
+    """Worst-case bound on the RCJ result cardinality.
+
+    Parameters
+    ----------
+    general_position:
+        When True (default) the input is assumed to have no coincident
+        points and no four cocircular points.  The Gabriel graph of
+        ``P ∪ Q`` is then planar, so the result has at most ``3N - 6``
+        pairs (``N >= 3``).  When False no linear bound exists: ties on
+        ring boundaries allow crossing edges (the unit lattice reaches
+        ~``4N``) and coincident duplicates make every cross pair valid,
+        so the bound falls back to ``|P| · |Q|``.
+    """
+    if size_p < 0 or size_q < 0:
+        raise ValueError("dataset sizes must be non-negative")
+    total = size_p + size_q
+    if size_p == 0 or size_q == 0:
+        return 0
+    if not general_position:
+        return size_p * size_q
+    if total < 3:
+        return size_p * size_q
+    return 3 * total - 6
+
+
+def expected_tree_height(n: int, leaf_capacity: int, branch_capacity: int) -> int:
+    """Height of an STR-packed R-tree over ``n`` points."""
+    if n <= 0:
+        return 0
+    height = 1
+    nodes = math.ceil(n / leaf_capacity)
+    while nodes > 1:
+        nodes = math.ceil(nodes / branch_capacity)
+        height += 1
+    return height
+
+
+def estimate_inj_node_accesses(
+    size_q: int,
+    size_p: int,
+    leaf_capacity: int,
+    branch_capacity: int,
+    candidates_per_point: float = 4.0,
+) -> float:
+    """First-order node-access estimate for INJ.
+
+    Per outer point ``q`` INJ performs one pruned best-first descent of
+    ``TP`` (about one root-to-leaf path per surviving candidate
+    neighbourhood) and two verification descents.  With ``h`` the inner
+    tree height and ``c`` the expected candidate count per point::
+
+        accesses ≈ |Q| * (1 + 3c) * h / 2        (filter + 2 x verify)
+
+    plus the outer leaf scan.  This is an order-of-magnitude model: the
+    tests assert agreement within a factor of 3 on uniform data, which
+    is the accuracy class the paper's future-work item targets.
+    """
+    if size_q <= 0 or size_p <= 0:
+        return 0.0
+    height_p = expected_tree_height(size_p, leaf_capacity, branch_capacity)
+    outer_leaves = math.ceil(size_q / leaf_capacity)
+    per_point = (1.0 + 3.0 * candidates_per_point) * height_p / 2.0
+    return outer_leaves + size_q * per_point
+
+
+def estimate_bij_node_accesses(
+    size_q: int,
+    size_p: int,
+    leaf_capacity: int,
+    branch_capacity: int,
+    candidates_per_point: float = 6.0,
+) -> float:
+    """First-order node-access estimate for BIJ (and OBJ).
+
+    Bulk computation amortises the descents of INJ over a whole outer
+    leaf: per leaf of ``TQ`` one shared bulk-filter traversal covers
+    the union of the members' candidate neighbourhoods, and the two
+    verification sweeps are batched.  Modelling the shared traversal as
+    one pruned descent per *distinct* candidate neighbourhood::
+
+        accesses ≈ leaves(Q) * (1 + 3c') * h
+
+    with ``c'`` the per-point candidate count (larger than INJ's
+    because the bulk traversal is ordered by the leaf centroid, the
+    effect Table 4 shows).  Same accuracy class as the INJ model:
+    agreement within a factor of 3 asserted on uniform data.
+    """
+    if size_q <= 0 or size_p <= 0:
+        return 0.0
+    height_p = expected_tree_height(size_p, leaf_capacity, branch_capacity)
+    outer_leaves = math.ceil(size_q / leaf_capacity)
+    per_leaf = (1.0 + 3.0 * candidates_per_point) * height_p
+    return outer_leaves * (1.0 + per_leaf)
+
+
+def speedup_bij_over_inj(
+    size_q: int,
+    size_p: int,
+    leaf_capacity: int,
+    branch_capacity: int,
+) -> float:
+    """Modelled BIJ-over-INJ node-access ratio (> 1 means BIJ wins).
+
+    The headline prediction of Section 4.1 — "the number of R-tree
+    traversals is proportional to |Q|" for INJ versus proportional to
+    the number of leaves for BIJ — in one number.
+    """
+    inj_cost = estimate_inj_node_accesses(
+        size_q, size_p, leaf_capacity, branch_capacity
+    )
+    bij_cost = estimate_bij_node_accesses(
+        size_q, size_p, leaf_capacity, branch_capacity
+    )
+    if bij_cost == 0.0:
+        return 1.0
+    return inj_cost / bij_cost

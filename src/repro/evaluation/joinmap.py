@@ -1,0 +1,104 @@
+"""Figure-1-style SVG maps of a join result.
+
+The paper's Figure 1 shows two pointsets and the RCJ pairs' enclosing
+circles on a map.  :func:`draw_join_map` renders exactly that for any
+result: ``P`` points, ``Q`` points, one circle per pair and a dot at
+each middleman location — dependency-free SVG, matching the rest of
+:mod:`repro.evaluation.svgplot`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pairs import RCJPair
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+_STYLE = (
+    '<style>text{font-family:sans-serif;font-size:12px}'
+    ".p{fill:#1f77b4}.q{fill:#d62728}"
+    ".ring{fill:none;stroke:#2ca02c;stroke-width:1;opacity:0.6}"
+    ".mid{fill:#2ca02c}</style>"
+)
+
+
+def draw_join_map(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    pairs: Sequence[RCJPair],
+    title: str = "Ring-constrained join",
+    size: int = 640,
+    max_pairs: int | None = None,
+    path: str | None = None,
+) -> str:
+    """Render the two pointsets and the pairs' rings as an SVG map.
+
+    Parameters
+    ----------
+    points_p, points_q:
+        The join inputs (``P`` blue, ``Q`` red).
+    pairs:
+        The RCJ result; each contributes its ring (green) and its
+        centre — the derived middleman location.
+    size:
+        Pixel width and height of the (square) map.
+    max_pairs:
+        Draw only the ``max_pairs`` smallest rings (all by default) —
+        keeps dense joins readable.
+    path:
+        When given, the SVG is also written to this file.
+
+    Returns
+    -------
+    The SVG document as a string.
+    """
+    everything = list(points_p) + list(points_q)
+    if not everything:
+        raise ValueError("cannot draw an empty join")
+    bounds = Rect.from_points(everything)
+    span = max(bounds.xmax - bounds.xmin, bounds.ymax - bounds.ymin, 1e-9)
+    margin = 30.0
+    scale = (size - 2 * margin) / span
+
+    def sx(x: float) -> float:
+        return margin + (x - bounds.xmin) * scale
+
+    def sy(y: float) -> float:
+        # SVG y grows downward; the map keeps north up.
+        return size - margin - (y - bounds.ymin) * scale
+
+    drawn = sorted(pairs, key=lambda pr: pr.radius)
+    if max_pairs is not None:
+        drawn = drawn[:max_pairs]
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        _STYLE,
+        f'<text x="{margin}" y="18">{title} — |P|={len(points_p)}, '
+        f"|Q|={len(points_q)}, pairs={len(pairs)}</text>",
+    ]
+    for pair in drawn:
+        cx, cy = pair.center
+        parts.append(
+            f'<circle class="ring" cx="{sx(cx):.1f}" cy="{sy(cy):.1f}" '
+            f'r="{max(pair.radius * scale, 0.5):.1f}"/>'
+        )
+        parts.append(
+            f'<circle class="mid" cx="{sx(cx):.1f}" cy="{sy(cy):.1f}" r="1.5"/>'
+        )
+    for p in points_p:
+        parts.append(
+            f'<circle class="p" cx="{sx(p.x):.1f}" cy="{sy(p.y):.1f}" r="3"/>'
+        )
+    for q in points_q:
+        parts.append(
+            f'<circle class="q" cx="{sx(q.x):.1f}" cy="{sy(q.y):.1f}" r="3"/>'
+        )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        with open(path, "w") as f:
+            f.write(svg)
+    return svg

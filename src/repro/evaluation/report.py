@@ -1,0 +1,91 @@
+"""Plain-text tables for the benchmark harness.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a figure-style series table: one row per x value, one
+    column per named series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def _latex_escape(text: str) -> str:
+    out = []
+    for ch in text:
+        if ch in "&%$#_{}":
+            out.append("\\" + ch)
+        elif ch == "\\":
+            out.append(r"\textbackslash{}")
+        elif ch == "~":
+            out.append(r"\textasciitilde{}")
+        elif ch == "^":
+            out.append(r"\textasciicircum{}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def format_latex_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    caption: str = "",
+    label: str = "",
+) -> str:
+    """Render a result table as a LaTeX ``table`` environment.
+
+    For dropping reproduced numbers straight into a write-up.  All cell
+    content is escaped; columns are left-aligned to match the
+    plain-text tables.
+    """
+    cols = "l" * len(headers)
+    lines = [r"\begin{table}[ht]", r"\centering"]
+    lines.append(rf"\begin{{tabular}}{{{cols}}}")
+    lines.append(r"\hline")
+    lines.append(
+        " & ".join(_latex_escape(str(h)) for h in headers) + r" \\"
+    )
+    lines.append(r"\hline")
+    for row in rows:
+        lines.append(
+            " & ".join(_latex_escape(str(c)) for c in row) + r" \\"
+        )
+    lines.append(r"\hline")
+    lines.append(r"\end{tabular}")
+    if caption:
+        lines.append(rf"\caption{{{_latex_escape(caption)}}}")
+    if label:
+        lines.append(rf"\label{{{label}}}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Precision / recall between join result sets (paper, Section 5.1).
+
+Given the RCJ result ``S`` and the result ``S'`` of another spatial
+join, the paper measures::
+
+    precision(S', S) = |S ∩ S'| / |S'| * 100%
+    recall(S', S)    = |S ∩ S'| / |S|  * 100%
+
+Result sets are compared by pair identity ``(p.oid, q.oid)``.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+PairKey = tuple[int, int]
+
+
+def precision(result: Collection[PairKey], reference: Collection[PairKey]) -> float:
+    """Percentage of ``result`` pairs that are RCJ pairs (100 when
+    ``result`` is empty, following the convention that an empty result
+    makes no false claims)."""
+    result_set = set(result)
+    if not result_set:
+        return 100.0
+    hits = len(result_set & set(reference))
+    return 100.0 * hits / len(result_set)
+
+
+def recall(result: Collection[PairKey], reference: Collection[PairKey]) -> float:
+    """Percentage of RCJ pairs found in ``result`` (100 when the
+    reference is empty)."""
+    reference_set = set(reference)
+    if not reference_set:
+        return 100.0
+    hits = len(set(result) & reference_set)
+    return 100.0 * hits / len(reference_set)
+
+
+def precision_recall(
+    result: Collection[PairKey], reference: Collection[PairKey]
+) -> tuple[float, float]:
+    """Both resemblance measures in one pass."""
+    result_set = set(result)
+    reference_set = set(reference)
+    hits = len(result_set & reference_set)
+    prec = 100.0 * hits / len(result_set) if result_set else 100.0
+    rec = 100.0 * hits / len(reference_set) if reference_set else 100.0
+    return prec, rec

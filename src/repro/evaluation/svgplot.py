@@ -1,0 +1,197 @@
+"""Dependency-free SVG line charts for the experiment figures.
+
+The benchmark harness prints paper-style tables; this module renders
+the same series as standalone SVG line charts (the reproduction ships
+without matplotlib).  Example::
+
+    from repro.evaluation.svgplot import line_chart
+
+    svg = line_chart(
+        title="Figure 10 (SP)",
+        x_label="eps / mean NN dist",
+        y_label="quality (%)",
+        xs=[0.25, 0.5, 1, 2, 4],
+        series={"precision": [98, 92, 71, 40, 16],
+                "recall": [2, 9, 26, 58, 91]},
+        path="fig10_sp.svg",
+    )
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Stroke colours cycled across series.
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+_MARGIN_LEFT = 62.0
+_MARGIN_RIGHT = 18.0
+_MARGIN_TOP = 34.0
+_MARGIN_BOTTOM = 46.0
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering ``[lo, hi]``."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / max(1, n)))
+    for mult in (1, 2, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + step / 2:
+        if t >= lo - step / 2:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def line_chart(
+    title: str,
+    x_label: str,
+    y_label: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 640,
+    height: int = 400,
+    log_y: bool = False,
+    path: str | None = None,
+) -> str:
+    """Render one or more series as an SVG line chart.
+
+    Parameters
+    ----------
+    xs:
+        Shared x coordinates (ascending).
+    series:
+        Mapping from series name to y values (same length as ``xs``).
+    log_y:
+        Plot y on a log10 scale (all values must be positive) — used by
+        the cost figures whose algorithms differ by orders of magnitude.
+    path:
+        When given, the SVG is also written to this file.
+
+    Returns
+    -------
+    The SVG document as a string.
+    """
+    if not xs:
+        raise ValueError("cannot plot an empty x axis")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} values for {len(xs)} x points"
+            )
+        if log_y and any(y <= 0 for y in ys):
+            raise ValueError(f"log scale requires positive values ({name!r})")
+
+    def ty(value: float) -> float:
+        return math.log10(value) if log_y else float(value)
+
+    x_lo, x_hi = min(xs), max(xs)
+    all_y = [ty(y) for ys in series.values() for y in ys] or [0.0]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def px(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_TOP + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.1f}" y="20" text-anchor="middle" '
+        f'font-size="14" font-family="sans-serif">{title}</text>',
+    ]
+
+    # Axes.
+    x0, y0 = _MARGIN_LEFT, _MARGIN_TOP + plot_h
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" y2="{y0}" '
+        f'stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{x0}" y1="{_MARGIN_TOP}" x2="{x0}" y2="{y0}" '
+        f'stroke="black"/>'
+    )
+
+    for tick in _nice_ticks(x_lo, x_hi):
+        tx = px(tick)
+        parts.append(
+            f'<line x1="{tx:.1f}" y1="{y0}" x2="{tx:.1f}" y2="{y0 + 4}" '
+            f'stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{tx:.1f}" y="{y0 + 17}" text-anchor="middle" '
+            f'font-size="10" font-family="sans-serif">{tick:g}</text>'
+        )
+    for tick in _nice_ticks(y_lo, y_hi):
+        tyv = py(tick)
+        label = f"1e{tick:g}" if log_y else f"{tick:g}"
+        parts.append(
+            f'<line x1="{x0 - 4}" y1="{tyv:.1f}" x2="{x0}" y2="{tyv:.1f}" '
+            f'stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 7}" y="{tyv + 3:.1f}" text-anchor="end" '
+            f'font-size="10" font-family="sans-serif">{label}</text>'
+        )
+
+    parts.append(
+        f'<text x="{x0 + plot_w / 2:.1f}" y="{height - 8}" '
+        f'text-anchor="middle" font-size="11" '
+        f'font-family="sans-serif">{x_label}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{_MARGIN_TOP + plot_h / 2:.1f}" '
+        f'text-anchor="middle" font-size="11" font-family="sans-serif" '
+        f'transform="rotate(-90 14 {_MARGIN_TOP + plot_h / 2:.1f})">'
+        f"{y_label}</text>"
+    )
+
+    # Series polylines + legend.
+    for i, (name, ys) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        points = " ".join(
+            f"{px(x):.1f},{py(ty(y)):.1f}" for x, y in zip(xs, ys)
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.8" '
+            f'points="{points}"/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(ty(y)):.1f}" r="2.4" '
+                f'fill="{color}"/>'
+            )
+        legend_y = _MARGIN_TOP + 8 + i * 15
+        legend_x = x0 + plot_w - 120
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 18}" '
+            f'y2="{legend_y}" stroke="{color}" stroke-width="1.8"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 23}" y="{legend_y + 3.5}" font-size="10" '
+            f'font-family="sans-serif">{name}</text>'
+        )
+
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(svg)
+    return svg

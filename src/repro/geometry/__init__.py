@@ -1,0 +1,55 @@
+"""Planar geometry substrate for the ring-constrained join.
+
+This package contains the geometric primitives every other subsystem is
+built on: points, axis-aligned rectangles (MBRs), circles, the pruning
+half-planes of the paper's Lemmas 1/3/5, smallest enclosing circles,
+alternative distance metrics used by the metric-generalised RCJ, the
+Hilbert space-filling curve backing the Hilbert-packed bulk loader, and
+convex polygons for the Voronoi-cell comparator.
+"""
+
+from repro.geometry.circle import Circle
+from repro.geometry.enclosing import enclosing_circle, welzl_circle
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.hilbert import HilbertMapper, d_to_xy, xy_to_d
+from repro.geometry.metrics import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    get_metric,
+)
+from repro.geometry.point import Point, dist, dist_sq, midpoint
+from repro.geometry.polygon import (
+    box_polygon,
+    clip_halfplane,
+    convex_polygons_intersect,
+    polygon_area,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.ring import Ring
+
+__all__ = [
+    "Circle",
+    "ChebyshevMetric",
+    "EuclideanMetric",
+    "HalfPlane",
+    "HilbertMapper",
+    "d_to_xy",
+    "xy_to_d",
+    "box_polygon",
+    "clip_halfplane",
+    "convex_polygons_intersect",
+    "polygon_area",
+    "ManhattanMetric",
+    "Metric",
+    "Point",
+    "Rect",
+    "Ring",
+    "dist",
+    "dist_sq",
+    "enclosing_circle",
+    "get_metric",
+    "midpoint",
+    "welzl_circle",
+]

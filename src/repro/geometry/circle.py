@@ -1,0 +1,111 @@
+"""Circles and the strict-interior containment predicate.
+
+A ring-constrained join pair is valid exactly when its enclosing circle
+contains no other point *strictly* inside.  All algorithms in this
+library share the predicates defined here, so their results are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.rect import Rect
+
+#: Relative slack applied to strict containment tests.  Points whose
+#: squared distance to the centre is within ``STRICT_REL_EPS`` of the
+#: squared radius are treated as *on the boundary*, hence not contained.
+#: This keeps the defining endpoints of a pair (which lie exactly on the
+#: boundary, up to floating-point rounding) from invalidating their own
+#: pair.
+STRICT_REL_EPS = 1e-9
+
+
+class Circle:
+    """A circle given by centre ``(cx, cy)`` and radius ``r >= 0``."""
+
+    __slots__ = ("cx", "cy", "r", "r_sq")
+
+    def __init__(self, cx: float, cy: float, r: float):
+        if r < 0.0:
+            raise ValueError(f"negative radius {r}")
+        self.cx = float(cx)
+        self.cy = float(cy)
+        self.r = float(r)
+        self.r_sq = self.r * self.r
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """Strict-interior containment (boundary points excluded).
+
+        Uses a relative epsilon so that points lying on the boundary up
+        to floating-point rounding are *not* reported as contained.
+        """
+        dx = x - self.cx
+        dy = y - self.cy
+        return dx * dx + dy * dy < self.r_sq * (1.0 - STRICT_REL_EPS)
+
+    def covers_point(self, x: float, y: float) -> bool:
+        """Closed containment (boundary points included, with slack)."""
+        dx = x - self.cx
+        dy = y - self.cy
+        return dx * dx + dy * dy <= self.r_sq * (1.0 + STRICT_REL_EPS)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Closed intersection between the disk and a rectangle.
+
+        Conservative for tree descent: a subtree is visited whenever its
+        MBR touches the closed disk.
+        """
+        return rect.mindist_sq(self.cx, self.cy) <= self.r_sq
+
+    def contains_rect_face(self, rect: Rect) -> bool:
+        """True when at least one full side of ``rect`` lies strictly inside.
+
+        By the MBR property every face of an R-tree MBR touches at least
+        one data point of the subtree, so a face strictly inside the
+        circle certifies that the subtree holds a point strictly inside
+        (paper, Section 3.2, "entry with a face inside the circle").
+
+        A side is strictly inside iff both its endpoints are (a disk is
+        convex).
+        """
+        c_bl = self.contains_point(rect.xmin, rect.ymin)
+        c_br = self.contains_point(rect.xmax, rect.ymin)
+        if c_bl and c_br:
+            return True
+        c_tl = self.contains_point(rect.xmin, rect.ymax)
+        if c_bl and c_tl:
+            return True
+        c_tr = self.contains_point(rect.xmax, rect.ymax)
+        if c_tr and (c_br or c_tl):
+            return True
+        return False
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True when the whole rectangle lies strictly inside the disk."""
+        return all(self.contains_point(x, y) for x, y in rect.corners())
+
+    def bounding_rect(self) -> Rect:
+        """Tight axis-aligned bounding rectangle of the disk."""
+        return Rect(self.cx - self.r, self.cy - self.r, self.cx + self.r, self.cy + self.r)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circle):
+            return NotImplemented
+        return self.cx == other.cx and self.cy == other.cy and self.r == other.r
+
+    def __hash__(self) -> int:
+        return hash((self.cx, self.cy, self.r))
+
+    def __repr__(self) -> str:
+        return f"Circle(({self.cx:g}, {self.cy:g}), r={self.r:g})"
+
+    def dist_to_center(self, x: float, y: float) -> float:
+        """Distance from a coordinate pair to the circle centre."""
+        return math.hypot(x - self.cx, y - self.cy)

@@ -1,0 +1,81 @@
+"""Pruning half-planes (the paper's Ψ+ / Ψ− regions).
+
+Given a join point ``q`` and a discovered point ``p``, let ``L(q, p)`` be
+the line through ``p`` perpendicular to the segment ``qp``.  The open
+half-plane on the far side of ``L`` from ``q`` is ``Ψ−(q, p)``: by
+Lemma 1 no point strictly inside it can form an RCJ pair with ``q``, and
+by Lemma 3 an MBR entirely inside it can be pruned wholesale.  Lemma 5 is
+the same construction with ``p`` replaced by another point ``q'`` of the
+same dataset as ``q``.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class HalfPlane:
+    """The open half-plane ``{ x : (x - a) . n > 0 }``.
+
+    ``a`` is the anchor point on the boundary line and ``n`` the outward
+    normal.  Containment is *strict*: boundary points are not contained,
+    matching the open-disk containment convention (a point exactly on
+    ``L(q, p)`` sits on the boundary of the candidate circle and does not
+    invalidate the pair).
+    """
+
+    __slots__ = ("ax", "ay", "nx", "ny")
+
+    def __init__(self, ax: float, ay: float, nx: float, ny: float):
+        self.ax = float(ax)
+        self.ay = float(ay)
+        self.nx = float(nx)
+        self.ny = float(ny)
+
+    @classmethod
+    def psi_minus(cls, q: Point, p: Point) -> "HalfPlane":
+        """The pruning region ``Ψ−(q, p)`` of Lemma 1 / Lemma 5.
+
+        Anchored at ``p`` with normal ``p - q`` (pointing away from
+        ``q``).  When ``p`` and ``q`` coincide the region is degenerate
+        and contains nothing, which is the correct semantics: a
+        coincident point lies on the boundary of every candidate circle
+        through ``q`` and never invalidates a pair.
+        """
+        return cls(p.x, p.y, p.x - q.x, p.y - q.y)
+
+    def is_degenerate(self) -> bool:
+        """True when the normal is null (region contains nothing)."""
+        return self.nx == 0.0 and self.ny == 0.0
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Strict containment of a coordinate pair.
+
+        The expression ``(x - a) . n`` is, term by term, the exact IEEE
+        negation of the ring predicate ``(a - x) . n`` used during
+        verification, so point-level pruning and verification can never
+        disagree (see :mod:`repro.geometry.ring`).
+        """
+        return (x - self.ax) * self.nx + (y - self.ay) * self.ny > 0.0
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True when the whole rectangle is *certainly* strictly inside.
+
+        Evaluates the linear functional at the corner that minimises it
+        (picked per-axis from the sign of the normal) and demands a
+        margin dominating the floating-point evaluation error at any
+        point of the rectangle: pruning a subtree must never be
+        spurious, while a missed prune only costs a node read.
+        """
+        x = rect.xmin if self.nx > 0.0 else rect.xmax
+        y = rect.ymin if self.ny > 0.0 else rect.ymax
+        value = (x - self.ax) * self.nx + (y - self.ay) * self.ny
+        # Error bound scaled by the largest-magnitude corner terms.
+        span_x = max(abs(rect.xmin - self.ax), abs(rect.xmax - self.ax))
+        span_y = max(abs(rect.ymin - self.ay), abs(rect.ymax - self.ay))
+        tol = 1e-12 * (span_x * abs(self.nx) + span_y * abs(self.ny))
+        return value > tol
+
+    def __repr__(self) -> str:
+        return f"HalfPlane(anchor=({self.ax:g}, {self.ay:g}), n=({self.nx:g}, {self.ny:g}))"

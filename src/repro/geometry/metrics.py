@@ -1,0 +1,125 @@
+"""Distance metrics for the metric-generalised ring constraint.
+
+The paper's future-work section proposes exploring the ring constraint
+under distance functions other than Euclidean.  Each metric defines the
+distance itself and the shape of the "ring": the metric ball centred at
+the midpoint of a pair with radius half the pair distance.  Under L2 the
+ball is the classic enclosing circle, so the generalised join coincides
+with the standard RCJ (property-tested).
+
+Under L1 and L∞ the centre minimising the maximum distance to both
+endpoints is not unique; following common practice we anchor the ball at
+the coordinate midpoint, which is always one of the minimisers.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Relative slack for strict ball containment, mirroring the circle
+#: predicate in :mod:`repro.geometry.circle`.
+_STRICT_REL_EPS = 1e-9
+
+
+class Metric(ABC):
+    """A planar distance function plus its midpoint-ball geometry."""
+
+    #: Short name used by :func:`get_metric`.
+    name: str = ""
+
+    @abstractmethod
+    def dist(self, ax: float, ay: float, bx: float, by: float) -> float:
+        """Distance between two coordinate pairs."""
+
+    def pair_ball(self, p: Point, q: Point) -> "MetricBall":
+        """Smallest midpoint-centred ball enclosing ``p`` and ``q``."""
+        cx = (p.x + q.x) / 2.0
+        cy = (p.y + q.y) / 2.0
+        return MetricBall(self, cx, cy, self.dist(p.x, p.y, q.x, q.y) / 2.0)
+
+    def ball_bounding_rect(self, cx: float, cy: float, r: float) -> Rect:
+        """Axis-aligned bounding rectangle of the ball.
+
+        For all Lp metrics the ball is contained in the L∞ ball of the
+        same radius, so the square is a correct (possibly loose) bound.
+        """
+        return Rect(cx - r, cy - r, cx + r, cy + r)
+
+
+class EuclideanMetric(Metric):
+    """The standard L2 metric; its ball is the enclosing circle."""
+
+    name = "l2"
+
+    def dist(self, ax: float, ay: float, bx: float, by: float) -> float:
+        return math.hypot(ax - bx, ay - by)
+
+
+class ManhattanMetric(Metric):
+    """The L1 (city-block) metric; its ball is a diamond."""
+
+    name = "l1"
+
+    def dist(self, ax: float, ay: float, bx: float, by: float) -> float:
+        return abs(ax - bx) + abs(ay - by)
+
+
+class ChebyshevMetric(Metric):
+    """The L∞ metric; its ball is an axis-aligned square."""
+
+    name = "linf"
+
+    def dist(self, ax: float, ay: float, bx: float, by: float) -> float:
+        return max(abs(ax - bx), abs(ay - by))
+
+
+class MetricBall:
+    """An open metric ball ``{ x : d(x, c) < r }`` with boundary slack."""
+
+    __slots__ = ("metric", "cx", "cy", "r")
+
+    def __init__(self, metric: Metric, cx: float, cy: float, r: float):
+        self.metric = metric
+        self.cx = float(cx)
+        self.cy = float(cy)
+        self.r = float(r)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Strict containment with relative boundary slack."""
+        return self.metric.dist(x, y, self.cx, self.cy) < self.r * (
+            1.0 - _STRICT_REL_EPS
+        )
+
+    def bounding_rect(self) -> Rect:
+        """Axis-aligned bounding rectangle (used by grid range queries)."""
+        return self.metric.ball_bounding_rect(self.cx, self.cy, self.r)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricBall({self.metric.name}, ({self.cx:g}, {self.cy:g}), "
+            f"r={self.r:g})"
+        )
+
+
+_METRICS: dict[str, Metric] = {
+    "l1": ManhattanMetric(),
+    "l2": EuclideanMetric(),
+    "linf": ChebyshevMetric(),
+    "manhattan": ManhattanMetric(),
+    "euclidean": EuclideanMetric(),
+    "chebyshev": ChebyshevMetric(),
+}
+
+
+def get_metric(name: str) -> Metric:
+    """Look up a metric by name (``l1``, ``l2``, ``linf`` and aliases)."""
+    try:
+        return _METRICS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {name!r}; expected one of {sorted(set(_METRICS))}"
+        ) from None

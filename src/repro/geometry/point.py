@@ -1,0 +1,93 @@
+"""Planar points.
+
+Every dataset object in the library is a :class:`Point`: an immutable 2D
+location plus an integer object identifier (``oid``).  The ``oid`` is what
+join results are expressed in, so two points at the same location remain
+distinguishable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+
+class Point:
+    """An immutable planar point with an object identifier.
+
+    Parameters
+    ----------
+    x, y:
+        Coordinates.  The library normalises datasets to ``[0, 10000]``
+        (the paper's domain) but nothing here depends on that.
+    oid:
+        Integer object identifier.  Defaults to ``-1`` for anonymous
+        points (e.g. query locations).
+    """
+
+    __slots__ = ("x", "y", "oid")
+
+    def __init__(self, x: float, y: float, oid: int = -1):
+        object.__setattr__(self, "x", float(x))
+        object.__setattr__(self, "y", float(y))
+        object.__setattr__(self, "oid", int(oid))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point is immutable")
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y and self.oid == other.oid
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y, self.oid))
+
+    def __repr__(self) -> str:
+        return f"Point({self.x:g}, {self.y:g}, oid={self.oid})"
+
+    def same_location(self, other: "Point") -> bool:
+        """Return True when ``other`` has exactly the same coordinates."""
+        return self.x == other.x and self.y == other.y
+
+    def dist_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def dist_sq_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (no sqrt)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+
+def dist(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def dist_sq(a: Point, b: Point) -> float:
+    """Squared Euclidean distance between two points."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Point, b: Point) -> tuple[float, float]:
+    """Midpoint of the segment ``ab`` as a coordinate pair."""
+    return (a.x + b.x) / 2.0, (a.y + b.y) / 2.0
+
+
+def points_from_coords(
+    coords: Iterable[Sequence[float]], start_oid: int = 0
+) -> list[Point]:
+    """Build a list of :class:`Point` from an iterable of ``(x, y)`` pairs.
+
+    Object identifiers are assigned sequentially starting at
+    ``start_oid``.
+    """
+    return [Point(c[0], c[1], start_oid + i) for i, c in enumerate(coords)]

@@ -1,0 +1,161 @@
+"""Convex polygons: half-plane clipping and intersection tests.
+
+The substrate of the common-influence-join comparator
+(:mod:`repro.joins.common_influence`): Voronoi cells are convex
+polygons produced by clipping the domain box with perpendicular
+bisectors, and the join predicate is convex-polygon intersection.
+
+Polygons are lists of ``(x, y)`` vertex tuples in counter-clockwise
+order.  An empty list is the empty polygon.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+Vertex = tuple[float, float]
+
+
+def box_polygon(xmin: float, ymin: float, xmax: float, ymax: float) -> list[Vertex]:
+    """The CCW rectangle polygon of a bounding box."""
+    return [(xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)]
+
+
+def clip_halfplane(
+    polygon: Sequence[Vertex],
+    ax: float,
+    ay: float,
+    nx: float,
+    ny: float,
+) -> list[Vertex]:
+    """Clip a convex polygon to the closed half-plane
+    ``{ x : (x - a) . n <= 0 }`` (Sutherland–Hodgman, one plane).
+
+    Parameters
+    ----------
+    polygon:
+        CCW convex polygon (may be empty).
+    ax, ay:
+        A point on the clipping line.
+    nx, ny:
+        Normal pointing *out* of the kept side.
+
+    Returns
+    -------
+    The clipped polygon (CCW, possibly empty or degenerate).
+    """
+    if not polygon:
+        return []
+    out: list[Vertex] = []
+    n = len(polygon)
+    for i in range(n):
+        cx, cy = polygon[i]
+        px, py = polygon[(i - 1) % n]
+        cur_val = (cx - ax) * nx + (cy - ay) * ny
+        prev_val = (px - ax) * nx + (py - ay) * ny
+        cur_in = cur_val <= 0.0
+        prev_in = prev_val <= 0.0
+        if cur_in != prev_in:
+            # Edge crosses the line: add the crossing point.
+            t = prev_val / (prev_val - cur_val)
+            out.append((px + t * (cx - px), py + t * (cy - py)))
+        if cur_in:
+            out.append((cx, cy))
+    return out
+
+
+def polygon_area(polygon: Sequence[Vertex]) -> float:
+    """Signed shoelace area (positive for CCW orientation)."""
+    if len(polygon) < 3:
+        return 0.0
+    area = 0.0
+    n = len(polygon)
+    for i in range(n):
+        x1, y1 = polygon[i]
+        x2, y2 = polygon[(i + 1) % n]
+        area += x1 * y2 - x2 * y1
+    return area / 2.0
+
+
+def polygon_bbox(polygon: Sequence[Vertex]) -> tuple[float, float, float, float]:
+    """``(xmin, ymin, xmax, ymax)`` of a non-empty polygon."""
+    if not polygon:
+        raise ValueError("empty polygon has no bounding box")
+    xs = [v[0] for v in polygon]
+    ys = [v[1] for v in polygon]
+    return min(xs), min(ys), max(xs), max(ys)
+
+
+def polygon_centroid(polygon: Sequence[Vertex]) -> Vertex:
+    """Area centroid of a convex polygon (vertex mean when degenerate)."""
+    area = polygon_area(polygon)
+    if abs(area) < 1e-12:
+        xs = [v[0] for v in polygon]
+        ys = [v[1] for v in polygon]
+        return sum(xs) / len(xs), sum(ys) / len(ys)
+    cx = cy = 0.0
+    n = len(polygon)
+    for i in range(n):
+        x1, y1 = polygon[i]
+        x2, y2 = polygon[(i + 1) % n]
+        cross = x1 * y2 - x2 * y1
+        cx += (x1 + x2) * cross
+        cy += (y1 + y2) * cross
+    return cx / (6.0 * area), cy / (6.0 * area)
+
+
+def convex_polygons_intersect(
+    a: Sequence[Vertex], b: Sequence[Vertex], tol: float = 1e-9
+) -> bool:
+    """Closed intersection test for two convex polygons (SAT).
+
+    Two convex shapes are disjoint iff some edge normal of either is a
+    separating axis.  ``tol`` treats near-touching shapes as
+    intersecting, which matches the closed-cell semantics of the
+    common influence join (cells sharing only a boundary still join).
+    """
+    if not a or not b:
+        return False
+    return not (_separating_axis(a, b, tol) or _separating_axis(b, a, tol))
+
+
+def _separating_axis(a: Sequence[Vertex], b: Sequence[Vertex], tol: float) -> bool:
+    """True when some edge of ``a`` separates ``a`` from ``b``."""
+    n = len(a)
+    for i in range(n):
+        x1, y1 = a[i]
+        x2, y2 = a[(i + 1) % n]
+        # Outward normal of a CCW edge.
+        ex, ey = x2 - x1, y2 - y1
+        norm = math.hypot(ex, ey)
+        if norm == 0.0:
+            continue
+        nx, ny = ey / norm, -ex / norm
+        max_a = max((vx - x1) * nx + (vy - y1) * ny for vx, vy in a)
+        min_b = min((vx - x1) * nx + (vy - y1) * ny for vx, vy in b)
+        if min_b > max_a + tol:
+            return True
+    return False
+
+
+def clip_convex_pair(
+    a: Sequence[Vertex], b: Sequence[Vertex]
+) -> list[Vertex]:
+    """The intersection polygon of two convex polygons.
+
+    Clips ``a`` successively by every edge half-plane of ``b``.  Used
+    as the independent oracle for :func:`convex_polygons_intersect` in
+    tests, and to materialise overlap regions for reporting.
+    """
+    out = list(a)
+    n = len(b)
+    for i in range(n):
+        if not out:
+            return []
+        x1, y1 = b[i]
+        x2, y2 = b[(i + 1) % n]
+        ex, ey = x2 - x1, y2 - y1
+        # Outward normal of the CCW edge: keep (x - v1) . n <= 0.
+        out = clip_halfplane(out, x1, y1, ey, -ex)
+    return out

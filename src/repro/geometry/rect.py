@@ -1,0 +1,219 @@
+"""Axis-aligned rectangles (minimum bounding rectangles).
+
+Rectangles are closed regions ``[xmin, xmax] x [ymin, ymax]``.  They are
+the bounding geometry of R-tree entries and the unit the pruning lemmas
+operate on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from repro.geometry.point import Point
+
+
+class Rect:
+    """A closed axis-aligned rectangle.
+
+    Degenerate rectangles (zero width and/or height) are legal and are
+    used as the MBR of a single point.
+    """
+
+    __slots__ = ("xmin", "ymin", "xmax", "ymax")
+
+    def __init__(self, xmin: float, ymin: float, xmax: float, ymax: float):
+        if xmin > xmax or ymin > ymax:
+            raise ValueError(
+                f"invalid rectangle bounds ({xmin}, {ymin}, {xmax}, {ymax})"
+            )
+        self.xmin = float(xmin)
+        self.ymin = float(ymin)
+        self.xmax = float(xmax)
+        self.ymax = float(ymax)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, p: Point) -> "Rect":
+        """Degenerate rectangle covering exactly one point."""
+        return cls(p.x, p.y, p.x, p.y)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """Tight MBR of a non-empty collection of points."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot bound an empty point collection") from None
+        xmin = xmax = first.x
+        ymin = ymax = first.y
+        for p in it:
+            if p.x < xmin:
+                xmin = p.x
+            elif p.x > xmax:
+                xmax = p.x
+            if p.y < ymin:
+                ymin = p.y
+            elif p.y > ymax:
+                ymax = p.y
+        return cls(xmin, ymin, xmax, ymax)
+
+    @classmethod
+    def union_of(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Tight MBR of a non-empty collection of rectangles."""
+        it = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot bound an empty rectangle collection") from None
+        xmin, ymin, xmax, ymax = first.xmin, first.ymin, first.xmax, first.ymax
+        for r in it:
+            if r.xmin < xmin:
+                xmin = r.xmin
+            if r.ymin < ymin:
+                ymin = r.ymin
+            if r.xmax > xmax:
+                xmax = r.xmax
+            if r.ymax > ymax:
+                ymax = r.ymax
+        return cls(xmin, ymin, xmax, ymax)
+
+    # ------------------------------------------------------------------
+    # basic measures
+    # ------------------------------------------------------------------
+    def width(self) -> float:
+        """Extent along x."""
+        return self.xmax - self.xmin
+
+    def height(self) -> float:
+        """Extent along y."""
+        return self.ymax - self.ymin
+
+    def area(self) -> float:
+        """Area (zero for degenerate rectangles)."""
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree split criterion."""
+        return (self.xmax - self.xmin) + (self.ymax - self.ymin)
+
+    def center(self) -> tuple[float, float]:
+        """Geometric centre."""
+        return (self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0
+
+    # ------------------------------------------------------------------
+    # relations
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """Closed containment of a coordinate pair."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Closed intersection test."""
+        return (
+            self.xmin <= other.xmax
+            and other.xmin <= self.xmax
+            and self.ymin <= other.ymax
+            and other.ymin <= self.ymax
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap region (zero when disjoint)."""
+        w = min(self.xmax, other.xmax) - max(self.xmin, other.xmin)
+        if w <= 0.0:
+            return 0.0
+        h = min(self.ymax, other.ymax) - max(self.ymin, other.ymin)
+        if h <= 0.0:
+            return 0.0
+        return w * h
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both operands."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other`` (R-tree heuristic)."""
+        union_area = (
+            max(self.xmax, other.xmax) - min(self.xmin, other.xmin)
+        ) * (max(self.ymax, other.ymax) - min(self.ymin, other.ymin))
+        return union_area - self.area()
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def mindist_sq(self, x: float, y: float) -> float:
+        """Squared minimum distance from a coordinate pair to this rect.
+
+        Zero when the point lies inside.  This is the classic R-tree
+        MINDIST metric of Roussopoulos et al.
+        """
+        dx = self.xmin - x if x < self.xmin else (x - self.xmax if x > self.xmax else 0.0)
+        dy = self.ymin - y if y < self.ymin else (y - self.ymax if y > self.ymax else 0.0)
+        return dx * dx + dy * dy
+
+    def mindist(self, x: float, y: float) -> float:
+        """Minimum distance from a coordinate pair to this rectangle."""
+        return math.sqrt(self.mindist_sq(x, y))
+
+    def maxdist_sq(self, x: float, y: float) -> float:
+        """Squared maximum distance from a coordinate pair to this rect."""
+        dx = max(abs(x - self.xmin), abs(x - self.xmax))
+        dy = max(abs(y - self.ymin), abs(y - self.ymax))
+        return dx * dx + dy * dy
+
+    def rect_mindist_sq(self, other: "Rect") -> float:
+        """Squared minimum distance between two rectangles."""
+        dx = 0.0
+        if other.xmax < self.xmin:
+            dx = self.xmin - other.xmax
+        elif self.xmax < other.xmin:
+            dx = other.xmin - self.xmax
+        dy = 0.0
+        if other.ymax < self.ymin:
+            dy = self.ymin - other.ymax
+        elif self.ymax < other.ymin:
+            dy = other.ymin - self.ymax
+        return dx * dx + dy * dy
+
+    def corners(self) -> Iterator[tuple[float, float]]:
+        """Yield the four corner coordinate pairs."""
+        yield (self.xmin, self.ymin)
+        yield (self.xmin, self.ymax)
+        yield (self.xmax, self.ymin)
+        yield (self.xmax, self.ymax)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return (
+            self.xmin == other.xmin
+            and self.ymin == other.ymin
+            and self.xmax == other.xmax
+            and self.ymax == other.ymax
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.xmin, self.ymin, self.xmax, self.ymax))
+
+    def __repr__(self) -> str:
+        return f"Rect({self.xmin:g}, {self.ymin:g}, {self.xmax:g}, {self.ymax:g})"

@@ -1,0 +1,117 @@
+"""The ring of a pair: its enclosing circle with an *exact* predicate.
+
+A point ``x`` lies strictly inside the circle with diameter ``pq`` iff
+the angle ``p-x-q`` is obtuse, i.e. iff ``(x - p) . (x - q) < 0``.  This
+dot-product form needs no midpoint, radius or square root, so:
+
+- the pair's endpoints (and any coincident duplicates) evaluate to
+  *exactly* zero and are never counted as inside, with no epsilon;
+- it is **exactly consistent** with the Ψ− half-plane pruning tests in
+  IEEE arithmetic: ``HalfPlane.psi_minus(q, p).contains_point(p')``
+  evaluates the negation of ``Ring(p', q).contains_point(p)`` term by
+  term (float negation is exact), so the Filter step prunes a pair
+  precisely when Verification would have discarded it.
+
+The centre/radius representation is still kept (inherited from
+:class:`~repro.geometry.circle.Circle`) for MBR interaction tests, where
+small *conservative* slacks are applied: descent tests may visit a
+subtree unnecessarily but can never skip a relevant one, and the
+face-containment shortcut only fires with a margin that dominates
+floating-point evaluation error.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Relative margin demanded by the face-containment shortcut; several
+#: orders of magnitude above the ~2e-16 evaluation error of the dot
+#: predicate, so the shortcut only fires when a point of the subtree is
+#: certainly strictly inside.
+_CERTAIN_REL_MARGIN = 1e-12
+
+#: Relative slack applied to the (conservative) descent test.
+_DESCEND_REL_SLACK = 1e-9
+
+
+class Ring(Circle):
+    """The smallest circle enclosing a point pair, with exact tests."""
+
+    __slots__ = ("px", "py", "qx", "qy")
+
+    def __init__(self, px: float, py: float, qx: float, qy: float):
+        cx = (px + qx) / 2.0
+        cy = (py + qy) / 2.0
+        r = math.hypot(px - qx, py - qy) / 2.0
+        super().__init__(cx, cy, r)
+        self.px = float(px)
+        self.py = float(py)
+        self.qx = float(qx)
+        self.qy = float(qy)
+
+    @classmethod
+    def of_pair(cls, p: Point, q: Point) -> "Ring":
+        """Ring of the pair ``<p, q>``."""
+        return cls(p.x, p.y, q.x, q.y)
+
+    # ------------------------------------------------------------------
+    # exact predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """Strict-interior containment, exact at the boundary.
+
+        ``(x - p) . (x - q) < 0``; endpoints and their duplicates give
+        exactly zero.
+        """
+        return (x - self.px) * (x - self.qx) + (y - self.py) * (y - self.qy) < 0.0
+
+    def contains_point_certainly(self, x: float, y: float) -> bool:
+        """Containment with a margin dominating evaluation error.
+
+        Used by decisions that must never fire spuriously (the MBR
+        face-containment shortcut kills a candidate without reading the
+        subtree).
+        """
+        t1 = (x - self.px) * (x - self.qx)
+        t2 = (y - self.py) * (y - self.qy)
+        return t1 + t2 < -_CERTAIN_REL_MARGIN * (abs(t1) + abs(t2))
+
+    # ------------------------------------------------------------------
+    # conservative MBR interactions
+    # ------------------------------------------------------------------
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Conservative descent test: may admit a touching rectangle,
+        never rejects one holding a point the dot predicate counts."""
+        slack = _DESCEND_REL_SLACK * (self.r + abs(self.cx) + abs(self.cy) + 1.0)
+        bound = self.r + slack
+        return rect.mindist_sq(self.cx, self.cy) <= bound * bound
+
+    def contains_rect_face(self, rect: Rect) -> bool:
+        """True when a full side of ``rect`` is certainly strictly inside.
+
+        By the MBR property that side carries a data point of the
+        subtree, so the candidate can be discarded without reading it.
+        Uses the margined predicate: a spurious kill would be a
+        correctness bug, a missed kill only costs a node read.
+        """
+        c_bl = self.contains_point_certainly(rect.xmin, rect.ymin)
+        c_br = self.contains_point_certainly(rect.xmax, rect.ymin)
+        if c_bl and c_br:
+            return True
+        c_tl = self.contains_point_certainly(rect.xmin, rect.ymax)
+        if c_bl and c_tl:
+            return True
+        c_tr = self.contains_point_certainly(rect.xmax, rect.ymax)
+        if c_tr and (c_br or c_tl):
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Ring(p=({self.px:g}, {self.py:g}), q=({self.qx:g}, {self.qy:g}), "
+            f"r={self.r:g})"
+        )

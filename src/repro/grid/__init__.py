@@ -1,0 +1,11 @@
+"""Uniform-grid point index.
+
+A simple equi-width bucket grid over the data MBR.  It backs the
+metric-generalised RCJ (whose pruning geometry is not Euclidean, so the
+R-tree half-plane lemmas do not apply) and serves as an independent
+comparator for R-tree range queries in tests.
+"""
+
+from repro.grid.index import GridIndex
+
+__all__ = ["GridIndex"]

@@ -1,0 +1,91 @@
+"""Equi-width grid index over a planar pointset."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class GridIndex:
+    """A uniform bucket grid.
+
+    Parameters
+    ----------
+    points:
+        The indexed dataset (non-empty).
+    cells_per_axis:
+        Number of buckets along each axis; the default scales with
+        ``sqrt(n)`` so buckets hold a few points each on uniform data.
+    """
+
+    def __init__(self, points: Sequence[Point], cells_per_axis: int | None = None):
+        if not points:
+            raise ValueError("cannot index an empty pointset")
+        self.points = list(points)
+        self.bounds = Rect.from_points(self.points)
+        n = len(self.points)
+        if cells_per_axis is None:
+            cells_per_axis = max(1, int(math.sqrt(n / 2.0)))
+        if cells_per_axis < 1:
+            raise ValueError(f"cells_per_axis must be positive, got {cells_per_axis}")
+        self.cells_per_axis = cells_per_axis
+        width = max(self.bounds.width(), 1e-12)
+        height = max(self.bounds.height(), 1e-12)
+        self._cell_w = width / cells_per_axis
+        self._cell_h = height / cells_per_axis
+        self._buckets: dict[tuple[int, int], list[Point]] = {}
+        for p in self.points:
+            self._buckets.setdefault(self._cell_of(p.x, p.y), []).append(p)
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        ix = int((x - self.bounds.xmin) / self._cell_w)
+        iy = int((y - self.bounds.ymin) / self._cell_h)
+        last = self.cells_per_axis - 1
+        return (min(max(ix, 0), last), min(max(iy, 0), last))
+
+    def _cells_overlapping(self, rect: Rect) -> Iterator[tuple[int, int]]:
+        ix0, iy0 = self._cell_of(rect.xmin, rect.ymin)
+        ix1, iy1 = self._cell_of(rect.xmax, rect.ymax)
+        for ix in range(ix0, ix1 + 1):
+            for iy in range(iy0, iy1 + 1):
+                yield (ix, iy)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def points_in_rect(self, rect: Rect) -> list[Point]:
+        """All indexed points inside the closed rectangle."""
+        out: list[Point] = []
+        for cell in self._cells_overlapping(rect):
+            bucket = self._buckets.get(cell)
+            if bucket:
+                out.extend(
+                    p for p in bucket if rect.contains_point(p.x, p.y)
+                )
+        return out
+
+    def any_point_where(
+        self, rect: Rect, predicate: Callable[[Point], bool]
+    ) -> bool:
+        """True when some point inside ``rect`` satisfies ``predicate``.
+
+        Used for metric-ball emptiness checks: ``rect`` is the ball's
+        bounding rectangle and ``predicate`` the strict ball containment.
+        """
+        for cell in self._cells_overlapping(rect):
+            bucket = self._buckets.get(cell)
+            if bucket and any(predicate(p) for p in bucket):
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:
+        return (
+            f"GridIndex(n={len(self.points)}, cells={self.cells_per_axis}x"
+            f"{self.cells_per_axis})"
+        )

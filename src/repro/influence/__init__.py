@@ -1,0 +1,21 @@
+"""Influence-based spatial queries (paper, Section 2.2).
+
+The paper contrasts RCJ with influence-based queries: the *top-k
+influential sites* query (Xia et al., VLDB 2005) and the *optimal
+location* query (Du et al., SSTD 2005).  They differ from spatial
+joins: the result is a point or location rather than pairs, and the two
+datasets play asymmetric roles (*sites* vs *objects*, influence of a
+site = number of objects whose nearest site it is).
+
+These operators are implemented here both for completeness of the
+paper's comparison surface and as additional consumers of the R-tree
+substrate (nearest-neighbour search drives the influence counts).
+"""
+
+from repro.influence.queries import (
+    influence_counts,
+    optimal_location,
+    top_k_influential,
+)
+
+__all__ = ["influence_counts", "optimal_location", "top_k_influential"]

@@ -1,0 +1,27 @@
+"""Classic distance-based spatial joins (the paper's comparison points).
+
+These operators are *not* components of the RCJ algorithms; they exist
+because Section 5.1 of the paper contrasts the RCJ result set against
+them (Figures 10-12): the ε-distance join, the k-closest-pairs join and
+the k-nearest-neighbour join.
+
+:mod:`repro.joins.common_influence` adds the common influence join of
+the paper's ref [19] — the only other parameterless pointset join —
+so the paper's claim that it cannot stand in for RCJ is testable.
+"""
+
+from repro.joins.closest_pairs import incremental_closest_pairs, k_closest_pairs
+from repro.joins.common_influence import common_influence_join, voronoi_cells
+from repro.joins.epsilon import epsilon_join, epsilon_join_arrays
+from repro.joins.knn import knn_join, knn_join_prefixes
+
+__all__ = [
+    "common_influence_join",
+    "voronoi_cells",
+    "epsilon_join",
+    "epsilon_join_arrays",
+    "incremental_closest_pairs",
+    "k_closest_pairs",
+    "knn_join",
+    "knn_join_prefixes",
+]

@@ -1,0 +1,86 @@
+"""The ε-distance join.
+
+Returns all pairs ``<p, q>`` with ``dist(p, q) <= ε`` (Brinkhoff et al.,
+SIGMOD 1993).  Two implementations:
+
+- :func:`epsilon_join` — synchronised traversal of two R-trees,
+  descending node pairs whose MBRs are within ε;
+- :func:`epsilon_join_arrays` — main-memory KD-tree variant used by the
+  resemblance sweeps of Figure 10, where the join is recomputed for many
+  ε values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geometry.point import Point
+from repro.rtree.tree import RTree
+
+
+def epsilon_join(
+    tree_p: RTree, tree_q: RTree, eps: float
+) -> list[tuple[Point, Point]]:
+    """All pairs within distance ``eps`` via synchronised R-tree descent.
+
+    Handles trees of different heights by descending the taller side.
+    """
+    if eps < 0:
+        raise ValueError(f"negative epsilon {eps}")
+    if tree_p.root_pid is None or tree_q.root_pid is None:
+        return []
+    eps_sq = eps * eps
+    results: list[tuple[Point, Point]] = []
+    stack = [(tree_p.root_pid, tree_q.root_pid)]
+    while stack:
+        pid_p, pid_q = stack.pop()
+        node_p = tree_p.read_node(pid_p)
+        node_q = tree_q.read_node(pid_q)
+        if node_p.is_leaf and node_q.is_leaf:
+            for p in node_p.entries:
+                for q in node_q.entries:
+                    dx, dy = p.x - q.x, p.y - q.y
+                    if dx * dx + dy * dy <= eps_sq:
+                        results.append((p, q))
+        elif node_p.is_leaf:
+            mbr_p = node_p.mbr()
+            for bq in node_q.entries:
+                if mbr_p.rect_mindist_sq(bq.rect) <= eps_sq:
+                    stack.append((pid_p, bq.child))
+        elif node_q.is_leaf:
+            mbr_q = node_q.mbr()
+            for bp in node_p.entries:
+                if bp.rect.rect_mindist_sq(mbr_q) <= eps_sq:
+                    stack.append((bp.child, pid_q))
+        else:
+            for bp in node_p.entries:
+                for bq in node_q.entries:
+                    if bp.rect.rect_mindist_sq(bq.rect) <= eps_sq:
+                        stack.append((bp.child, bq.child))
+    return results
+
+
+def epsilon_join_arrays(
+    points_p: Sequence[Point], points_q: Sequence[Point], eps: float
+) -> set[tuple[int, int]]:
+    """Identity set ``{(p.oid, q.oid)}`` of the ε-join, via KD-trees.
+
+    Fast enough to re-run across a parameter sweep; used by the
+    Figure 10 resemblance experiment.
+    """
+    if not points_p or not points_q:
+        return set()
+    arr_p = np.array([(p.x, p.y) for p in points_p])
+    arr_q = np.array([(q.x, q.y) for q in points_q])
+    tree_p = cKDTree(arr_p)
+    tree_q = cKDTree(arr_q)
+    matches = tree_p.query_ball_tree(tree_q, eps)
+    out: set[tuple[int, int]] = set()
+    for i, neighbors in enumerate(matches):
+        p_oid = points_p[i].oid
+        for j in neighbors:
+            out.add((p_oid, points_q[j].oid))
+    return out

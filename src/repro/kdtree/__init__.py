@@ -1,0 +1,14 @@
+"""Disk-resident k-d tree.
+
+A third hierarchical point index (after the R*-tree and the point
+quadtree) implementing the read-side protocol the RCJ algorithms
+consume.  Exists to substantiate the paper's claim that its methodology
+"is directly applicable to other hierarchical spatial indexes".
+
+- :mod:`repro.kdtree.tree` — median-split bulk construction, range
+  search, depth-first traversal.
+"""
+
+from repro.kdtree.tree import KDTree, build_kdtree
+
+__all__ = ["KDTree", "build_kdtree"]

@@ -1,0 +1,212 @@
+"""The disk-resident k-d tree.
+
+A static, perfectly balanced binary space partition built by recursive
+median splits along the wider-extent axis.  Every internal entry
+carries the *tight* MBR of its subtree, which gives the index the two
+properties the RCJ join algorithms rely on (see
+:mod:`repro.quadtree.tree`): branch rectangles bound all subtree points,
+and every face of a branch rectangle touches a subtree point.  Pages
+reuse the R-tree node layout (:mod:`repro.rtree.node`), so one
+(de)serialisation path covers both indexes.
+
+Binary fan-out under-fills 1 KiB branch pages by design — that is the
+textbook trade-off of the k-d tree as a disk index, and exactly what
+the index-generality ablation (`bench_ablation_kdtree`) measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.node import Branch, Node, leaf_capacity
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager
+
+
+class KDTree:
+    """A page-serialised, median-split k-d tree over 2D points.
+
+    Protocol-compatible with :class:`repro.rtree.tree.RTree` on the read
+    side (``read_node``, ``root_pid``, ``leaf_pids``, ``node_accesses``,
+    ``buffer``, ``disk``), so Filter/Verify/INJ/BIJ/OBJ and the
+    incremental-NN iterator run over it unchanged.
+
+    The tree is static: build it once with :func:`build_kdtree` (or the
+    :meth:`build` method).  There is no point-level insert/delete — use
+    the R*-tree when the workload mutates.
+    """
+
+    def __init__(
+        self,
+        disk: DiskManager | None = None,
+        buffer: BufferManager | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        name: str = "KD",
+    ):
+        self.disk = disk if disk is not None else DiskManager(page_size)
+        self.buffer = buffer
+        self.name = name
+        self.leaf_capacity = leaf_capacity(self.disk.page_size)
+        if self.leaf_capacity < 2:
+            raise ValueError(
+                f"page size {self.disk.page_size} too small for a k-d tree leaf"
+            )
+        self.root_pid: int | None = None
+        self.height = 0
+        self.count = 0
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    # node I/O (same honesty contract as the R-tree: every access is a
+    # full page (de)serialisation)
+    # ------------------------------------------------------------------
+    def read_node(self, pid: int) -> Node:
+        """Fetch and deserialise a node, through the buffer if attached."""
+        self.node_accesses += 1
+        if self.buffer is not None:
+            data = self.buffer.get_page(self.disk, pid)
+        else:
+            data = self.disk.read_page(pid)
+        return Node.from_bytes(data)
+
+    def write_node(self, pid: int, node: Node) -> None:
+        """Serialise and store a node, invalidating any cached copy."""
+        self.disk.write_page(pid, node.to_bytes(self.disk.page_size))
+        if self.buffer is not None:
+            self.buffer.invalidate(self.disk, pid)
+
+    def attach_buffer(self, buffer: BufferManager | None) -> None:
+        """Route subsequent reads through ``buffer`` (or detach)."""
+        self.buffer = buffer
+
+    def reset_stats(self) -> None:
+        """Zero the logical node-access counter."""
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, points: Sequence[Point]) -> "KDTree":
+        """(Re)build the tree over ``points`` by recursive median split.
+
+        The split axis is the wider extent of the current point set (the
+        "optimised" k-d tree rule); the split position is the median, so
+        the tree is balanced to within one level.
+        """
+        if self.count:
+            raise ValueError("build requires an empty tree")
+        if not points:
+            return self
+        root_branch, height = self._build_rec(list(points))
+        self.root_pid = root_branch.child
+        self.height = height
+        self.count = len(points)
+        return self
+
+    def _build_rec(self, points: list[Point]) -> tuple[Branch, int]:
+        """Build a subtree; returns its branch entry and height."""
+        if len(points) <= self.leaf_capacity:
+            pid = self.disk.allocate()
+            node = Node(0, points)
+            self.write_node(pid, node)
+            return Branch(node.mbr(), pid), 1
+
+        mbr = Rect.from_points(points)
+        if mbr.xmax - mbr.xmin >= mbr.ymax - mbr.ymin:
+            points.sort(key=lambda p: (p.x, p.y, p.oid))
+        else:
+            points.sort(key=lambda p: (p.y, p.x, p.oid))
+        mid = len(points) // 2
+        left, left_h = self._build_rec(points[:mid])
+        right, right_h = self._build_rec(points[mid:])
+        level = max(left_h, right_h)
+        pid = self.disk.allocate()
+        self.write_node(pid, Node(level, [left, right]))
+        return Branch(mbr, pid), level + 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_search(self, rect: Rect) -> list[Point]:
+        """All points inside the closed query rectangle."""
+        results: list[Point] = []
+        if self.root_pid is None:
+            return results
+        stack = [self.root_pid]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                results.extend(
+                    p for p in node.entries if rect.contains_point(p.x, p.y)
+                )
+            else:
+                stack.extend(
+                    b.child for b in node.entries if b.rect.intersects(rect)
+                )
+        return results
+
+    def mbr(self) -> Rect:
+        """Bounding rectangle of the whole dataset."""
+        if self.root_pid is None:
+            raise ValueError("empty tree has no MBR")
+        return self.read_node(self.root_pid).mbr()
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def leaves(self) -> Iterator[Node]:
+        """Depth-first iteration over leaf nodes (spatially local order,
+        the analogue of the paper's Algorithm 5 search order)."""
+        if self.root_pid is None:
+            return
+        stack = [self.root_pid]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(b.child for b in reversed(node.entries))
+
+    def leaf_pids(self) -> list[int]:
+        """Page ids of all leaves in depth-first order."""
+        pids: list[int] = []
+        if self.root_pid is None:
+            return pids
+        stack = [self.root_pid]
+        while stack:
+            pid = stack.pop()
+            node = self.read_node(pid)
+            if node.is_leaf:
+                pids.append(pid)
+            else:
+                stack.extend(b.child for b in reversed(node.entries))
+        return pids
+
+    def all_points(self) -> list[Point]:
+        """Every indexed point, in depth-first leaf order."""
+        out: list[Point] = []
+        for leaf in self.leaves():
+            out.extend(leaf.entries)
+        return out
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"KDTree(name={self.name!r}, count={self.count}, "
+            f"height={self.height}, pages={self.disk.num_pages})"
+        )
+
+
+def build_kdtree(
+    points: Sequence[Point],
+    page_size: int = DEFAULT_PAGE_SIZE,
+    buffer: BufferManager | None = None,
+    name: str = "KD",
+) -> KDTree:
+    """Build a :class:`KDTree` over ``points`` in one call."""
+    tree = KDTree(buffer=buffer, page_size=page_size, name=name)
+    return tree.build(points)

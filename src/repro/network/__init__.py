@@ -1,0 +1,18 @@
+"""RCJ under shortest-path distance on a road network.
+
+The paper's future work proposes generalising the ring constraint to
+"the shortest path distance along a road network".  This package
+implements that generalisation exactly as an exploratory, exact
+algorithm on networkx graphs, together with a synthetic road-network
+generator (perturbed grid with random speeds).
+"""
+
+from repro.network.rcj import NetworkRCJPair, network_rcj
+from repro.network.roadnet import attach_points, grid_road_network
+
+__all__ = [
+    "NetworkRCJPair",
+    "attach_points",
+    "grid_road_network",
+    "network_rcj",
+]

@@ -1,0 +1,89 @@
+"""Synthetic road networks.
+
+A perturbed grid network stands in for a real road map: vertices carry
+planar coordinates, edges connect grid neighbours with weights equal to
+Euclidean length times a random slowness factor (capturing road-quality
+variation).  Dataset points snap to network vertices, the standard
+simplification in road-network query processing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+from repro.geometry.point import Point
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    spacing: float = 100.0,
+    jitter: float = 0.25,
+    seed: int = 0,
+) -> "nx.Graph":
+    """Build a connected perturbed-grid road network.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions (each at least 2).
+    spacing:
+        Nominal distance between adjacent intersections.
+    jitter:
+        Vertex position noise as a fraction of ``spacing``.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    A networkx graph whose nodes are ``(row, col)`` tuples with ``x``,
+    ``y`` attributes and whose edges carry a ``length`` weight.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("road network needs at least a 2x2 grid")
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            x = c * spacing + rng.uniform(-jitter, jitter) * spacing
+            y = r * spacing + rng.uniform(-jitter, jitter) * spacing
+            graph.add_node((r, c), x=x, y=y)
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, 0)):
+                rr, cc = r + dr, c + dc
+                if rr < rows and cc < cols:
+                    ax, ay = graph.nodes[(r, c)]["x"], graph.nodes[(r, c)]["y"]
+                    bx, by = graph.nodes[(rr, cc)]["x"], graph.nodes[(rr, cc)]["y"]
+                    slowness = rng.uniform(1.0, 1.6)
+                    graph.add_edge(
+                        (r, c),
+                        (rr, cc),
+                        length=math.hypot(ax - bx, ay - by) * slowness,
+                    )
+    return graph
+
+
+def attach_points(
+    graph: "nx.Graph", n: int, seed: int = 0, start_oid: int = 0
+) -> list[tuple[Point, object]]:
+    """Place ``n`` dataset points on distinct random network vertices.
+
+    Returns ``(point, vertex)`` tuples: the point carries the vertex's
+    planar coordinates (for display) while queries use network distance.
+    """
+    nodes = list(graph.nodes)
+    if n > len(nodes):
+        raise ValueError(
+            f"cannot place {n} points on a network with {len(nodes)} vertices"
+        )
+    rng = random.Random(seed)
+    chosen = rng.sample(nodes, n)
+    out = []
+    for i, v in enumerate(chosen):
+        data = graph.nodes[v]
+        out.append((Point(data["x"], data["y"], start_oid + i), v))
+    return out

@@ -1,0 +1,15 @@
+"""Disk-resident point quadtree.
+
+The paper (Section 3) notes its methodology "is directly applicable to
+other hierarchical spatial indexes (e.g., point quad-tree)".  This
+package substantiates that claim: a region quadtree stored in the same
+page/buffer substrate whose nodes expose the same protocol as the
+R-tree's (``is_leaf``, point entries, branch entries with a *tight* MBR
+and a child page id) — so the Filter, Verify, INJ, BIJ and OBJ
+implementations run over it unchanged and are tested to produce
+identical joins.
+"""
+
+from repro.quadtree.tree import QuadTree
+
+__all__ = ["QuadTree"]

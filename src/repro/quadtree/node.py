@@ -1,0 +1,131 @@
+"""Quadtree node layout.
+
+Leaves hold points (same layout as R-tree leaves); internal nodes hold
+up to four :class:`QuadBranch` entries, one per non-empty quadrant.  A
+branch carries its quadrant index (for insert routing), the *tight* MBR
+of its subtree (for pruning — tight MBRs keep the face property the
+verification shortcut relies on) and the child page id.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+_HEADER = struct.Struct("<BBHq")  # level, pad, count, overflow next pid
+_LEAF_ENTRY = struct.Struct("<ddq")
+_BRANCH_ENTRY = struct.Struct("<BddddQ")  # unaligned: 41 bytes
+
+HEADER_SIZE = _HEADER.size
+LEAF_ENTRY_SIZE = _LEAF_ENTRY.size
+BRANCH_ENTRY_SIZE = _BRANCH_ENTRY.size
+
+#: Sentinel for "no overflow page".
+NO_OVERFLOW = -1
+
+#: Quadrant indexes: 0 = SW, 1 = SE, 2 = NW, 3 = NE.
+QUADRANTS = (0, 1, 2, 3)
+
+
+def leaf_capacity(page_size: int) -> int:
+    """Points a quadtree leaf page can hold."""
+    return (page_size - HEADER_SIZE) // LEAF_ENTRY_SIZE
+
+
+class QuadBranch:
+    """An internal entry: quadrant tag, tight subtree MBR, child pid.
+
+    Exposes ``rect`` and ``child`` with R-tree branch semantics so the
+    join algorithms can consume either index.
+    """
+
+    __slots__ = ("quadrant", "rect", "child")
+
+    def __init__(self, quadrant: int, rect: Rect, child: int):
+        self.quadrant = int(quadrant)
+        self.rect = rect
+        self.child = int(child)
+
+    def __repr__(self) -> str:
+        return f"QuadBranch(q={self.quadrant}, {self.rect!r}, child={self.child})"
+
+
+class QuadNode:
+    """A deserialised quadtree node (protocol-compatible with
+    :class:`repro.rtree.node.Node`).
+
+    Leaves that cannot be split further (coincident duplicates, depth
+    cap) chain *overflow pages* via ``next_pid``; the tree's
+    ``read_node`` merges a chain into one logical node, charging one
+    node access per physical page.
+    """
+
+    __slots__ = ("level", "entries", "next_pid")
+
+    def __init__(
+        self, level: int, entries: list | None = None, next_pid: int = NO_OVERFLOW
+    ):
+        self.level = level  # 0 = leaf, 1 = internal
+        self.entries = entries if entries is not None else []
+        self.next_pid = next_pid
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for point-holding nodes."""
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Tight bounding rectangle of the subtree rooted here."""
+        if not self.entries:
+            raise ValueError("empty node has no MBR")
+        if self.is_leaf:
+            return Rect.from_points(self.entries)
+        return Rect.union_of(b.rect for b in self.entries)
+
+    def to_bytes(self, page_size: int) -> bytes:
+        """Serialise into at most ``page_size`` bytes."""
+        out = bytearray()
+        out += _HEADER.pack(self.level, 0, len(self.entries), self.next_pid)
+        if self.is_leaf:
+            for p in self.entries:
+                out += _LEAF_ENTRY.pack(p.x, p.y, p.oid)
+        else:
+            for b in self.entries:
+                r = b.rect
+                out += _BRANCH_ENTRY.pack(
+                    b.quadrant, r.xmin, r.ymin, r.xmax, r.ymax, b.child
+                )
+        if len(out) > page_size:
+            raise ValueError(
+                f"quadtree node with {len(self.entries)} entries overflows "
+                f"page size {page_size}"
+            )
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "QuadNode":
+        """Deserialise one physical page (not following overflow)."""
+        level, _pad, count, next_pid = _HEADER.unpack_from(data, 0)
+        entries: list = []
+        offset = HEADER_SIZE
+        if level == 0:
+            for _ in range(count):
+                x, y, oid = _LEAF_ENTRY.unpack_from(data, offset)
+                entries.append(Point(x, y, oid))
+                offset += LEAF_ENTRY_SIZE
+        else:
+            for _ in range(count):
+                quadrant, xmin, ymin, xmax, ymax, child = _BRANCH_ENTRY.unpack_from(
+                    data, offset
+                )
+                entries.append(
+                    QuadBranch(quadrant, Rect(xmin, ymin, xmax, ymax), child)
+                )
+                offset += BRANCH_ENTRY_SIZE
+        return cls(level, entries, next_pid)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "branch"
+        return f"QuadNode({kind}, entries={len(self.entries)})"

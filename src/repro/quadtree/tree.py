@@ -1,0 +1,293 @@
+"""The disk-resident point quadtree.
+
+Space is partitioned recursively into four quadrants of a fixed root
+region; leaves split when they exceed the page capacity.  Leaves that
+cannot be split productively (coincident duplicates, depth cap) chain
+*overflow pages*.  Branch entries carry the *tight* MBR of their
+subtree, so the index satisfies the same two properties the join
+algorithms rely on for R-trees: branch rectangles bound all subtree
+points, and every face of a branch rectangle touches a subtree point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.quadtree.node import NO_OVERFLOW, QuadBranch, QuadNode, leaf_capacity
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager
+
+#: Default root region: the paper's normalised coordinate domain.
+DEFAULT_BOUNDS = Rect(0.0, 0.0, 10000.0, 10000.0)
+
+#: Depth cap: beyond it leaves grow past capacity instead of splitting
+#: (needed for coincident points, harmless otherwise).
+DEFAULT_MAX_DEPTH = 32
+
+
+def _quadrant_of(region: Rect, x: float, y: float) -> int:
+    """Quadrant index of ``(x, y)`` in ``region`` (0 SW, 1 SE, 2 NW, 3 NE)."""
+    cx = (region.xmin + region.xmax) / 2.0
+    cy = (region.ymin + region.ymax) / 2.0
+    return (1 if x >= cx else 0) + (2 if y >= cy else 0)
+
+
+def _subregion(region: Rect, quadrant: int) -> Rect:
+    """The sub-rectangle of ``region`` for a quadrant index."""
+    cx = (region.xmin + region.xmax) / 2.0
+    cy = (region.ymin + region.ymax) / 2.0
+    if quadrant == 0:
+        return Rect(region.xmin, region.ymin, cx, cy)
+    if quadrant == 1:
+        return Rect(cx, region.ymin, region.xmax, cy)
+    if quadrant == 2:
+        return Rect(region.xmin, cy, cx, region.ymax)
+    return Rect(cx, cy, region.xmax, region.ymax)
+
+
+class QuadTree:
+    """A page-serialised point quadtree over a fixed root region.
+
+    Protocol-compatible with :class:`repro.rtree.tree.RTree` for the
+    read side (``read_node``, ``root_pid``, ``leaf_pids``,
+    ``node_accesses``, ``buffer``, ``disk``), so the RCJ algorithms and
+    the incremental-NN iterator run over it unchanged.
+    """
+
+    def __init__(
+        self,
+        disk: DiskManager | None = None,
+        buffer: BufferManager | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        name: str = "QT",
+        bounds: Rect = DEFAULT_BOUNDS,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ):
+        self.disk = disk if disk is not None else DiskManager(page_size)
+        self.buffer = buffer
+        self.name = name
+        self.bounds = bounds
+        self.max_depth = max_depth
+        self.leaf_capacity = leaf_capacity(self.disk.page_size)
+        # A branch page must hold all four quadrant entries and a leaf
+        # at least two points.
+        from repro.quadtree.node import BRANCH_ENTRY_SIZE, HEADER_SIZE
+
+        min_page = max(
+            HEADER_SIZE + 4 * BRANCH_ENTRY_SIZE,
+            HEADER_SIZE + 2 * 24,
+        )
+        if self.disk.page_size < min_page:
+            raise ValueError(
+                f"page size {self.disk.page_size} too small for a quadtree "
+                f"node (minimum {min_page})"
+            )
+        self.root_pid: int | None = None
+        self.count = 0
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    # node I/O (same plumbing as the R-tree)
+    # ------------------------------------------------------------------
+    def _read_page(self, pid: int) -> QuadNode:
+        """One physical page, through the buffer if attached."""
+        self.node_accesses += 1
+        if self.buffer is not None:
+            data = self.buffer.get_page(self.disk, pid)
+        else:
+            data = self.disk.read_page(pid)
+        return QuadNode.from_bytes(data)
+
+    def read_node(self, pid: int) -> QuadNode:
+        """Fetch a logical node, merging leaf overflow chains.
+
+        Every physical page of a chain is charged as one node access,
+        so oversized duplicate groups pay their true I/O cost.
+        """
+        node = self._read_page(pid)
+        if node.is_leaf and node.next_pid != NO_OVERFLOW:
+            entries = list(node.entries)
+            next_pid = node.next_pid
+            while next_pid != NO_OVERFLOW:
+                page = self._read_page(next_pid)
+                entries.extend(page.entries)
+                next_pid = page.next_pid
+            return QuadNode(0, entries)
+        return node
+
+    def write_node(self, pid: int, node: QuadNode) -> None:
+        """Serialise and store a node, invalidating any cached copy."""
+        self.disk.write_page(pid, node.to_bytes(self.disk.page_size))
+        if self.buffer is not None:
+            self.buffer.invalidate(self.disk, pid)
+
+    def attach_buffer(self, buffer: BufferManager | None) -> None:
+        """Route subsequent reads through ``buffer`` (or detach)."""
+        self.buffer = buffer
+
+    def reset_stats(self) -> None:
+        """Zero the logical node-access counter."""
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Insert one point (must lie inside the root region)."""
+        if not self.bounds.contains_point(point.x, point.y):
+            raise ValueError(
+                f"point ({point.x}, {point.y}) outside the quadtree bounds "
+                f"{self.bounds!r}"
+            )
+        if self.root_pid is None:
+            pid = self.disk.allocate()
+            self.write_node(pid, QuadNode(0, [point]))
+            self.root_pid = pid
+            self.count = 1
+            return
+        self._insert(self.root_pid, self.bounds, point, 0)
+        self.count += 1
+
+    @staticmethod
+    def _splittable(points: list[Point]) -> bool:
+        """Splitting makes progress only with >1 distinct location."""
+        first = points[0]
+        return any(p.x != first.x or p.y != first.y for p in points)
+
+    def _write_leaf_chain(self, pid: int, points: list[Point]) -> None:
+        """Write a leaf, chaining overflow pages when points exceed one
+        page (coincident duplicates, depth-capped regions)."""
+        runs = [
+            points[i : i + self.leaf_capacity]
+            for i in range(0, len(points), self.leaf_capacity)
+        ] or [[]]
+        pids = [pid]
+        for _ in runs[1:]:
+            pids.append(self.disk.allocate())
+        for i, run in enumerate(runs):
+            next_pid = pids[i + 1] if i + 1 < len(runs) else NO_OVERFLOW
+            self.write_node(pids[i], QuadNode(0, run, next_pid))
+
+    def _insert(self, pid: int, region: Rect, point: Point, depth: int) -> Rect:
+        """Recursive insert; returns the subtree's new tight MBR."""
+        node = self.read_node(pid)
+        if node.is_leaf:
+            node.entries.append(point)
+            can_split = depth < self.max_depth and self._splittable(node.entries)
+            if len(node.entries) > self.leaf_capacity and can_split:
+                branch = self._partition(node.entries, region, depth)
+                self.write_node(pid, branch)
+                return branch.mbr()
+            self._write_leaf_chain(pid, node.entries)
+            return node.mbr()
+
+        quadrant = _quadrant_of(region, point.x, point.y)
+        sub = _subregion(region, quadrant)
+        entry = next(
+            (b for b in node.entries if b.quadrant == quadrant), None
+        )
+        if entry is None:
+            child_pid = self.disk.allocate()
+            self.write_node(child_pid, QuadNode(0, [point]))
+            node.entries.append(
+                QuadBranch(quadrant, Rect.from_point(point), child_pid)
+            )
+        else:
+            child_mbr = self._insert(entry.child, sub, point, depth + 1)
+            entry.rect = child_mbr
+        self.write_node(pid, node)
+        return node.mbr()
+
+    def _partition(
+        self, points: list[Point], region: Rect, depth: int
+    ) -> QuadNode:
+        """Turn an overflowing point list into an internal node."""
+        groups: dict[int, list[Point]] = {}
+        for p in points:
+            groups.setdefault(_quadrant_of(region, p.x, p.y), []).append(p)
+        entries = []
+        for quadrant, members in sorted(groups.items()):
+            child_pid = self._build_subtree(
+                members, _subregion(region, quadrant), depth + 1
+            )
+            mbr = Rect.from_points(members)
+            entries.append(QuadBranch(quadrant, mbr, child_pid))
+        return QuadNode(1, entries)
+
+    def _build_subtree(
+        self, points: list[Point], region: Rect, depth: int
+    ) -> int:
+        """Write a subtree for ``points`` and return its root page id."""
+        pid = self.disk.allocate()
+        can_split = depth < self.max_depth and self._splittable(points)
+        if len(points) <= self.leaf_capacity or not can_split:
+            self._write_leaf_chain(pid, points)
+        else:
+            self.write_node(pid, self._partition(points, region, depth))
+        return pid
+
+    # ------------------------------------------------------------------
+    # queries and traversal
+    # ------------------------------------------------------------------
+    def range_search(self, rect: Rect) -> list[Point]:
+        """All points inside the closed query rectangle."""
+        results: list[Point] = []
+        if self.root_pid is None:
+            return results
+        stack = [self.root_pid]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                results.extend(
+                    p for p in node.entries if rect.contains_point(p.x, p.y)
+                )
+            else:
+                stack.extend(
+                    b.child for b in node.entries if b.rect.intersects(rect)
+                )
+        return results
+
+    def leaves(self) -> Iterator[QuadNode]:
+        """Depth-first iteration over leaf nodes."""
+        if self.root_pid is None:
+            return
+        stack = [self.root_pid]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(b.child for b in reversed(node.entries))
+
+    def leaf_pids(self) -> list[int]:
+        """Page ids of all leaves in depth-first order."""
+        pids: list[int] = []
+        if self.root_pid is None:
+            return pids
+        stack = [self.root_pid]
+        while stack:
+            pid = stack.pop()
+            node = self.read_node(pid)
+            if node.is_leaf:
+                pids.append(pid)
+            else:
+                stack.extend(b.child for b in reversed(node.entries))
+        return pids
+
+    def all_points(self) -> list[Point]:
+        """Every indexed point, in depth-first leaf order."""
+        out: list[Point] = []
+        for leaf in self.leaves():
+            out.extend(leaf.entries)
+        return out
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"QuadTree(name={self.name!r}, count={self.count}, "
+            f"pages={self.disk.num_pages})"
+        )

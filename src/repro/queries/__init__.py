@@ -1,0 +1,26 @@
+"""Advanced spatial queries built on the incremental-NN skeleton.
+
+The paper (Section 2.1) notes that the INN ranking scheme "has also
+been successfully extended to process other advanced spatial queries
+such as skyline retrieval [9] and reverse nearest neighbor search
+[16]".  This package substantiates that remark on our own substrate:
+
+- :mod:`repro.queries.rnn` — reverse nearest neighbours (monochromatic
+  and bichromatic) with perpendicular-bisector pruning, the same
+  half-plane machinery as the RCJ Filter step;
+- :mod:`repro.queries.skyline` — branch-and-bound skyline (BBS) over
+  the R-tree;
+- :mod:`repro.queries.ann` — aggregate (group) nearest neighbours, the
+  ref [10] the paper's "convenience" property leans on.
+"""
+
+from repro.queries.ann import aggregate_nearest
+from repro.queries.rnn import bichromatic_reverse_nearest, reverse_nearest
+from repro.queries.skyline import skyline
+
+__all__ = [
+    "aggregate_nearest",
+    "bichromatic_reverse_nearest",
+    "reverse_nearest",
+    "skyline",
+]

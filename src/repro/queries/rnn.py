@@ -1,0 +1,238 @@
+"""Reverse nearest-neighbour search with bisector pruning.
+
+A point ``p`` is a *reverse nearest neighbour* (RNN) of a query
+location ``q`` when no other relevant point is strictly closer to ``p``
+than ``q`` is — i.e. ``q`` is (one of) ``p``'s nearest neighbours, ties
+included.
+
+Both variants follow the filter-verification pattern of Tao et al.'s
+TPL, reusing this library's half-plane machinery: the perpendicular
+bisector of ``q`` and a discovered point ``z`` bounds the region in
+which every location is strictly closer to ``z`` than to ``q``; points
+and whole subtrees inside it can never be RNNs.  Pruning is sound (a
+plane membership *witnesses* a closer point), so the surviving
+candidates are a superset of the answer and each is confirmed with one
+exact range check.
+
+``HalfPlane`` is anchored at a boundary point with an outward normal,
+so the bisector of ``q`` and ``z`` is the plane through their midpoint
+with normal ``z - q`` — the same construction family as the paper's
+Ψ− region, anchored at the midpoint instead of at ``z``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree
+
+
+def _bisector(q: Point, z: Point) -> HalfPlane:
+    """Half-plane of locations strictly closer to ``z`` than to ``q``."""
+    return HalfPlane(
+        (q.x + z.x) / 2.0, (q.y + z.y) / 2.0, z.x - q.x, z.y - q.y
+    )
+
+
+def _closer_point_exists(
+    tree: RTree, center: Point, q: Point, exclude_oid: int
+) -> bool:
+    """True when ``tree`` holds a point strictly closer to ``center``
+    than ``q`` is (excluding ``exclude_oid``)."""
+    limit_sq = center.dist_sq_to(q)
+    limit = center.dist_to(q)
+    window = Rect(
+        center.x - limit, center.y - limit, center.x + limit, center.y + limit
+    )
+    for z in tree.range_search(window):
+        if z.oid == exclude_oid:
+            continue
+        if center.dist_sq_to(z) < limit_sq:
+            return True
+    return False
+
+
+def _filter_candidates(
+    tree: RTree, q: Point, exclude_oid: int | None
+) -> list[Point]:
+    """INN sweep over ``tree`` accumulating bisector planes; returns the
+    unpruned points (a superset of the RNNs of ``q`` within ``tree``)."""
+    candidates: list[Point] = []
+    planes: list[HalfPlane] = []
+    if tree.root_pid is None:
+        return candidates
+    counter = itertools.count()
+    heap: list[tuple[float, int, bool, object]] = [
+        (0.0, next(counter), False, tree.root_pid)
+    ]
+    while heap:
+        _d, _tie, is_point, payload = heapq.heappop(heap)
+        if is_point:
+            p: Point = payload  # type: ignore[assignment]
+            if exclude_oid is not None and p.oid == exclude_oid:
+                continue
+            pruned = any(pl.contains_point(p.x, p.y) for pl in planes)
+            if not pruned:
+                candidates.append(p)
+            # Every discovered point prunes, whether or not it is a
+            # candidate itself.
+            plane = _bisector(q, p)
+            if not plane.is_degenerate():
+                planes.append(plane)
+            continue
+        node = tree.read_node(payload)  # type: ignore[arg-type]
+        if node.is_leaf:
+            for pt in node.entries:
+                heapq.heappush(
+                    heap, (pt.dist_sq_to(q), next(counter), True, pt)
+                )
+        else:
+            for b in node.entries:
+                if any(pl.contains_rect(b.rect) for pl in planes):
+                    continue
+                heapq.heappush(
+                    heap,
+                    (b.rect.mindist_sq(q.x, q.y), next(counter), False, b.child),
+                )
+    return candidates
+
+
+def reverse_nearest(
+    tree: RTree, q: Point, exclude_oid: int | None = None
+) -> list[Point]:
+    """Monochromatic RNN: points of ``tree`` whose nearest *other* tree
+    point is no closer than ``q``.
+
+    Parameters
+    ----------
+    tree:
+        The indexed dataset.
+    q:
+        The query location (need not be in the tree).
+    exclude_oid:
+        When ``q`` itself is an indexed point, its oid; it is neither a
+        candidate nor allowed to disqualify others.
+
+    Returns
+    -------
+    The RNN points in ascending distance from ``q``.  Ties count in
+    ``q``'s favour: a point equidistant between ``q`` and another point
+    is an RNN.
+    """
+    results = []
+    for c in _filter_candidates(tree, q, exclude_oid):
+        own_exclude = c.oid
+        # A coincident duplicate of q must not disqualify: it is not
+        # strictly closer.  _closer_point_exists is strict, so this
+        # needs no special case.
+        if not _closer_point_exists(tree, c, q, own_exclude):
+            results.append(c)
+    return results
+
+
+def bichromatic_reverse_nearest(
+    objects_tree: RTree, sites_tree: RTree, q: Point
+) -> list[Point]:
+    """Bichromatic RNN: objects whose nearest *site* is ``q``.
+
+    ``q`` is a prospective site location; the answer is the set of
+    objects that would adopt it, i.e. those with no existing site
+    strictly closer — the influence set of the optimal-location query
+    (paper Section 2.2).
+
+    Parameters
+    ----------
+    objects_tree:
+        Index over the objects (the candidates).
+    sites_tree:
+        Index over the existing sites (the competitors).
+    q:
+        The prospective site location.
+
+    Returns
+    -------
+    The adopting objects in ascending distance from ``q``.
+    """
+    # Planes come from competitor sites near q: a site within twice an
+    # object's distance is the only kind that can beat q for it.
+    planes: list[HalfPlane] = []
+    candidates: list[Point] = []
+    if objects_tree.root_pid is None:
+        return candidates
+
+    counter = itertools.count()
+    heap: list[tuple[float, int, bool, object]] = [
+        (0.0, next(counter), False, objects_tree.root_pid)
+    ]
+    site_stream = _site_stream(sites_tree, q)
+    next_site_d, next_site = next(site_stream, (float("inf"), None))
+
+    while heap:
+        d_sq, _tie, is_point, payload = heapq.heappop(heap)
+        # Advance the site stream far enough to decide this entry.
+        import math
+
+        horizon = 2.0 * math.sqrt(d_sq)
+        while next_site is not None and next_site_d <= horizon:
+            plane = _bisector(q, next_site)
+            if not plane.is_degenerate():
+                planes.append(plane)
+            next_site_d, next_site = next(site_stream, (float("inf"), None))
+        if is_point:
+            o: Point = payload  # type: ignore[assignment]
+            if not any(pl.contains_point(o.x, o.y) for pl in planes):
+                candidates.append(o)
+            continue
+        node = objects_tree.read_node(payload)  # type: ignore[arg-type]
+        if node.is_leaf:
+            for pt in node.entries:
+                heapq.heappush(
+                    heap, (pt.dist_sq_to(q), next(counter), True, pt)
+                )
+        else:
+            for b in node.entries:
+                if any(pl.contains_rect(b.rect) for pl in planes):
+                    continue
+                heapq.heappush(
+                    heap,
+                    (b.rect.mindist_sq(q.x, q.y), next(counter), False, b.child),
+                )
+
+    # Verification: confirm no site is strictly closer (subtree pruning
+    # may have starved the plane set, so candidates are a superset).
+    return [
+        o
+        for o in candidates
+        if not _closer_point_exists(sites_tree, o, q, exclude_oid=-2)
+    ]
+
+
+def _site_stream(sites_tree: RTree, q: Point):
+    """Yield ``(distance, site)`` in ascending distance from ``q``."""
+    import math
+
+    if sites_tree.root_pid is None:
+        return
+    counter = itertools.count()
+    heap: list[tuple[float, int, bool, object]] = [
+        (0.0, next(counter), False, sites_tree.root_pid)
+    ]
+    while heap:
+        d_sq, _tie, is_point, payload = heapq.heappop(heap)
+        if is_point:
+            yield math.sqrt(d_sq), payload
+            continue
+        node = sites_tree.read_node(payload)  # type: ignore[arg-type]
+        if node.is_leaf:
+            for pt in node.entries:
+                heapq.heappush(heap, (pt.dist_sq_to(q), next(counter), True, pt))
+        else:
+            for b in node.entries:
+                heapq.heappush(
+                    heap,
+                    (b.rect.mindist_sq(q.x, q.y), next(counter), False, b.child),
+                )

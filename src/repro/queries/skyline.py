@@ -1,0 +1,86 @@
+"""Branch-and-bound skyline (BBS) over the R-tree.
+
+The skyline of a pointset holds every point not *dominated* by another:
+``z`` dominates ``p`` when ``z`` is no larger in both coordinates and
+strictly smaller in at least one (minimisation in both dimensions, the
+convention of Papadias et al., whose BBS algorithm this module
+implements on our substrate).
+
+BBS is the INN ranking skeleton with a different key and acceptance
+test: entries are popped from a min-heap ordered by ``xmin + ymin``
+(the L1 mindist to the origin), which guarantees that a popped point
+can only be dominated by already-accepted skyline points — so a single
+dominance check against the current skyline decides acceptance, and
+dominated subtrees are discarded wholesale.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.geometry.point import Point
+from repro.rtree.tree import RTree
+
+
+def _dominates(z: Point, x: float, y: float) -> bool:
+    """True when ``z`` dominates location ``(x, y)`` (minimisation)."""
+    return z.x <= x and z.y <= y and (z.x < x or z.y < y)
+
+
+def skyline(tree: RTree) -> list[Point]:
+    """The skyline of the indexed pointset (minimise both coordinates).
+
+    Returns
+    -------
+    Skyline points in ascending ``x + y`` order.  Coincident duplicates
+    of a skyline point are all reported: duplicates do not dominate
+    each other (dominance is strict in at least one coordinate).
+
+    Notes
+    -----
+    I/O-optimal in the BBS sense: only nodes whose MBR is not dominated
+    by an already-found skyline point are read.
+    """
+    results: list[Point] = []
+    if tree.root_pid is None:
+        return results
+    counter = itertools.count()
+    heap: list[tuple[float, int, bool, object]] = [
+        (0.0, next(counter), False, tree.root_pid)
+    ]
+    while heap:
+        _key, _tie, is_point, payload = heapq.heappop(heap)
+        if is_point:
+            p: Point = payload  # type: ignore[assignment]
+            if not any(_dominates(z, p.x, p.y) for z in results):
+                results.append(p)
+            continue
+        node = tree.read_node(payload)  # type: ignore[arg-type]
+        if node.is_leaf:
+            for pt in node.entries:
+                if any(_dominates(z, pt.x, pt.y) for z in results):
+                    continue
+                heapq.heappush(
+                    heap, (pt.x + pt.y, next(counter), True, pt)
+                )
+        else:
+            for b in node.entries:
+                # A subtree whose lower-left corner is dominated holds
+                # only dominated points.
+                if any(_dominates(z, b.rect.xmin, b.rect.ymin) for z in results):
+                    continue
+                heapq.heappush(
+                    heap,
+                    (b.rect.xmin + b.rect.ymin, next(counter), False, b.child),
+                )
+    return results
+
+
+def skyline_brute(points: list[Point]) -> list[Point]:
+    """Quadratic reference skyline, the test oracle for :func:`skyline`."""
+    return [
+        p
+        for p in points
+        if not any(_dominates(z, p.x, p.y) for z in points)
+    ]

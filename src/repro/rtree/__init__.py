@@ -1,0 +1,35 @@
+"""Disk-resident R*-tree substrate.
+
+The paper's algorithms operate on datasets "indexed by a disk-based
+R-tree"; experiments use R*-trees with 1 KiB pages.  This package
+implements that index from scratch:
+
+- :mod:`repro.rtree.node` — page-level node layout and (de)serialisation;
+- :mod:`repro.rtree.split` — the R* split (choose axis by margin, then
+  distribution by overlap);
+- :mod:`repro.rtree.tree` — the tree proper: R* insertion with forced
+  reinsert, range search, depth-first traversal;
+- :mod:`repro.rtree.bulk` — STR and Hilbert-packed bulk loading;
+- :mod:`repro.rtree.validate` — structural invariant checker;
+- :mod:`repro.rtree.inn` — the incremental nearest-neighbour iterator of
+  Hjaltason & Samet used by the Filter step and the kNN join.
+"""
+
+from repro.rtree.bulk import bulk_load, hilbert_bulk_load
+from repro.rtree.inn import incremental_nearest, nearest_neighbors
+from repro.rtree.node import Branch, Node
+from repro.rtree.tree import RTree
+from repro.rtree.validate import InvariantViolation, TreeSummary, check_invariants
+
+__all__ = [
+    "Branch",
+    "Node",
+    "RTree",
+    "bulk_load",
+    "hilbert_bulk_load",
+    "InvariantViolation",
+    "TreeSummary",
+    "check_invariants",
+    "incremental_nearest",
+    "nearest_neighbors",
+]

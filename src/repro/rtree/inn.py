@@ -1,0 +1,64 @@
+"""Incremental nearest-neighbour search (Hjaltason & Samet, TODS 1999).
+
+``incremental_nearest`` is a generator that reports the indexed points
+in strictly non-decreasing distance from the query location, expanding
+R-tree nodes lazily from a min-heap keyed by MINDIST.  It backs the kNN
+join baseline and serves as the spatial-ranking skeleton the paper's
+Filter step specialises with the Ψ− pruning rules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterator
+
+from repro.geometry.point import Point
+from repro.rtree.tree import RTree
+
+
+def incremental_nearest(tree: RTree, x: float, y: float) -> Iterator[tuple[float, Point]]:
+    """Yield ``(distance, point)`` in ascending distance from ``(x, y)``.
+
+    The generator is lazy: consuming ``k`` results expands only the
+    nodes needed to certify the first ``k`` neighbours.
+    """
+    if tree.root_pid is None:
+        return
+    counter = itertools.count()
+    # Heap items: (dist_sq, tiebreak, is_point, payload).
+    heap: list[tuple[float, int, bool, object]] = [
+        (0.0, next(counter), False, tree.root_pid)
+    ]
+    while heap:
+        dist_sq, _tie, is_point, payload = heapq.heappop(heap)
+        if is_point:
+            yield math.sqrt(dist_sq), payload  # type: ignore[misc]
+            continue
+        node = tree.read_node(payload)  # type: ignore[arg-type]
+        if node.is_leaf:
+            for p in node.entries:
+                dx, dy = p.x - x, p.y - y
+                heapq.heappush(
+                    heap, (dx * dx + dy * dy, next(counter), True, p)
+                )
+        else:
+            for b in node.entries:
+                heapq.heappush(
+                    heap,
+                    (b.rect.mindist_sq(x, y), next(counter), False, b.child),
+                )
+
+
+def nearest_neighbors(tree: RTree, x: float, y: float, k: int) -> list[Point]:
+    """The ``k`` nearest indexed points to ``(x, y)`` (fewer if the tree
+    is smaller than ``k``)."""
+    if k <= 0:
+        return []
+    out: list[Point] = []
+    for _dist, p in incremental_nearest(tree, x, y):
+        out.append(p)
+        if len(out) == k:
+            break
+    return out

@@ -1,0 +1,135 @@
+"""R-tree node layout and page (de)serialisation.
+
+A node occupies exactly one disk page.  The layout is::
+
+    header : level (uint8), pad (uint8), count (uint16)        -> 4 bytes
+    leaf   entry : x (float64), y (float64), oid (int64)       -> 24 bytes
+    branch entry : xmin, ymin, xmax, ymax (4 x float64),
+                   child page id (int64)                        -> 40 bytes
+
+Leaf nodes have ``level == 0``; a node at level ``l > 0`` holds branches
+whose children are at level ``l - 1``.  Every read of a node goes through
+:func:`Node.from_bytes`, so the I/O path is honest: nothing survives in
+Python object form between page accesses.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+_HEADER = struct.Struct("<BBH")
+_LEAF_ENTRY = struct.Struct("<ddq")
+_BRANCH_ENTRY = struct.Struct("<ddddq")
+
+HEADER_SIZE = _HEADER.size
+LEAF_ENTRY_SIZE = _LEAF_ENTRY.size
+BRANCH_ENTRY_SIZE = _BRANCH_ENTRY.size
+
+
+def leaf_capacity(page_size: int) -> int:
+    """Maximum number of points a leaf page can hold."""
+    return (page_size - HEADER_SIZE) // LEAF_ENTRY_SIZE
+
+
+def branch_capacity(page_size: int) -> int:
+    """Maximum number of child entries an internal page can hold."""
+    return (page_size - HEADER_SIZE) // BRANCH_ENTRY_SIZE
+
+
+class Branch:
+    """An internal-node entry: a child page id and its MBR."""
+
+    __slots__ = ("rect", "child")
+
+    def __init__(self, rect: Rect, child: int):
+        self.rect = rect
+        self.child = int(child)
+
+    def __repr__(self) -> str:
+        return f"Branch({self.rect!r}, child={self.child})"
+
+
+class Node:
+    """A deserialised R-tree node.
+
+    ``entries`` holds :class:`~repro.geometry.point.Point` objects for
+    leaves (``level == 0``) and :class:`Branch` objects otherwise.
+    """
+
+    __slots__ = ("level", "entries")
+
+    def __init__(self, level: int, entries: list | None = None):
+        self.level = level
+        self.entries = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for level-0 (data) nodes."""
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Tight bounding rectangle of all entries."""
+        if not self.entries:
+            raise ValueError("empty node has no MBR")
+        if self.is_leaf:
+            return Rect.from_points(self.entries)
+        return Rect.union_of(b.rect for b in self.entries)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self, page_size: int) -> bytes:
+        """Serialise into at most ``page_size`` bytes."""
+        out = bytearray()
+        out += _HEADER.pack(self.level, 0, len(self.entries))
+        if self.is_leaf:
+            for p in self.entries:
+                out += _LEAF_ENTRY.pack(p.x, p.y, p.oid)
+        else:
+            for b in self.entries:
+                r = b.rect
+                out += _BRANCH_ENTRY.pack(r.xmin, r.ymin, r.xmax, r.ymax, b.child)
+        if len(out) > page_size:
+            raise ValueError(
+                f"node with {len(self.entries)} entries overflows page size "
+                f"{page_size}"
+            )
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Node":
+        """Deserialise a node from page bytes."""
+        level, _pad, count = _HEADER.unpack_from(data, 0)
+        entries: list = []
+        offset = HEADER_SIZE
+        if level == 0:
+            for _ in range(count):
+                x, y, oid = _LEAF_ENTRY.unpack_from(data, offset)
+                entries.append(Point(x, y, oid))
+                offset += LEAF_ENTRY_SIZE
+        else:
+            for _ in range(count):
+                xmin, ymin, xmax, ymax, child = _BRANCH_ENTRY.unpack_from(data, offset)
+                entries.append(Branch(Rect(xmin, ymin, xmax, ymax), child))
+                offset += BRANCH_ENTRY_SIZE
+        return cls(level, entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "branch"
+        return f"Node(level={self.level}, {kind}, entries={len(self.entries)})"
+
+
+def entry_rect(entry: Point | Branch) -> Rect:
+    """MBR of an entry of either kind (degenerate rect for points)."""
+    if isinstance(entry, Branch):
+        return entry.rect
+    return Rect(entry.x, entry.y, entry.x, entry.y)
+
+
+def entries_mbr(entries: Iterable[Point | Branch]) -> Rect:
+    """Tight MBR of a mixed entry collection."""
+    return Rect.union_of(entry_rect(e) for e in entries)

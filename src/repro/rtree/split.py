@@ -1,0 +1,87 @@
+"""The R*-tree split algorithm (Beckmann et al., SIGMOD 1990).
+
+Given an overflowing entry list, the split proceeds in two steps:
+
+1. *Choose split axis*: for each axis, sort the entries by their lower
+   and by their upper boundary; over all legal distributions of both
+   sorts, sum the margins (half-perimeters) of the two groups.  The axis
+   with the minimum margin sum wins.
+2. *Choose split index*: along the chosen axis, pick the distribution
+   with minimum overlap between the two group MBRs, breaking ties by
+   minimum combined area.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.geometry.rect import Rect
+from repro.rtree.node import Branch, Point, entry_rect
+
+
+def _group_mbr(entries: Sequence, lo: int, hi: int) -> Rect:
+    """MBR of ``entries[lo:hi]``."""
+    return Rect.union_of(entry_rect(e) for e in entries[lo:hi])
+
+
+def _axis_goodness(
+    entries: list, key_low: Callable, key_high: Callable, min_fill: int
+) -> tuple[float, list[tuple[float, float, list, int]]]:
+    """Margin sum and candidate distributions for one axis.
+
+    Returns ``(margin_sum, candidates)`` where each candidate is
+    ``(overlap, area, sorted_entries, split_index)``.
+    """
+    margin_sum = 0.0
+    candidates: list[tuple[float, float, list, int]] = []
+    total = len(entries)
+    for key in (key_low, key_high):
+        ordered = sorted(entries, key=key)
+        for split_at in range(min_fill, total - min_fill + 1):
+            mbr_a = _group_mbr(ordered, 0, split_at)
+            mbr_b = _group_mbr(ordered, split_at, total)
+            margin_sum += mbr_a.margin() + mbr_b.margin()
+            overlap = mbr_a.intersection_area(mbr_b)
+            area = mbr_a.area() + mbr_b.area()
+            candidates.append((overlap, area, ordered, split_at))
+    return margin_sum, candidates
+
+
+def rstar_split(entries: list, min_fill: int) -> tuple[list, list]:
+    """Split an overflowing entry list into two groups, R*-style.
+
+    Parameters
+    ----------
+    entries:
+        ``capacity + 1`` entries (points or branches).
+    min_fill:
+        Minimum number of entries per resulting group.
+
+    Returns
+    -------
+    Two entry lists, each holding at least ``min_fill`` entries.
+    """
+    if len(entries) < 2 * min_fill:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with min fill {min_fill}"
+        )
+
+    def x_low(e: Point | Branch) -> float:
+        return entry_rect(e).xmin
+
+    def x_high(e: Point | Branch) -> float:
+        return entry_rect(e).xmax
+
+    def y_low(e: Point | Branch) -> float:
+        return entry_rect(e).ymin
+
+    def y_high(e: Point | Branch) -> float:
+        return entry_rect(e).ymax
+
+    margin_x, candidates_x = _axis_goodness(entries, x_low, x_high, min_fill)
+    margin_y, candidates_y = _axis_goodness(entries, y_low, y_high, min_fill)
+    candidates = candidates_x if margin_x <= margin_y else candidates_y
+
+    best = min(candidates, key=lambda c: (c[0], c[1]))
+    _overlap, _area, ordered, split_at = best
+    return list(ordered[:split_at]), list(ordered[split_at:])

@@ -1,0 +1,470 @@
+"""The disk-resident R*-tree.
+
+Supports R* insertion (choose-subtree with overlap minimisation at the
+leaf level, forced reinsert, R* split), range search, depth-first leaf
+traversal, and node reads through an optional shared
+:class:`~repro.storage.buffer.BufferManager` so that page faults are
+accounted exactly as in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.node import (
+    Branch,
+    Node,
+    branch_capacity,
+    entry_rect,
+    leaf_capacity,
+)
+from repro.rtree.split import rstar_split
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager
+
+#: Fraction of entries removed by a forced reinsert (R* recommends 30 %).
+REINSERT_FRACTION = 0.3
+
+#: Minimum node fill as a fraction of capacity (R* recommends 40 %).
+MIN_FILL_FRACTION = 0.4
+
+
+class RTree:
+    """An R*-tree over 2D points, stored in fixed-size disk pages.
+
+    Parameters
+    ----------
+    disk:
+        Page store; a fresh in-memory :class:`DiskManager` by default.
+    buffer:
+        Optional LRU buffer shared with other trees.  When present all
+        node reads go through it and are charged to its fault counters.
+    name:
+        Label used in reports (e.g. ``"TP"``, ``"TQ"``).
+    """
+
+    def __init__(
+        self,
+        disk: DiskManager | None = None,
+        buffer: BufferManager | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        name: str = "T",
+    ):
+        self.disk = disk if disk is not None else DiskManager(page_size)
+        self.buffer = buffer
+        self.name = name
+        self.leaf_capacity = leaf_capacity(self.disk.page_size)
+        self.branch_capacity = branch_capacity(self.disk.page_size)
+        if self.leaf_capacity < 2 or self.branch_capacity < 2:
+            raise ValueError(
+                f"page size {self.disk.page_size} too small for an R-tree node"
+            )
+        self.root_pid: int | None = None
+        self.height = 0  # number of levels; 0 for an empty tree
+        self.count = 0  # number of indexed points
+        self.node_accesses = 0  # logical node reads (CPU-cost proxy)
+
+    # ------------------------------------------------------------------
+    # node I/O
+    # ------------------------------------------------------------------
+    def read_node(self, pid: int) -> Node:
+        """Fetch and deserialise a node, through the buffer if attached."""
+        self.node_accesses += 1
+        if self.buffer is not None:
+            data = self.buffer.get_page(self.disk, pid)
+        else:
+            data = self.disk.read_page(pid)
+        return Node.from_bytes(data)
+
+    def write_node(self, pid: int, node: Node) -> None:
+        """Serialise and store a node, invalidating any cached copy."""
+        self.disk.write_page(pid, node.to_bytes(self.disk.page_size))
+        if self.buffer is not None:
+            self.buffer.invalidate(self.disk, pid)
+
+    def attach_buffer(self, buffer: BufferManager | None) -> None:
+        """Route subsequent reads through ``buffer`` (or detach)."""
+        self.buffer = buffer
+
+    def reset_stats(self) -> None:
+        """Zero the logical node-access counter."""
+        self.node_accesses = 0
+
+    def _capacity(self, node: Node) -> int:
+        return self.leaf_capacity if node.is_leaf else self.branch_capacity
+
+    def _min_fill(self, node: Node) -> int:
+        return max(2, int(self._capacity(node) * MIN_FILL_FRACTION))
+
+    # ------------------------------------------------------------------
+    # insertion (R*)
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Insert one point using the R* algorithm with forced reinsert."""
+        if self.root_pid is None:
+            pid = self.disk.allocate()
+            self.write_node(pid, Node(0, [point]))
+            self.root_pid = pid
+            self.height = 1
+            self.count = 1
+            return
+        # Levels that already performed a forced reinsert during this
+        # insertion; guarantees termination (R* reinserts once per level).
+        self._reinserted_levels: set[int] = set()
+        pending: list[tuple[Point | Branch, int]] = [(point, 0)]
+        while pending:
+            entry, level = pending.pop()
+            self._insert_entry(entry, level, pending)
+        self.count += 1
+
+    def _insert_entry(
+        self,
+        entry: Point | Branch,
+        target_level: int,
+        pending: list[tuple[Point | Branch, int]],
+    ) -> None:
+        """Insert ``entry`` at ``target_level``, splitting the root if needed."""
+        assert self.root_pid is not None
+        result = self._insert_rec(self.root_pid, entry, target_level, pending)
+        _mbr, sibling = result
+        if sibling is not None:
+            old_root = Branch(_mbr, self.root_pid)
+            new_pid = self.disk.allocate()
+            root = Node(self.height, [old_root, sibling])
+            self.write_node(new_pid, root)
+            self.root_pid = new_pid
+            self.height += 1
+
+    def _insert_rec(
+        self,
+        pid: int,
+        entry: Point | Branch,
+        target_level: int,
+        pending: list[tuple[Point | Branch, int]],
+    ) -> tuple[Rect, Branch | None]:
+        """Recursive insert; returns the node's new MBR and an optional
+        new sibling branch produced by a split."""
+        node = self.read_node(pid)
+        if node.level == target_level:
+            node.entries.append(entry)
+        else:
+            idx = self._choose_subtree(node, entry_rect(entry))
+            child = node.entries[idx]
+            child_mbr, sibling = self._insert_rec(
+                child.child, entry, target_level, pending
+            )
+            node.entries[idx] = Branch(child_mbr, child.child)
+            if sibling is not None:
+                node.entries.append(sibling)
+
+        if len(node.entries) > self._capacity(node):
+            return self._handle_overflow(pid, node, pending)
+        self.write_node(pid, node)
+        return node.mbr(), None
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        """R* ChooseSubtree: overlap enlargement above leaves, area
+        enlargement elsewhere."""
+        entries = node.entries
+        if node.level == 1:
+            # Children are leaves: minimise overlap enlargement.
+            best_idx = 0
+            best_key: tuple[float, float, float] | None = None
+            for i, branch in enumerate(entries):
+                enlarged = branch.rect.union(rect)
+                overlap_delta = 0.0
+                for j, other in enumerate(entries):
+                    if j == i:
+                        continue
+                    overlap_delta += enlarged.intersection_area(
+                        other.rect
+                    ) - branch.rect.intersection_area(other.rect)
+                key = (
+                    overlap_delta,
+                    branch.rect.enlargement(rect),
+                    branch.rect.area(),
+                )
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_idx = i
+            return best_idx
+        best_idx = 0
+        best_key2: tuple[float, float] | None = None
+        for i, branch in enumerate(entries):
+            key2 = (branch.rect.enlargement(rect), branch.rect.area())
+            if best_key2 is None or key2 < best_key2:
+                best_key2 = key2
+                best_idx = i
+        return best_idx
+
+    def _handle_overflow(
+        self,
+        pid: int,
+        node: Node,
+        pending: list[tuple[Point | Branch, int]],
+    ) -> tuple[Rect, Branch | None]:
+        """Forced reinsert on first overflow per level, split otherwise."""
+        is_root = pid == self.root_pid
+        if not is_root and node.level not in self._reinserted_levels:
+            self._reinserted_levels.add(node.level)
+            keep, reinsert = self._pick_reinsert(node)
+            node.entries = keep
+            self.write_node(pid, node)
+            for e in reinsert:
+                pending.append((e, node.level))
+            return node.mbr(), None
+
+        min_fill = self._min_fill(node)
+        group_a, group_b = rstar_split(node.entries, min_fill)
+        node.entries = group_a
+        self.write_node(pid, node)
+        new_pid = self.disk.allocate()
+        new_node = Node(node.level, group_b)
+        self.write_node(new_pid, new_node)
+        return node.mbr(), Branch(new_node.mbr(), new_pid)
+
+    def _pick_reinsert(self, node: Node) -> tuple[list, list]:
+        """Select the REINSERT_FRACTION entries farthest from the node
+        centre ("close reinsert": re-inserted nearest-first)."""
+        cx, cy = node.mbr().center()
+
+        def center_dist_sq(e: Point | Branch) -> float:
+            ex, ey = entry_rect(e).center()
+            dx, dy = ex - cx, ey - cy
+            return dx * dx + dy * dy
+
+        ordered = sorted(node.entries, key=center_dist_sq)
+        n_reinsert = max(1, int(len(node.entries) * REINSERT_FRACTION))
+        keep = ordered[: len(ordered) - n_reinsert]
+        # Reinsert closest-first (list is popped from the end).
+        reinsert = list(reversed(ordered[len(ordered) - n_reinsert :]))
+        return keep, reinsert
+
+    # ------------------------------------------------------------------
+    # deletion (Guttman condense-tree with R*-style reinsertion)
+    # ------------------------------------------------------------------
+    def delete(self, point: Point) -> bool:
+        """Remove ``point`` (matched by coordinates *and* oid).
+
+        Follows the classic condense-tree protocol: the point is removed
+        from its leaf; nodes that fall under the minimum fill are
+        dissolved and their entries re-inserted at their original level;
+        the root is collapsed while it has a single child.
+
+        Returns
+        -------
+        True when the point was found and removed, False otherwise.
+        """
+        if self.root_pid is None:
+            return False
+        orphans: list[tuple[Point | Branch, int]] = []
+        found, _mbr, removed = self._delete_rec(self.root_pid, point, orphans)
+        if not found:
+            return False
+        self.count -= 1
+
+        if removed:
+            # The root leaf itself emptied out.
+            self.root_pid = None
+            self.height = 0
+        else:
+            root = self.read_node(self.root_pid)
+            while not root.is_leaf and len(root.entries) == 1:
+                self.root_pid = root.entries[0].child
+                self.height -= 1
+                root = self.read_node(self.root_pid)
+            if root.is_leaf and not root.entries:
+                self.root_pid = None
+                self.height = 0
+
+        # Re-insert dissolved entries, highest level first so subtrees
+        # land before the points that might join them.
+        for entry, level in sorted(orphans, key=lambda t: -t[1]):
+            self._reinsert_orphan(entry, level)
+        return True
+
+    def update(self, old: Point, new: Point) -> bool:
+        """Move a point: delete ``old`` and insert ``new``.
+
+        Returns False (and inserts nothing) when ``old`` is absent.
+        """
+        if not self.delete(old):
+            return False
+        self.insert(new)
+        return True
+
+    def _delete_rec(
+        self,
+        pid: int,
+        point: Point,
+        orphans: list[tuple[Point | Branch, int]],
+    ) -> tuple[bool, Rect | None, bool]:
+        """Recursive delete.
+
+        Returns ``(found, new_mbr, removed)``: whether the point was
+        found below ``pid``, the node's recomputed MBR (None when the
+        node was dissolved), and whether the node was dissolved.
+        """
+        node = self.read_node(pid)
+        if node.is_leaf:
+            for i, p in enumerate(node.entries):
+                if p.oid == point.oid and p.same_location(point):
+                    del node.entries[i]
+                    break
+            else:
+                return False, None, False
+            return self._shrink_or_write(pid, node, orphans)
+
+        for i, branch in enumerate(node.entries):
+            if not branch.rect.contains_point(point.x, point.y):
+                continue
+            found, child_mbr, child_removed = self._delete_rec(
+                branch.child, point, orphans
+            )
+            if not found:
+                continue
+            if child_removed:
+                del node.entries[i]
+            else:
+                assert child_mbr is not None
+                node.entries[i] = Branch(child_mbr, branch.child)
+            shrunk = self._shrink_or_write(pid, node, orphans)
+            return True, shrunk[1], shrunk[2]
+        return False, None, False
+
+    def _shrink_or_write(
+        self,
+        pid: int,
+        node: Node,
+        orphans: list[tuple[Point | Branch, int]],
+    ) -> tuple[bool, Rect | None, bool]:
+        """Dissolve an underfull non-root node into orphans, or persist it."""
+        is_root = pid == self.root_pid
+        if not is_root and len(node.entries) < self._min_fill(node):
+            for e in node.entries:
+                orphans.append((e, node.level))
+            return True, None, True
+        self.write_node(pid, node)
+        mbr = node.mbr() if node.entries else None
+        return True, mbr, False
+
+    def _reinsert_orphan(self, entry: Point | Branch, level: int) -> None:
+        """Re-insert a dissolved entry at its original level.
+
+        Points go through the normal R* insertion.  A subtree entry
+        whose level no longer exists (the tree shrank below it) is
+        demoted: its points are re-inserted individually.
+        """
+        if isinstance(entry, Branch):
+            target_level = level  # entry lives *in* a node at `level`
+            if self.root_pid is None or target_level >= self.height:
+                for p in self._collect_points(entry.child):
+                    self._reinsert_orphan(p, 0)
+                return
+            self._reinserted_levels = set()
+            pending: list[tuple[Point | Branch, int]] = [(entry, target_level)]
+            while pending:
+                e, lvl = pending.pop()
+                self._insert_entry(e, lvl, pending)
+            return
+        if self.root_pid is None:
+            pid = self.disk.allocate()
+            self.write_node(pid, Node(0, [entry]))
+            self.root_pid = pid
+            self.height = 1
+            return
+        self._reinserted_levels = set()
+        pending = [(entry, 0)]
+        while pending:
+            e, lvl = pending.pop()
+            self._insert_entry(e, lvl, pending)
+
+    def _collect_points(self, pid: int) -> list[Point]:
+        """All points in the subtree rooted at page ``pid``."""
+        out: list[Point] = []
+        stack = [pid]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                out.extend(node.entries)
+            else:
+                stack.extend(b.child for b in node.entries)
+        return out
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_search(self, rect: Rect) -> list[Point]:
+        """All points inside the closed query rectangle."""
+        results: list[Point] = []
+        if self.root_pid is None:
+            return results
+        stack = [self.root_pid]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                results.extend(
+                    p for p in node.entries if rect.contains_point(p.x, p.y)
+                )
+            else:
+                stack.extend(
+                    b.child for b in node.entries if b.rect.intersects(rect)
+                )
+        return results
+
+    def mbr(self) -> Rect:
+        """Bounding rectangle of the whole dataset."""
+        if self.root_pid is None:
+            raise ValueError("empty tree has no MBR")
+        return self.read_node(self.root_pid).mbr()
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def leaves(self) -> Iterator[Node]:
+        """Depth-first iteration over leaf nodes (paper's Algorithm 5
+        search order: adjacent leaves are spatially close, giving buffer
+        locality)."""
+        if self.root_pid is None:
+            return
+        stack = [self.root_pid]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                yield node
+            else:
+                # Reverse so children are visited in stored order.
+                stack.extend(b.child for b in reversed(node.entries))
+
+    def leaf_pids(self) -> list[int]:
+        """Page ids of all leaves in depth-first order."""
+        pids: list[int] = []
+        if self.root_pid is None:
+            return pids
+        stack = [(self.root_pid, self.height - 1)]
+        while stack:
+            pid, level = stack.pop()
+            if level == 0:
+                pids.append(pid)
+                continue
+            node = self.read_node(pid)
+            stack.extend((b.child, level - 1) for b in reversed(node.entries))
+        return pids
+
+    def all_points(self) -> list[Point]:
+        """Every indexed point, in depth-first leaf order."""
+        out: list[Point] = []
+        for leaf in self.leaves():
+            out.extend(leaf.entries)
+        return out
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"RTree(name={self.name!r}, count={self.count}, height={self.height}, "
+            f"pages={self.disk.num_pages})"
+        )

@@ -1,0 +1,148 @@
+"""Structural invariant checker for disk-resident R-trees.
+
+Used by tests (bulk loading, insertion, deletion) and available to users
+as a debugging aid.  :func:`check_invariants` walks the whole tree and
+raises :class:`InvariantViolation` on the first problem; it returns a
+small summary so callers can make additional assertions (node counts,
+fill factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtree.node import Node, entries_mbr
+from repro.rtree.tree import RTree
+
+
+class InvariantViolation(AssertionError):
+    """An R-tree structural invariant does not hold."""
+
+
+@dataclass
+class TreeSummary:
+    """What :func:`check_invariants` observed while walking the tree."""
+
+    height: int = 0
+    node_count: int = 0
+    leaf_count: int = 0
+    point_count: int = 0
+    min_leaf_fill: int = 0
+    entry_counts: list[int] = field(default_factory=list)
+
+    @property
+    def average_fill(self) -> float:
+        """Mean number of entries per node."""
+        if not self.entry_counts:
+            return 0.0
+        return sum(self.entry_counts) / len(self.entry_counts)
+
+
+def check_invariants(tree: RTree, check_min_fill: bool = False) -> TreeSummary:
+    """Verify the structural invariants of ``tree``.
+
+    Checks, for every node reachable from the root:
+
+    - the node's level decreases by exactly one per edge and reaches 0
+      at the leaves (``tree.height`` levels in total);
+    - no node exceeds its page capacity;
+    - every branch's stored MBR equals the tight MBR of its child node
+      (exactly — MBRs are copied bits, never recomputed lossily);
+    - the total number of points equals ``tree.count``;
+    - optionally, every non-root node meets the R* minimum fill.
+
+    Parameters
+    ----------
+    tree:
+        The tree to inspect (an empty tree trivially passes).
+    check_min_fill:
+        Enforce the minimum-fill invariant; off by default because bulk
+        loaders legitimately leave one underfull node per level.
+
+    Returns
+    -------
+    A :class:`TreeSummary` of the walk.
+
+    Raises
+    ------
+    InvariantViolation
+        On the first violated invariant.
+    """
+    summary = TreeSummary(height=tree.height)
+    if tree.root_pid is None:
+        if tree.height != 0 or tree.count != 0:
+            raise InvariantViolation(
+                "empty tree must have height 0 and count 0, got "
+                f"height={tree.height}, count={tree.count}"
+            )
+        return summary
+
+    root = tree.read_node(tree.root_pid)
+    if root.level != tree.height - 1:
+        raise InvariantViolation(
+            f"root level {root.level} != height-1 ({tree.height - 1})"
+        )
+    summary.min_leaf_fill = tree.leaf_capacity + 1
+
+    stack: list[tuple[int, bool]] = [(tree.root_pid, True)]
+    while stack:
+        pid, is_root = stack.pop()
+        node = tree.read_node(pid)
+        _check_node(tree, node, pid, is_root, check_min_fill)
+        summary.node_count += 1
+        summary.entry_counts.append(len(node.entries))
+        if node.is_leaf:
+            summary.leaf_count += 1
+            summary.point_count += len(node.entries)
+            summary.min_leaf_fill = min(summary.min_leaf_fill, len(node.entries))
+            continue
+        for branch in node.entries:
+            child = tree.read_node(branch.child)
+            if child.level != node.level - 1:
+                raise InvariantViolation(
+                    f"child level {child.level} under node at level "
+                    f"{node.level} (page {pid})"
+                )
+            child_mbr = child.mbr()
+            if (
+                branch.rect.xmin != child_mbr.xmin
+                or branch.rect.ymin != child_mbr.ymin
+                or branch.rect.xmax != child_mbr.xmax
+                or branch.rect.ymax != child_mbr.ymax
+            ):
+                raise InvariantViolation(
+                    f"stale branch MBR {branch.rect!r} != child MBR "
+                    f"{child_mbr!r} (page {pid} -> {branch.child})"
+                )
+            stack.append((branch.child, False))
+
+    if summary.point_count != tree.count:
+        raise InvariantViolation(
+            f"tree.count={tree.count} but {summary.point_count} points reachable"
+        )
+    return summary
+
+
+def _check_node(
+    tree: RTree, node: Node, pid: int, is_root: bool, check_min_fill: bool
+) -> None:
+    capacity = tree.leaf_capacity if node.is_leaf else tree.branch_capacity
+    if len(node.entries) > capacity:
+        raise InvariantViolation(
+            f"node at page {pid} holds {len(node.entries)} entries "
+            f"(capacity {capacity})"
+        )
+    if not node.entries:
+        if not (is_root and node.is_leaf):
+            raise InvariantViolation(f"empty non-root node at page {pid}")
+        return
+    if not node.is_leaf:
+        # A branch node's own MBR must be consistent with its entries.
+        entries_mbr(node.entries)  # raises on malformed entries
+    if check_min_fill and not is_root:
+        min_fill = tree._min_fill(node)
+        if len(node.entries) < min_fill:
+            raise InvariantViolation(
+                f"underfull node at page {pid}: {len(node.entries)} < "
+                f"min fill {min_fill}"
+            )

@@ -1,0 +1,31 @@
+"""Disk-page and buffer-management substrate.
+
+The paper evaluates its algorithms on disk-resident R-trees with 1 KiB
+pages and an LRU buffer sized as a percentage of the total tree size,
+charging 10 ms per page fault.  This package reproduces that substrate:
+a page-granular :class:`~repro.storage.disk.DiskManager`, an LRU
+:class:`~repro.storage.buffer.BufferManager` shared between trees, and
+the cost-model accounting in :mod:`repro.storage.stats`.  On top of
+that, :mod:`repro.storage.persist` gives trees a durable single-file
+format (superblock + raw pages) with save/load/sync.
+"""
+
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager
+from repro.storage.persist import FileStore, load_tree, save_tree, sync
+from repro.storage.policies import ClockBufferManager, FIFOBufferManager
+from repro.storage.stats import CostModel, IOStats
+
+__all__ = [
+    "BufferManager",
+    "CostModel",
+    "DEFAULT_PAGE_SIZE",
+    "DiskManager",
+    "FileStore",
+    "ClockBufferManager",
+    "FIFOBufferManager",
+    "load_tree",
+    "save_tree",
+    "sync",
+    "IOStats",
+]

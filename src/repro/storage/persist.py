@@ -1,0 +1,188 @@
+"""Durable single-file persistence for R-trees.
+
+:mod:`repro.storage.disk` gives a *file-backed* page store, but its
+files are anonymous temporaries: no metadata survives, and closing
+unlinks.  This module adds the real persistence story: an R-tree is
+saved to (and reloaded from) a single file with a fixed-size superblock
+carrying the page geometry and the tree header (root page, height,
+point count), followed by the raw pages.
+
+File layout::
+
+    superblock : magic "RCJTREE1" (8s), version (I), page_size (I),
+                 num_pages, root_pid, height, count (4 x q), padded to
+                 SUPERBLOCK_SIZE
+    pages      : num_pages x page_size raw page images
+
+A reloaded tree is fully live: reads go through the normal buffer path
+and further inserts/deletes extend the same file.  Call :func:`sync`
+(or use the context manager) after mutating to refresh the superblock.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import TYPE_CHECKING
+
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import _allocate_disk_id
+
+if TYPE_CHECKING:  # avoid a circular import; RTree is needed lazily
+    from repro.rtree.tree import RTree
+
+MAGIC = b"RCJTREE1"
+VERSION = 1
+
+_SUPERBLOCK = struct.Struct("<8sIIqqqq")
+SUPERBLOCK_SIZE = 64
+
+
+class PersistenceError(ValueError):
+    """The file is not a valid saved tree (bad magic, version, size)."""
+
+
+class FileStore:
+    """A page store living at a fixed offset inside a real file.
+
+    Implements the same duck-typed interface as
+    :class:`repro.storage.disk.DiskManager` (``page_size``,
+    ``disk_id``, ``allocate``, ``read_page``, ``write_page``,
+    ``num_pages``, physical counters), so trees and buffers use it
+    interchangeably.  Unlike ``DiskManager``, closing does *not* remove
+    the file — that is the point.
+    """
+
+    def __init__(self, path: str, page_size: int, offset: int, num_pages: int):
+        self.page_size = page_size
+        self.disk_id = _allocate_disk_id()
+        self._offset = offset
+        self._num_pages = num_pages
+        self._file = open(path, "r+b")
+        self.physical_reads = 0
+        self.physical_writes = 0
+
+    def allocate(self) -> int:
+        pid = self._num_pages
+        self._num_pages += 1
+        self._file.seek(self._offset + pid * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        return pid
+
+    def write_page(self, pid: int, data: bytes) -> None:
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"page overflow: {len(data)} bytes > page size {self.page_size}"
+            )
+        if not 0 <= pid < self._num_pages:
+            raise IndexError(f"page id {pid} out of range")
+        self.physical_writes += 1
+        self._file.seek(self._offset + pid * self.page_size)
+        self._file.write(data.ljust(self.page_size, b"\x00"))
+
+    def read_page(self, pid: int) -> bytes:
+        if not 0 <= pid < self._num_pages:
+            raise IndexError(f"page id {pid} out of range")
+        self.physical_reads += 1
+        self._file.seek(self._offset + pid * self.page_size)
+        return self._file.read(self.page_size)
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def flush(self) -> None:
+        """Push buffered writes to the OS."""
+        self._file.flush()
+
+    def close(self) -> None:
+        """Close the backing file (keeping it on disk)."""
+        if not self._file.closed:
+            self._file.close()
+
+
+def save_tree(tree: "RTree", path: str) -> None:
+    """Write ``tree`` (header and all pages) to ``path``.
+
+    Overwrites any existing file.  The source tree may live on any
+    page store; pages are copied verbatim.
+    """
+    header = _SUPERBLOCK.pack(
+        MAGIC,
+        VERSION,
+        tree.disk.page_size,
+        tree.disk.num_pages,
+        tree.root_pid if tree.root_pid is not None else -1,
+        tree.height,
+        tree.count,
+    )
+    with open(path, "wb") as f:
+        f.write(header.ljust(SUPERBLOCK_SIZE, b"\x00"))
+        for pid in range(tree.disk.num_pages):
+            f.write(tree.disk.read_page(pid).ljust(tree.disk.page_size, b"\x00"))
+
+
+def load_tree(
+    path: str,
+    buffer: BufferManager | None = None,
+    name: str = "T",
+) -> "RTree":
+    """Reopen a tree saved with :func:`save_tree`.
+
+    The returned tree reads and writes the same file; subsequent
+    mutations extend it in place (call :func:`sync` afterwards to
+    refresh the superblock).
+
+    Raises
+    ------
+    PersistenceError
+        When the file is missing a valid superblock or is truncated.
+    """
+    size = os.path.getsize(path)
+    if size < SUPERBLOCK_SIZE:
+        raise PersistenceError(f"{path}: too small for a saved tree")
+    with open(path, "rb") as f:
+        raw = f.read(_SUPERBLOCK.size)
+    magic, version, page_size, num_pages, root_pid, height, count = (
+        _SUPERBLOCK.unpack(raw)
+    )
+    if magic != MAGIC:
+        raise PersistenceError(f"{path}: bad magic {magic!r}")
+    if version != VERSION:
+        raise PersistenceError(f"{path}: unsupported version {version}")
+    expected = SUPERBLOCK_SIZE + num_pages * page_size
+    if size < expected:
+        raise PersistenceError(
+            f"{path}: truncated ({size} bytes, expected {expected})"
+        )
+    from repro.rtree.tree import RTree
+
+    store = FileStore(path, page_size, SUPERBLOCK_SIZE, num_pages)
+    tree = RTree(disk=store, buffer=buffer, page_size=page_size, name=name)
+    tree.root_pid = root_pid if root_pid >= 0 else None
+    tree.height = height
+    tree.count = count
+    return tree
+
+
+def sync(tree: "RTree", path: str) -> None:
+    """Rewrite the superblock of an open persistent tree.
+
+    Use after mutating a tree returned by :func:`load_tree`; page
+    content is already in the file, only the header lags.
+    """
+    disk = tree.disk
+    if not isinstance(disk, FileStore):
+        raise PersistenceError("sync requires a tree loaded with load_tree")
+    header = _SUPERBLOCK.pack(
+        MAGIC,
+        VERSION,
+        disk.page_size,
+        disk.num_pages,
+        tree.root_pid if tree.root_pid is not None else -1,
+        tree.height,
+        tree.count,
+    )
+    disk.flush()
+    with open(path, "r+b") as f:
+        f.write(header.ljust(SUPERBLOCK_SIZE, b"\x00"))

@@ -1,0 +1,107 @@
+"""Alternative buffer replacement policies: FIFO and CLOCK.
+
+The paper's buffer is LRU (:class:`repro.storage.buffer.BufferManager`).
+Real database engines often run cheaper approximations, and the choice
+interacts with the join's access pattern — depth-first INJ re-touches
+recent paths (LRU-friendly) while the bulk algorithms sweep (where FIFO
+loses little).  These drop-in subclasses let the buffer-policy ablation
+(`bench_ablation_buffer_policy`) put numbers on that, on exactly the
+paper's workloads.
+
+Both reuse the LRU bookkeeping of the base class and override only the
+replacement decision, so hit/fault accounting stays identical.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+
+
+class FIFOBufferManager(BufferManager):
+    """First-in-first-out replacement: hits do not refresh recency."""
+
+    def get_page(self, disk: DiskManager, pid: int) -> bytes:
+        key = (disk.disk_id, pid)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.buffer_hits += 1
+            # FIFO: no move_to_end — insertion order decides eviction.
+            return frame
+        self.stats.page_faults += 1
+        data = disk.read_page(pid)
+        if self.capacity > 0:
+            self._frames[key] = data
+            while len(self._frames) > self.capacity:
+                self._frames.popitem(last=False)
+        return data
+
+
+class ClockBufferManager(BufferManager):
+    """CLOCK (second chance): a one-bit LRU approximation.
+
+    Each frame carries a reference bit, set on every hit.  Eviction
+    sweeps the frames in insertion order, clearing set bits and
+    evicting the first frame found clear — so a page survives one sweep
+    after its last touch, approximating LRU at O(1) amortised cost.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._ref_bits: OrderedDict[tuple[int, int], bool] = OrderedDict()
+
+    def get_page(self, disk: DiskManager, pid: int) -> bytes:
+        key = (disk.disk_id, pid)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.buffer_hits += 1
+            self._ref_bits[key] = True
+            return frame
+        self.stats.page_faults += 1
+        data = disk.read_page(pid)
+        if self.capacity > 0:
+            while len(self._frames) >= self.capacity:
+                self._evict_one()
+            self._frames[key] = data
+            self._ref_bits[key] = False
+        return data
+
+    def _evict_one(self) -> None:
+        """Advance the clock hand until a clear reference bit is found."""
+        while True:
+            key, referenced = next(iter(self._ref_bits.items()))
+            if referenced:
+                # Second chance: clear the bit, move behind the hand.
+                self._ref_bits[key] = False
+                self._ref_bits.move_to_end(key)
+                self._frames.move_to_end(key)
+            else:
+                del self._ref_bits[key]
+                del self._frames[key]
+                return
+
+    def invalidate(self, disk: DiskManager, pid: int) -> None:
+        key = (disk.disk_id, pid)
+        self._frames.pop(key, None)
+        self._ref_bits.pop(key, None)
+
+    def clear(self) -> None:
+        super().clear()
+        self._ref_bits.clear()
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"negative buffer capacity {capacity}")
+        self.capacity = capacity
+        while len(self._frames) > capacity:
+            self._evict_one()
+
+
+#: Policy name -> constructor, for the ablation bench and tests.
+POLICIES = {
+    "LRU": BufferManager,
+    "FIFO": FIFOBufferManager,
+    "CLOCK": ClockBufferManager,
+}

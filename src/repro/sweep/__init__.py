@@ -1,0 +1,19 @@
+"""Plane-sweep computational-geometry kernels.
+
+The paper invokes plane-sweep twice: Brinkhoff et al.'s rectangle-join
+sweep accelerates the Verify step ("plane-sweep is an efficient method
+for detecting the intersection between two groups of rectangles"), and
+the same kernel drives the node-level pairing of the ε-distance join
+baseline.
+
+- :mod:`repro.sweep.intersect` — the sweep proper: all intersecting
+  pairs between two rectangle collections, plus a batch
+  point-in-rectangle variant.
+"""
+
+from repro.sweep.intersect import (
+    sweep_point_rect_pairs,
+    sweep_rect_pairs,
+)
+
+__all__ = ["sweep_rect_pairs", "sweep_point_rect_pairs"]

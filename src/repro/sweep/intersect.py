@@ -1,0 +1,109 @@
+"""Plane-sweep rectangle intersection (Brinkhoff, Kriegel & Seeger).
+
+Finds all intersecting pairs between two collections of axis-aligned
+rectangles in ``O((n + m) log(n + m) + k)``-ish time: both collections
+are sorted once by their lower x edge, then a synchronised scan marches
+the sweep line left to right; at each step the rectangle with the
+smaller lower edge is paired against the *active* x-overlapping
+rectangles of the other collection by a forward scan, with the final
+y-overlap test deciding intersection.
+
+Intersection is closed-boundary (touching rectangles intersect),
+matching :meth:`repro.geometry.rect.Rect.intersects`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence, TypeVar
+
+from repro.geometry.rect import Rect
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+
+def sweep_rect_pairs(
+    left: Sequence[A],
+    right: Sequence[B],
+    left_rect: Callable[[A], Rect] | None = None,
+    right_rect: Callable[[B], Rect] | None = None,
+) -> Iterator[tuple[A, B]]:
+    """Yield every pair ``(a, b)`` whose rectangles intersect.
+
+    Parameters
+    ----------
+    left, right:
+        The two collections.  Items may be :class:`Rect` themselves or
+        arbitrary objects with rectangle accessors.
+    left_rect, right_rect:
+        Accessors mapping an item to its :class:`Rect`; identity by
+        default.
+
+    Yields
+    ------
+    Pairs in sweep order (ascending lower x edge of the pair's later
+    member); each intersecting pair exactly once.
+    """
+    lrect = left_rect if left_rect is not None else lambda a: a
+    rrect = right_rect if right_rect is not None else lambda b: b
+
+    ls = sorted(((lrect(a), a) for a in left), key=lambda t: t[0].xmin)
+    rs = sorted(((rrect(b), b) for b in right), key=lambda t: t[0].xmin)
+
+    i = j = 0
+    while i < len(ls) and j < len(rs):
+        lr, la = ls[i]
+        rr, rb = rs[j]
+        if lr.xmin <= rr.xmin:
+            # Pair `la` against active right rectangles.
+            for k in range(j, len(rs)):
+                other_rect, other = rs[k]
+                if other_rect.xmin > lr.xmax:
+                    break
+                if (
+                    other_rect.ymin <= lr.ymax
+                    and lr.ymin <= other_rect.ymax
+                ):
+                    yield la, other
+            i += 1
+        else:
+            for k in range(i, len(ls)):
+                other_rect, other = ls[k]
+                if other_rect.xmin > rr.xmax:
+                    break
+                if (
+                    other_rect.ymin <= rr.ymax
+                    and rr.ymin <= other_rect.ymax
+                ):
+                    yield other, rb
+            j += 1
+
+
+def sweep_point_rect_pairs(
+    points: Sequence[A],
+    rects: Sequence[B],
+    point_xy: Callable[[A], tuple[float, float]],
+    rect_of: Callable[[B], Rect],
+) -> Iterator[tuple[A, B]]:
+    """Yield every ``(point, rect)`` pair where the rect contains the
+    point (closed boundaries).
+
+    The batch analogue of repeated point-in-rectangle tests, used to
+    probe many candidate circles' bounding boxes against the points of
+    one R-tree leaf in a single pass.
+    """
+    ps = sorted(((point_xy(p), p) for p in points), key=lambda t: t[0][0])
+    rs = sorted(((rect_of(r), r) for r in rects), key=lambda t: t[0].xmin)
+
+    j = 0
+    for (x, y), p in ps:
+        # Retire rectangles wholly to the left of the sweep line.  They
+        # can never contain this or any later point.
+        while j < len(rs) and rs[j][0].xmax < x:
+            j += 1
+        for k in range(j, len(rs)):
+            rect, r = rs[k]
+            if rect.xmin > x:
+                break
+            if rect.ymin <= y <= rect.ymax and rect.xmax >= x:
+                yield p, r

@@ -1,0 +1,81 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.geometry.point import Point
+
+# ----------------------------------------------------------------------
+# hypothesis profiles
+# ----------------------------------------------------------------------
+settings.register_profile(
+    "default",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "heavy",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+#: Integer-lattice coordinates: small domain on purpose, to generate the
+#: degenerate configurations (duplicates, collinear and cocircular
+#: points) that stress the strict-containment conventions.
+lattice_coord = st.integers(min_value=0, max_value=64).map(float)
+
+#: Continuous coordinates in the paper's domain.
+continuous_coord = st.floats(
+    min_value=0.0, max_value=10000.0, allow_nan=False, allow_infinity=False
+)
+
+
+def lattice_pointset(min_size: int = 0, max_size: int = 40):
+    """Strategy: list of lattice coordinate pairs (duplicates allowed)."""
+    return st.lists(
+        st.tuples(lattice_coord, lattice_coord),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def continuous_pointset(min_size: int = 0, max_size: int = 60):
+    """Strategy: list of continuous coordinate pairs."""
+    return st.lists(
+        st.tuples(continuous_coord, continuous_coord),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def make_points(coords, start_oid: int = 0) -> list[Point]:
+    """Materialise coordinate pairs as points with sequential oids."""
+    return [Point(x, y, start_oid + i) for i, (x, y) in enumerate(coords)]
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def uniform_points(rng) -> list[Point]:
+    """300 uniform points over the paper's domain."""
+    return [
+        Point(rng.uniform(0, 10000), rng.uniform(0, 10000), i) for i in range(300)
+    ]

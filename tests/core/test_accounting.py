@@ -1,0 +1,71 @@
+"""Unit tests for the join cost accounting."""
+
+import pytest
+
+from repro.core.accounting import JoinAccounting
+from repro.core.pairs import JoinReport
+from repro.datasets.synthetic import uniform
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load
+from repro.storage.buffer import BufferManager
+from repro.storage.stats import CostModel
+
+
+@pytest.fixture
+def trees():
+    tree_a = bulk_load(uniform(300, seed=1), name="A")
+    tree_b = bulk_load(uniform(300, seed=2), name="B")
+    buf = BufferManager(16)
+    tree_a.attach_buffer(buf)
+    tree_b.attach_buffer(buf)
+    return tree_a, tree_b, buf
+
+
+class TestJoinAccounting:
+    def test_counts_only_delta(self, trees):
+        tree_a, tree_b, _ = trees
+        tree_a.range_search(Rect(0, 0, 10000, 10000))  # pre-existing work
+        acc = JoinAccounting("X", [tree_a, tree_b])
+        tree_a.range_search(Rect(0, 0, 5000, 5000))
+        report = acc.finish(JoinReport("X"))
+        assert 0 < report.node_accesses < tree_a.disk.num_pages + 1
+
+    def test_shared_buffer_counted_once(self, trees):
+        tree_a, tree_b, buf = trees
+        acc = JoinAccounting("X", [tree_a, tree_b])
+        tree_a.range_search(Rect(0, 0, 10000, 10000))
+        tree_b.range_search(Rect(0, 0, 10000, 10000))
+        report = acc.finish(JoinReport("X"))
+        total_pages = tree_a.disk.num_pages + tree_b.disk.num_pages
+        assert report.page_faults == total_pages  # not double
+
+    def test_cost_model_applied(self, trees):
+        tree_a, tree_b, _ = trees
+        model = CostModel(ms_per_fault=20.0, ms_per_node_access=1.0)
+        acc = JoinAccounting("X", [tree_a, tree_b], cost_model=model)
+        tree_a.range_search(Rect(0, 0, 10000, 10000))
+        report = acc.finish(JoinReport("X"))
+        assert report.io_seconds == pytest.approx(report.page_faults * 0.020)
+        assert report.modeled_cpu_seconds == pytest.approx(
+            report.node_accesses * 0.001
+        )
+
+    def test_wall_clock_positive(self, trees):
+        tree_a, tree_b, _ = trees
+        acc = JoinAccounting("X", [tree_a, tree_b])
+        report = acc.finish(JoinReport("X"))
+        assert report.cpu_seconds >= 0
+
+    def test_no_buffer_trees(self):
+        tree = bulk_load(uniform(100, seed=3))
+        acc = JoinAccounting("X", [tree, tree])
+        tree.range_search(Rect(0, 0, 10000, 10000))
+        report = acc.finish(JoinReport("X"))
+        assert report.page_faults == 0  # no buffer attached
+        assert report.node_accesses > 0
+
+    def test_algorithm_label_set(self, trees):
+        tree_a, tree_b, _ = trees
+        acc = JoinAccounting("MYALGO", [tree_a, tree_b])
+        report = acc.finish(JoinReport("placeholder"))
+        assert report.algorithm == "MYALGO"

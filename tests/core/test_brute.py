@@ -1,0 +1,83 @@
+"""Unit tests for the brute-force oracle."""
+
+from repro.core.brute import brute_candidate_count, brute_force_rcj
+from repro.geometry.point import Point
+
+
+class TestBruteForce:
+    def test_empty_inputs(self):
+        assert brute_force_rcj([], [Point(0, 0, 0)]) == []
+        assert brute_force_rcj([Point(0, 0, 0)], []) == []
+
+    def test_single_pair_always_joins(self):
+        # With no other points the circle is trivially empty.
+        res = brute_force_rcj([Point(0, 0, 0)], [Point(10, 10, 1)])
+        assert [r.key() for r in res] == [(0, 1)]
+
+    def test_paper_figure_1(self):
+        """The worked example of Figure 1: P = {p1, p2}, Q = {q1, q2};
+        result = {<p1,q1>, <p2,q1>, <p2,q2>} and <p1,q2> is excluded
+        because its circle contains p2."""
+        p1 = Point(0.15, 0.85, 1)
+        p2 = Point(0.50, 0.50, 2)
+        q1 = Point(0.30, 0.40, 11)
+        q2 = Point(0.90, 0.45, 12)
+        res = {r.key() for r in brute_force_rcj([p1, p2], [q1, q2])}
+        assert res == {(1, 11), (2, 11), (2, 12)}
+
+    def test_blocking_point_in_the_middle(self):
+        p = Point(0, 0, 0)
+        q = Point(10, 0, 1)
+        blocker = Point(5, 1, 2)  # strictly inside the diameter circle
+        res = brute_force_rcj([p, blocker], [q])
+        keys = {r.key() for r in res}
+        assert (0, 1) not in keys
+        assert (2, 1) in keys  # blocker pairs with q itself
+
+    def test_boundary_point_does_not_block(self):
+        p = Point(0, 0, 0)
+        q = Point(10, 0, 1)
+        on_circle = Point(5, 5, 2)  # exactly on the circle boundary
+        keys = {r.key() for r in brute_force_rcj([p, on_circle], [q])}
+        assert (0, 1) in keys
+
+    def test_coincident_cross_points_pair(self):
+        # A P point and a Q point at the same location: radius-0 circle
+        # contains nothing, so the pair is valid.
+        keys = {
+            r.key()
+            for r in brute_force_rcj([Point(5, 5, 0)], [Point(5, 5, 1)])
+        }
+        assert keys == {(0, 1)}
+
+    def test_duplicate_of_endpoint_does_not_block(self):
+        # Duplicates of p sit on the boundary of the pair circle.
+        p = Point(0, 0, 0)
+        p_dup = Point(0, 0, 2)
+        q = Point(4, 0, 1)
+        keys = {r.key() for r in brute_force_rcj([p, p_dup], [q])}
+        assert keys == {(0, 1), (2, 1)}
+
+    def test_exclude_same_oid(self):
+        pts = [Point(0, 0, 0), Point(1, 1, 1)]
+        keys = {
+            r.key() for r in brute_force_rcj(pts, pts, exclude_same_oid=True)
+        }
+        assert (0, 0) not in keys
+        assert (1, 1) not in keys
+        assert keys == {(0, 1), (1, 0)}
+
+    def test_result_carries_circle(self):
+        res = brute_force_rcj([Point(0, 0, 0)], [Point(4, 0, 1)])
+        assert res[0].center == (2.0, 0.0)
+        assert res[0].radius == 2.0
+
+
+class TestBruteCandidateCount:
+    def test_cartesian_product(self):
+        assert brute_candidate_count(100, 200) == 20000
+
+    def test_paper_table4_magnitude(self):
+        # Table 4: SP candidates = |SC| x |PP| = 3.06e10.
+        count = brute_candidate_count(172188, 177983)
+        assert abs(count - 3.06e10) / 3.06e10 < 0.01

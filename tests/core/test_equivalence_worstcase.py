@@ -1,0 +1,74 @@
+"""All RCJ algorithms agree on the adversarial families.
+
+The main equivalence suite drives the algorithms on uniform and lattice
+data; these tests pin the degenerate regimes (ties everywhere,
+quadratic results, giant empty rings) where implementations typically
+diverge.
+"""
+
+import pytest
+
+from repro.core.bij import bij
+from repro.core.brute import brute_force_rcj
+from repro.core.gabriel import gabriel_rcj
+from repro.core.inj import inj
+from repro.datasets.worstcase import (
+    cocircular,
+    coincident,
+    collinear,
+    lattice,
+    split_alternating,
+    two_clusters,
+)
+from repro.rtree.bulk import bulk_load
+
+
+def _all_algorithms(ps, qs):
+    tree_p = bulk_load(ps, name="TP")
+    tree_q = bulk_load(qs, name="TQ")
+    return {
+        "brute": {r.key() for r in brute_force_rcj(ps, qs)},
+        "gabriel": {r.key() for r in gabriel_rcj(ps, qs)},
+        "inj": inj(tree_q, tree_p).pair_keys(),
+        "bij": bij(tree_q, tree_p).pair_keys(),
+        "obj": bij(tree_q, tree_p, symmetric=True).pair_keys(),
+    }
+
+
+@pytest.mark.parametrize(
+    "family",
+    [
+        pytest.param(lambda: collinear(60), id="collinear"),
+        pytest.param(lambda: collinear(60, jitter=3.0, seed=1), id="jittered-line"),
+        pytest.param(lambda: cocircular(48), id="cocircular"),
+        pytest.param(lambda: lattice(64), id="lattice"),
+        pytest.param(lambda: two_clusters(80, seed=2), id="two-clusters"),
+        pytest.param(lambda: coincident(20), id="coincident"),
+    ],
+)
+def test_all_algorithms_agree(family):
+    ps, qs = split_alternating(family())
+    results = _all_algorithms(ps, qs)
+    reference = results.pop("brute")
+    for name, got in results.items():
+        assert got == reference, name
+
+
+def test_all_algorithms_agree_small_pages():
+    """Deep trees (tiny pages) over the lattice: maximal stress on the
+    MBR-level pruning shortcuts."""
+    ps, qs = split_alternating(lattice(49))
+    tree_p = bulk_load(ps, page_size=192, name="TP")
+    tree_q = bulk_load(qs, page_size=192, name="TQ")
+    expected = {r.key() for r in brute_force_rcj(ps, qs)}
+    assert bij(tree_q, tree_p, symmetric=True).pair_keys() == expected
+    assert inj(tree_q, tree_p).pair_keys() == expected
+
+
+def test_self_join_on_lattice():
+    from repro.core.selfjoin import self_rcj
+
+    pts = lattice(36)
+    pairs = self_rcj(pts, algorithm="obj")
+    oracle = self_rcj(pts, algorithm="brute")
+    assert {p.key() for p in pairs} == {p.key() for p in oracle}

@@ -1,0 +1,101 @@
+"""Unit and property tests for the Filter step (Algorithm 2)."""
+
+from hypothesis import given, settings
+
+from repro.core.brute import brute_force_rcj
+from repro.core.filtering import filter_candidates
+from repro.geometry.point import Point
+from repro.rtree.bulk import bulk_load
+
+from tests.conftest import lattice_pointset, make_points
+
+
+class TestFilterBasics:
+    def test_empty_tree(self):
+        from repro.rtree.tree import RTree
+
+        assert filter_candidates(Point(0, 0, 0), RTree()) == []
+
+    def test_single_point_is_candidate(self):
+        tree = bulk_load([Point(10, 10, 0)])
+        got = filter_candidates(Point(0, 0, 99), tree)
+        assert [p.oid for p in got] == [0]
+
+    def test_candidates_in_ascending_distance(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        q = Point(5000, 5000, -1)
+        cands = filter_candidates(q, tree)
+        dists = [q.dist_to(p) for p in cands]
+        assert dists == sorted(dists)
+
+    def test_nearest_point_always_survives(self, uniform_points):
+        # The nearest P point can never be pruned (nothing discovered
+        # before it) and always forms a valid pair with q.
+        tree = bulk_load(uniform_points)
+        q = Point(3333, 7777, -1)
+        cands = filter_candidates(q, tree)
+        nearest = min(uniform_points, key=q.dist_sq_to)
+        assert cands[0].oid == nearest.oid
+
+    def test_shadowed_point_pruned(self):
+        # p' directly behind p (from q) lies in Psi-minus(q, p).
+        q = Point(0, 0, -1)
+        p = Point(10, 0, 0)
+        shadowed = Point(20, 0, 1)
+        tree = bulk_load([p, shadowed])
+        got = {c.oid for c in filter_candidates(q, tree)}
+        assert got == {0}
+
+    def test_point_on_boundary_line_kept(self):
+        # p' exactly on L(q, p): strict semantics keep it.
+        q = Point(0, 0, -1)
+        p = Point(10, 0, 0)
+        on_line = Point(10, 7, 1)
+        tree = bulk_load([p, on_line])
+        got = {c.oid for c in filter_candidates(q, tree)}
+        assert got == {0, 1}
+
+    def test_extra_prune_points_shrink_candidates(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        q = Point(5000, 5000, -1)
+        base = filter_candidates(q, tree)
+        # Use the nearest point of P itself as a symmetric-style pruner.
+        helper = min(uniform_points, key=q.dist_sq_to)
+        pruned = filter_candidates(q, tree, extra_prune_points=[helper])
+        assert len(pruned) <= len(base)
+
+    def test_degenerate_extra_prune_point_ignored(self):
+        q = Point(5, 5, -1)
+        tree = bulk_load([Point(7, 7, 0)])
+        got = filter_candidates(q, tree, extra_prune_points=[Point(5, 5, 42)])
+        assert [p.oid for p in got] == [0]
+
+    def test_exclude_same_oid(self):
+        tree = bulk_load([Point(5, 5, 7), Point(9, 9, 8)])
+        got = {
+            p.oid
+            for p in filter_candidates(
+                Point(5, 5, 7), tree, exclude_same_oid=True
+            )
+        }
+        assert 7 not in got
+
+
+class TestFilterCompleteness:
+    """The filter may over-approximate but must never lose a true pair
+    (Lemma 4: no false negatives)."""
+
+    @given(
+        lattice_pointset(min_size=1, max_size=24),
+        lattice_pointset(min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_candidates_superset_of_true_pairs(self, coords_p, coords_q):
+        points_p = make_points(coords_p)
+        points_q = make_points(coords_q, start_oid=1000)
+        tree_p = bulk_load(points_p, page_size=128)
+        truth = {r.key() for r in brute_force_rcj(points_p, points_q)}
+        for q in points_q:
+            true_partners = {p for p, qq in truth if qq == q.oid}
+            got = {p.oid for p in filter_candidates(q, tree_p)}
+            assert true_partners <= got

@@ -1,0 +1,153 @@
+"""Unit tests for the Delaunay/Gabriel-graph RCJ comparator."""
+
+import random
+
+from repro.core.brute import brute_force_rcj
+from repro.core.gabriel import gabriel_rcj
+from repro.geometry.point import Point
+
+
+def random_points(n, seed, start_oid=0, span=10000.0):
+    rng = random.Random(seed)
+    return [
+        Point(rng.uniform(0, span), rng.uniform(0, span), start_oid + i)
+        for i in range(n)
+    ]
+
+
+class TestExactnessOnRandomData:
+    def test_matches_oracle_small(self):
+        p = random_points(40, seed=1)
+        q = random_points(35, seed=2, start_oid=100)
+        assert {r.key() for r in gabriel_rcj(p, q)} == {
+            r.key() for r in brute_force_rcj(p, q)
+        }
+
+    def test_matches_oracle_many_seeds(self):
+        for seed in range(8):
+            p = random_points(60, seed=seed * 2 + 1)
+            q = random_points(50, seed=seed * 2 + 2, start_oid=1000)
+            got = {r.key() for r in gabriel_rcj(p, q)}
+            ref = {r.key() for r in brute_force_rcj(p, q)}
+            assert got == ref, f"seed {seed}"
+
+    def test_skewed_cardinalities(self):
+        p = random_points(150, seed=5)
+        q = random_points(10, seed=6, start_oid=500)
+        assert {r.key() for r in gabriel_rcj(p, q)} == {
+            r.key() for r in brute_force_rcj(p, q)
+        }
+
+
+class TestDegenerateInputs:
+    def test_empty_sets(self):
+        assert gabriel_rcj([], random_points(5, 1)) == []
+        assert gabriel_rcj(random_points(5, 1), []) == []
+
+    def test_single_pair(self):
+        got = gabriel_rcj([Point(0, 0, 0)], [Point(5, 5, 1)])
+        assert [r.key() for r in got] == [(0, 1)]
+
+    def test_two_distinct_sites_brute_fallback(self):
+        # Fewer than 4 distinct coordinates: the brute path runs.
+        p = [Point(0, 0, 0), Point(0, 0, 1)]
+        q = [Point(5, 0, 2)]
+        got = {r.key() for r in gabriel_rcj(p, q)}
+        assert got == {(0, 2), (1, 2)}
+
+    def test_all_collinear_falls_back(self):
+        # Collinear sites make Qhull fail; the brute fallback must kick
+        # in and produce the exact result.
+        p = [Point(i, 0, i) for i in range(6)]
+        q = [Point(i + 0.5, 0, 100 + i) for i in range(6)]
+        got = {r.key() for r in gabriel_rcj(p, q)}
+        ref = {r.key() for r in brute_force_rcj(p, q)}
+        assert got == ref
+
+    def test_coincident_cross_set_points(self):
+        p = [Point(3, 3, 0), Point(8, 1, 1), Point(0, 9, 2), Point(9, 9, 3)]
+        q = [Point(3, 3, 10), Point(5, 5, 11), Point(1, 1, 12), Point(7, 3, 13)]
+        got = {r.key() for r in gabriel_rcj(p, q)}
+        ref = {r.key() for r in brute_force_rcj(p, q)}
+        assert got == ref
+        assert (0, 10) in got  # the coincident pair (radius zero)
+
+    def test_duplicate_heavy_input(self):
+        rng = random.Random(3)
+        coords = [(rng.randint(0, 5), rng.randint(0, 5)) for _ in range(30)]
+        p = [Point(x, y, i) for i, (x, y) in enumerate(coords[:15])]
+        q = [Point(x, y, 100 + i) for i, (x, y) in enumerate(coords[15:])]
+        got = {r.key() for r in gabriel_rcj(p, q)}
+        ref = {r.key() for r in brute_force_rcj(p, q)}
+        # Lattice data is degenerate: the comparator must stay sound.
+        assert got <= ref
+
+    def test_exclude_same_oid(self):
+        pts = random_points(30, seed=9)
+        got = {r.key() for r in gabriel_rcj(pts, pts, exclude_same_oid=True)}
+        assert all(a != b for a, b in got)
+        ref = {
+            r.key() for r in brute_force_rcj(pts, pts, exclude_same_oid=True)
+        }
+        assert got == ref
+
+
+class TestScaling:
+    def test_larger_input_consistency_with_rtree_algorithms(self):
+        from repro.core.bij import bij
+        from repro.rtree.bulk import bulk_load
+
+        p = random_points(2000, seed=11)
+        q = random_points(2000, seed=12, start_oid=5000)
+        tree_p = bulk_load(p)
+        tree_q = bulk_load(q)
+        got = {r.key() for r in gabriel_rcj(p, q)}
+        ref = bij(tree_q, tree_p, symmetric=True).pair_keys()
+        assert got == ref
+
+
+class TestCocircularTies:
+    """Regression: tie-Gabriel edges outside the triangulation.
+
+    On a unit lattice each cell's four corners are cocircular and BOTH
+    crossing diagonals are valid RCJ pairs (the other two corners tie
+    exactly on the ring boundary), but a Delaunay triangulation keeps
+    only one diagonal per cell.  gabriel_rcj must recover the other via
+    cocircular-cluster candidates."""
+
+    def test_unit_cell_both_diagonals(self):
+        from repro.geometry.point import Point
+
+        ps = [Point(0, 0, 0), Point(1, 1, 1)]
+        qs = [Point(1, 0, 0), Point(0, 1, 1)]
+        got = {r.key() for r in gabriel_rcj(ps, qs)}
+        expected = {r.key() for r in brute_force_rcj(ps, qs)}
+        assert got == expected
+        # All four side pairs and both diagonal pairings qualify.
+        assert got == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_lattice_matches_brute(self):
+        from repro.datasets.worstcase import lattice, split_alternating
+
+        ps, qs = split_alternating(lattice(81))
+        got = {r.key() for r in gabriel_rcj(ps, qs)}
+        expected = {r.key() for r in brute_force_rcj(ps, qs)}
+        assert got == expected
+
+    def test_twelve_cocircular_lattice_points(self):
+        """Points on the radius-5 lattice circle: larger cocircular
+        cluster, still exact (diametral disks here are non-empty, so no
+        diameter pairs — but the cluster scan must not invent any)."""
+        from repro.geometry.point import Point
+
+        ring12 = [
+            (5, 0), (4, 3), (3, 4), (0, 5), (-3, 4), (-4, 3),
+            (-5, 0), (-4, -3), (-3, -4), (0, -5), (3, -4), (4, -3),
+        ]
+        pts = [Point(x + 10, y + 10, i) for i, (x, y) in enumerate(ring12)]
+        ps = pts[0::2]
+        qs = [Point(p.x, p.y, i) for i, p in enumerate(pts[1::2])]
+        ps = [Point(p.x, p.y, i) for i, p in enumerate(ps)]
+        got = {r.key() for r in gabriel_rcj(ps, qs)}
+        expected = {r.key() for r in brute_force_rcj(ps, qs)}
+        assert got == expected

@@ -1,0 +1,112 @@
+"""Unit tests for the INJ algorithm (Algorithms 4/5)."""
+
+import pytest
+
+from repro.core.brute import brute_force_rcj
+from repro.core.inj import inj
+from repro.datasets.synthetic import uniform
+from repro.rtree.bulk import bulk_load
+from repro.storage.buffer import buffer_for_trees
+from repro.storage.stats import CostModel
+
+
+@pytest.fixture
+def workload():
+    points_p = uniform(400, seed=10)
+    points_q = uniform(300, seed=20, start_oid=400)
+    tree_p = bulk_load(points_p, name="TP")
+    tree_q = bulk_load(points_q, name="TQ")
+    buf = buffer_for_trees([tree_p, tree_q], 0.05)
+    tree_p.attach_buffer(buf)
+    tree_q.attach_buffer(buf)
+    return points_p, points_q, tree_p, tree_q, buf
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, workload):
+        points_p, points_q, tree_p, tree_q, _ = workload
+        expected = {r.key() for r in brute_force_rcj(points_p, points_q)}
+        report = inj(tree_q, tree_p)
+        assert report.pair_keys() == expected
+
+    def test_no_duplicates(self, workload):
+        _, _, tree_p, tree_q, _ = workload
+        report = inj(tree_q, tree_p)
+        keys = [r.key() for r in report.pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_random_order_same_result(self, workload):
+        _, _, tree_p, tree_q, _ = workload
+        df = inj(tree_q, tree_p, search_order="depth_first")
+        rand = inj(tree_q, tree_p, search_order="random", seed=3)
+        assert df.pair_keys() == rand.pair_keys()
+
+    def test_unknown_order_rejected(self, workload):
+        _, _, tree_p, tree_q, _ = workload
+        with pytest.raises(ValueError):
+            inj(tree_q, tree_p, search_order="zigzag")
+
+    def test_empty_inner_tree(self):
+        tree_q = bulk_load(uniform(10, seed=1))
+        tree_p = bulk_load([])
+        assert inj(tree_q, tree_p).pairs == []
+
+    def test_empty_outer_tree(self):
+        tree_q = bulk_load([])
+        tree_p = bulk_load(uniform(10, seed=1))
+        assert inj(tree_q, tree_p).pairs == []
+
+
+class TestFilterVerificationSplit:
+    def test_skipping_verification_yields_superset(self, workload):
+        _, _, tree_p, tree_q, _ = workload
+        with_verify = inj(tree_q, tree_p, verify=True)
+        without = inj(tree_q, tree_p, verify=False)
+        assert with_verify.pair_keys() <= without.pair_keys()
+        assert without.result_count == without.candidate_count
+
+    def test_candidates_bounded_below_by_results(self, workload):
+        _, _, tree_p, tree_q, _ = workload
+        report = inj(tree_q, tree_p)
+        assert report.candidate_count >= report.result_count
+
+    def test_candidates_far_below_cartesian(self, workload):
+        points_p, points_q, tree_p, tree_q, _ = workload
+        report = inj(tree_q, tree_p)
+        assert report.candidate_count < len(points_p) * len(points_q) / 10
+
+
+class TestAccounting:
+    def test_cost_fields_populated(self, workload):
+        _, _, tree_p, tree_q, _ = workload
+        report = inj(tree_q, tree_p)
+        assert report.algorithm == "INJ"
+        assert report.node_accesses > 0
+        assert report.page_faults > 0
+        assert report.cpu_seconds > 0
+        assert report.io_seconds == pytest.approx(
+            report.page_faults * 0.010
+        )
+
+    def test_custom_cost_model(self, workload):
+        _, _, tree_p, tree_q, _ = workload
+        report = inj(tree_q, tree_p, cost_model=CostModel(ms_per_fault=100.0))
+        assert report.io_seconds == pytest.approx(report.page_faults * 0.1)
+
+    def test_depth_first_order_faults_less_than_random(self):
+        # Section 3.4: DF order exploits buffer locality.
+        points_p = uniform(1500, seed=31)
+        points_q = uniform(1500, seed=32, start_oid=2000)
+        tree_p = bulk_load(points_p, name="TP")
+        tree_q = bulk_load(points_q, name="TQ")
+        # A buffer large enough to hold a per-point working set: that is
+        # where the depth-first locality of Section 3.4 pays off.
+        buf = buffer_for_trees([tree_p, tree_q], 0.40)
+        tree_p.attach_buffer(buf)
+        tree_q.attach_buffer(buf)
+
+        buf.clear(); buf.stats.reset()
+        df = inj(tree_q, tree_p, search_order="depth_first")
+        buf.clear(); buf.stats.reset()
+        rand = inj(tree_q, tree_p, search_order="random", seed=5)
+        assert df.page_faults < rand.page_faults

@@ -1,0 +1,115 @@
+"""Property tests of the paper's pruning lemmas.
+
+These tests check the *mathematical statements* of Lemmas 1, 2, 3 and 5
+directly against the brute-force definition of the ring constraint, on
+adversarial lattice configurations.
+"""
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.geometry.ring import Ring
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+lattice = st.integers(min_value=0, max_value=32).map(float)
+point_st = st.tuples(lattice, lattice)
+
+
+class TestLemma1:
+    """Any p' strictly inside Ψ−(q, p) cannot form an RCJ pair with q,
+    because p lies strictly inside the circle of <p', q>."""
+
+    @given(point_st, point_st, point_st)
+    @settings(suppress_health_check=[HealthCheck.filter_too_much])
+    def test_pruned_pair_is_invalid(self, qc, pc, oc):
+        q, p, other = Point(*qc, 1), Point(*pc, 2), Point(*oc, 3)
+        assume(not q.same_location(p))
+        hp = HalfPlane.psi_minus(q, p)
+        assume(hp.contains_point(other.x, other.y))
+        circle = Ring.of_pair(other, q)
+        # p strictly inside => pair <other, q> invalid w.r.t. {p}.
+        assert circle.contains_point(p.x, p.y)
+
+
+class TestLemma2:
+    """Points in Ψ+(q, p) are *independent* of p: p never lies strictly
+    inside their pair circle, so the pruning region is maximal."""
+
+    @given(point_st, point_st, point_st)
+    @settings(suppress_health_check=[HealthCheck.filter_too_much])
+    def test_unpruned_pair_unaffected_by_p(self, qc, pc, oc):
+        q, p, other = Point(*qc, 1), Point(*pc, 2), Point(*oc, 3)
+        assume(not q.same_location(p))
+        hp = HalfPlane.psi_minus(q, p)
+        assume(not hp.contains_point(other.x, other.y))  # other in Ψ+ or on L
+        circle = Ring.of_pair(other, q)
+        assert not circle.contains_point(p.x, p.y)
+
+
+class TestLemma3:
+    """An MBR entirely inside Ψ−(q, p) contains no joinable point."""
+
+    @given(
+        point_st,
+        point_st,
+        st.lists(
+            st.tuples(st.floats(0.5, 8.0), st.floats(-8.0, 8.0)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(suppress_health_check=[HealthCheck.filter_too_much])
+    def test_every_point_of_contained_mbr_pruned(self, qc, pc, offsets):
+        q, p = Point(*qc, 1), Point(*pc, 2)
+        assume(not q.same_location(p))
+        # Construct points strictly beyond L(q, p): p + t*n + s*perp
+        # with t > 0 (their MBR usually lands inside Ψ−, which is what
+        # the lemma is about).
+        norm = math.hypot(p.x - q.x, p.y - q.y)
+        nx, ny = (p.x - q.x) / norm, (p.y - q.y) / norm
+        pts = [
+            Point(p.x + t * nx - s * ny, p.y + t * ny + s * nx, 10 + i)
+            for i, (t, s) in enumerate(offsets)
+        ]
+        mbr = Rect.from_points(pts)
+        hp = HalfPlane.psi_minus(q, p)
+        assume(hp.contains_rect(mbr))
+        for other in pts:
+            # Containment of the MBR implies containment of each point,
+            # hence Lemma 1 applies pointwise.
+            assert hp.contains_point(other.x, other.y)
+            assert Ring.of_pair(other, q).contains_point(p.x, p.y)
+
+
+class TestLemma5:
+    """The symmetric rule: a point q' of Q prunes P points exactly like
+    a discovered P point does."""
+
+    @given(point_st, point_st, point_st)
+    @settings(suppress_health_check=[HealthCheck.filter_too_much])
+    def test_symmetric_pruning_sound(self, qc, q2c, pc):
+        q, q_prime, p = Point(*qc, 1), Point(*q2c, 2), Point(*pc, 3)
+        assume(not q.same_location(q_prime))
+        hp = HalfPlane.psi_minus(q, q_prime)
+        assume(hp.contains_point(p.x, p.y))
+        circle = Ring.of_pair(p, q)
+        # q' strictly inside the circle of <p, q>: pair invalid.
+        assert circle.contains_point(q_prime.x, q_prime.y)
+
+
+class TestPrunedPointsAreFarther:
+    """Geometric sanity: a point prunable via Ψ−(q, p) is farther from
+    q than p is — so discovering points in ascending distance (the
+    filter's INN order) maximises pruning power."""
+
+    @given(point_st, point_st, point_st)
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.filter_too_much])
+    def test_ordering(self, qc, pc, oc):
+        q, p, other = Point(*qc), Point(*pc), Point(*oc)
+        assume(not q.same_location(p))
+        hp = HalfPlane.psi_minus(q, p)
+        assume(hp.contains_point(other.x, other.y))
+        assert q.dist_sq_to(other) > q.dist_sq_to(p)

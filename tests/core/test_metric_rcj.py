@@ -1,0 +1,108 @@
+"""Unit tests for the metric-generalised RCJ (paper future work)."""
+
+import random
+
+import pytest
+
+from repro.core.brute import brute_force_rcj
+from repro.core.metric_rcj import metric_rcj
+from repro.geometry.point import Point
+
+
+def random_points(n, seed, start_oid=0, span=1000.0):
+    rng = random.Random(seed)
+    return [
+        Point(rng.uniform(0, span), rng.uniform(0, span), start_oid + i)
+        for i in range(n)
+    ]
+
+
+class TestEuclideanCoincidence:
+    def test_l2_matches_standard_rcj(self):
+        p = random_points(50, seed=1)
+        q = random_points(45, seed=2, start_oid=100)
+        got = {r.key() for r in metric_rcj(p, q, "l2")}
+        ref = {r.key() for r in brute_force_rcj(p, q)}
+        assert got == ref
+
+    def test_l2_matches_on_multiple_seeds(self):
+        for seed in range(4):
+            p = random_points(35, seed=seed + 10)
+            q = random_points(30, seed=seed + 50, start_oid=500)
+            got = {r.key() for r in metric_rcj(p, q, "l2")}
+            ref = {r.key() for r in brute_force_rcj(p, q)}
+            assert got == ref, f"seed {seed}"
+
+
+class TestAlternativeMetrics:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            metric_rcj([Point(0, 0, 0)], [Point(1, 1, 1)], "l7")
+
+    def test_empty_inputs(self):
+        assert metric_rcj([], [Point(0, 0, 0)], "l1") == []
+        assert metric_rcj([Point(0, 0, 0)], [], "linf") == []
+
+    def test_isolated_pair_joins_under_every_metric(self):
+        p, q = [Point(0, 0, 0)], [Point(10, 3, 1)]
+        for name in ("l1", "l2", "linf"):
+            assert [r.key() for r in metric_rcj(p, q, name)] == [(0, 1)]
+
+    def test_l1_blocking_differs_from_l2(self):
+        # Blocker inside the L1 diamond but outside the L2 circle:
+        # pair p=(0,0), q=(8,0): L1 ball = diamond around (4,0) radius 4;
+        # L2 ball = circle radius 4.  Point (4.0, 3.5): L1 distance 3.5
+        # (inside diamond); L2 distance 3.5 < 4 -- also inside.  Use
+        # (6.5, 2.0): L1 = 4.5 > 4 outside diamond; L2 = 3.2 < 4 inside
+        # circle.
+        p = [Point(0, 0, 0), Point(6.5, 2.0, 1)]
+        q = [Point(8, 0, 2)]
+        l1_keys = {r.key() for r in metric_rcj(p, q, "l1")}
+        l2_keys = {r.key() for r in metric_rcj(p, q, "l2")}
+        assert (0, 2) in l1_keys  # diamond misses the blocker
+        assert (0, 2) not in l2_keys  # circle catches it
+
+    def test_linf_blocking_differs_from_l2(self):
+        # Corner of the L-inf square not covered by the circle:
+        # p=(0,0), q=(8,0): square radius 4 around (4,0) spans
+        # [0,8]x[-4,4]; point (7.5, 3.5) is inside the square (linf
+        # distance 3.5) but l2 distance 4.95 > 4, outside the circle.
+        p = [Point(0, 0, 0), Point(7.5, 3.5, 1)]
+        q = [Point(8, 0, 2)]
+        linf_keys = {r.key() for r in metric_rcj(p, q, "linf")}
+        l2_keys = {r.key() for r in metric_rcj(p, q, "l2")}
+        assert (0, 2) not in linf_keys  # square catches the blocker
+        assert (0, 2) in l2_keys
+
+    def test_endpoints_never_block_any_metric(self):
+        p = [Point(0, 0, 0)]
+        q = [Point(6, 6, 1), Point(3, 3, 2)]
+        for name in ("l1", "l2", "linf"):
+            keys = {r.key() for r in metric_rcj(p, q, name)}
+            # (0, 2) valid: midpoint ball of the tighter pair is empty.
+            assert (0, 2) in keys
+
+    def test_exclude_same_oid(self):
+        pts = random_points(25, seed=3)
+        keys = {r.key() for r in metric_rcj(pts, pts, "l1", exclude_same_oid=True)}
+        assert all(a != b for a, b in keys)
+
+    def test_matches_direct_ball_scan(self):
+        # Independent O(n^3) check of the grid-backed implementation.
+        from repro.geometry.metrics import get_metric
+
+        p = random_points(25, seed=21)
+        q = random_points(25, seed=22, start_oid=50)
+        everyone = p + q
+        for name in ("l1", "linf"):
+            metric = get_metric(name)
+            expected = set()
+            for a in p:
+                for b in q:
+                    ball = metric.pair_ball(a, b)
+                    if not any(
+                        ball.contains_point(x.x, x.y) for x in everyone
+                    ):
+                        expected.add((a.oid, b.oid))
+            got = {r.key() for r in metric_rcj(p, q, name)}
+            assert got == expected, name

@@ -1,0 +1,62 @@
+"""Unit tests for RCJ result/accounting types."""
+
+import math
+
+from repro.core.pairs import Candidate, JoinReport, RCJPair
+from repro.geometry.point import Point
+
+
+class TestRCJPair:
+    def test_circle_derived_from_endpoints(self):
+        pair = RCJPair(Point(0, 0, 1), Point(4, 0, 2))
+        assert pair.center == (2.0, 0.0)
+        assert pair.radius == 2.0
+        assert pair.diameter == 4.0
+
+    def test_key_is_oid_pair(self):
+        assert RCJPair(Point(0, 0, 5), Point(1, 1, 9)).key() == (5, 9)
+
+    def test_center_is_fair(self):
+        # Equidistant from both endpoints (the fairness property).
+        pair = RCJPair(Point(1, 7, 0), Point(-3, 2, 1))
+        cx, cy = pair.center
+        dp = math.hypot(pair.p.x - cx, pair.p.y - cy)
+        dq = math.hypot(pair.q.x - cx, pair.q.y - cy)
+        assert math.isclose(dp, dq)
+        assert math.isclose(dp, pair.radius)
+
+    def test_equality_by_identity(self):
+        a = RCJPair(Point(0, 0, 1), Point(1, 1, 2))
+        b = RCJPair(Point(0, 0, 1), Point(1, 1, 2))
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestCandidate:
+    def test_starts_alive(self):
+        c = Candidate(Point(0, 0, 1), Point(2, 2, 2))
+        assert c.alive
+
+    def test_promotion_preserves_circle(self):
+        c = Candidate(Point(0, 0, 1), Point(2, 0, 2))
+        pair = c.to_pair()
+        assert pair.circle is c.circle
+        assert pair.key() == (1, 2)
+
+
+class TestJoinReport:
+    def test_counts_and_totals(self):
+        report = JoinReport("X")
+        report.pairs = [RCJPair(Point(0, 0, 1), Point(1, 1, 2))]
+        report.cpu_seconds = 1.5
+        report.io_seconds = 0.5
+        assert report.result_count == 1
+        assert report.total_seconds == 2.0
+
+    def test_pair_keys(self):
+        report = JoinReport("X")
+        report.pairs = [
+            RCJPair(Point(0, 0, 1), Point(1, 1, 2)),
+            RCJPair(Point(0, 0, 3), Point(1, 1, 4)),
+        ]
+        assert report.pair_keys() == {(1, 2), (3, 4)}

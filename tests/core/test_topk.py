@@ -1,0 +1,84 @@
+"""Unit tests for the incremental / top-k RCJ."""
+
+import itertools
+
+from repro.core.brute import brute_force_rcj
+from repro.core.topk import incremental_rcj, top_k_rcj
+from repro.datasets.synthetic import uniform
+from repro.rtree.bulk import bulk_load
+
+
+def build(n_p=150, n_q=130, seed_p=1, seed_q=2):
+    points_p = uniform(n_p, seed=seed_p)
+    points_q = uniform(n_q, seed=seed_q, start_oid=n_p)
+    return (
+        points_p,
+        points_q,
+        bulk_load(points_p, name="TP"),
+        bulk_load(points_q, name="TQ"),
+    )
+
+
+class TestIncrementalRCJ:
+    def test_ascending_diameter(self):
+        _, _, tree_p, tree_q = build()
+        diameters = [
+            pair.diameter
+            for pair in itertools.islice(incremental_rcj(tree_p, tree_q), 50)
+        ]
+        assert diameters == sorted(diameters)
+
+    def test_full_enumeration_matches_oracle(self):
+        points_p, points_q, tree_p, tree_q = build()
+        got = {pair.key() for pair in incremental_rcj(tree_p, tree_q)}
+        ref = {r.key() for r in brute_force_rcj(points_p, points_q)}
+        assert got == ref
+
+    def test_no_duplicates(self):
+        _, _, tree_p, tree_q = build()
+        keys = [pair.key() for pair in incremental_rcj(tree_p, tree_q)]
+        assert len(keys) == len(set(keys))
+
+
+class TestTopK:
+    def test_k_zero(self):
+        _, _, tree_p, tree_q = build()
+        assert top_k_rcj(tree_p, tree_q, 0) == []
+
+    def test_top_k_are_global_minima(self):
+        points_p, points_q, tree_p, tree_q = build()
+        ref = sorted(
+            brute_force_rcj(points_p, points_q), key=lambda r: r.diameter
+        )
+        got = top_k_rcj(tree_p, tree_q, 10)
+        assert [p.diameter for p in got] == [
+            r.diameter for r in ref[:10]
+        ]
+
+    def test_k_exceeds_result_size(self):
+        points_p, points_q, tree_p, tree_q = build(n_p=30, n_q=25)
+        ref = brute_force_rcj(points_p, points_q)
+        got = top_k_rcj(tree_p, tree_q, 10_000)
+        assert len(got) == len(ref)
+
+    def test_lazy_behaviour(self):
+        # Small k should read far fewer nodes than the full join.
+        _, _, tree_p, tree_q = build(n_p=1500, n_q=1500, seed_p=5, seed_q=6)
+        tree_p.reset_stats()
+        tree_q.reset_stats()
+        top_k_rcj(tree_p, tree_q, 5)
+        few = tree_p.node_accesses + tree_q.node_accesses
+
+        tree_p.reset_stats()
+        tree_q.reset_stats()
+        for _ in incremental_rcj(tree_p, tree_q):
+            pass
+        all_cost = tree_p.node_accesses + tree_q.node_accesses
+        assert few < all_cost / 10
+
+    def test_self_join_mode(self):
+        points = uniform(100, seed=9)
+        tree = bulk_load(points)
+        pairs = top_k_rcj(tree, tree, 20, exclude_same_oid=True)
+        assert pairs
+        assert all(p.p.oid != p.q.oid for p in pairs)

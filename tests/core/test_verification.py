@@ -1,0 +1,123 @@
+"""Unit and property tests for the Verification step (Algorithm 3)."""
+
+from hypothesis import given, settings
+
+from repro.core.pairs import Candidate
+from repro.core.verification import verify_circles
+from repro.geometry.point import Point
+from repro.rtree.bulk import bulk_load
+
+from tests.conftest import lattice_pointset, make_points
+
+
+def survivors(tree, candidates):
+    verify_circles(tree, candidates)
+    return {c.p.oid for c in candidates if c.alive}
+
+
+class TestVerifyBasics:
+    def test_empty_candidate_set(self):
+        tree = bulk_load([Point(0, 0, 0)])
+        verify_circles(tree, [])  # no crash
+
+    def test_point_inside_kills_candidate(self):
+        # Paper Figure 7b: a point inside the circle prunes the pair.
+        tree = bulk_load([Point(5, 1, 7)])
+        cand = Candidate(Point(0, 0, 0), Point(10, 0, 1))
+        verify_circles(tree, [cand])
+        assert not cand.alive
+
+    def test_disjoint_data_keeps_candidate(self):
+        # Paper Figure 7c: disjoint entries are irrelevant.
+        tree = bulk_load([Point(100, 100, 7)])
+        cand = Candidate(Point(0, 0, 0), Point(10, 0, 1))
+        verify_circles(tree, [cand])
+        assert cand.alive
+
+    def test_endpoint_itself_never_kills(self):
+        # p is in TP and lies on its own circle boundary.
+        p = Point(0, 0, 0)
+        tree = bulk_load([p])
+        cand = Candidate(p, Point(10, 0, 1))
+        verify_circles(tree, [cand])
+        assert cand.alive
+
+    def test_boundary_point_does_not_kill(self):
+        tree = bulk_load([Point(5, 5, 7)])  # exactly on the circle
+        cand = Candidate(Point(0, 0, 0), Point(10, 0, 1))
+        verify_circles(tree, [cand])
+        assert cand.alive
+
+    def test_dead_candidates_skipped(self):
+        tree = bulk_load([Point(5, 0, 7)])
+        cand = Candidate(Point(0, 0, 0), Point(10, 0, 1))
+        cand.alive = False
+        verify_circles(tree, [cand])
+        assert not cand.alive
+
+    def test_zero_radius_candidate_survives_everything(self):
+        tree = bulk_load([Point(i, i, i) for i in range(20)])
+        cand = Candidate(Point(3, 3, 100), Point(3, 3, 101))
+        verify_circles(tree, [cand])
+        assert cand.alive
+
+    def test_many_candidates_mixed_outcome(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        good = Candidate(Point(-100, -100, 200), Point(-101, -101, 201))
+        bad = Candidate(Point(0, 0, 202), Point(10000, 10000, 203))
+        verify_circles(tree, [good, bad])
+        assert good.alive
+        assert not bad.alive
+
+
+class TestSweepPathEquivalence:
+    """The plane-sweep fast path must agree with the nested loop."""
+
+    @given(
+        lattice_pointset(min_size=1, max_size=40),
+        lattice_pointset(min_size=2, max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sweep_matches_naive(self, data_coords, cand_coords):
+        data = make_points(data_coords)
+        tree = bulk_load(data, page_size=128)
+        # Candidate circles from consecutive coordinate pairs.
+        cand_pts = make_points(cand_coords, start_oid=500)
+        pairs = list(zip(cand_pts[::2], cand_pts[1::2]))
+        if not pairs:
+            return
+
+        from repro.core import verification
+
+        naive = [Candidate(a, b) for a, b in pairs]
+        old_threshold = verification._SWEEP_THRESHOLD
+        try:
+            verification._SWEEP_THRESHOLD = 10**9  # force naive
+            verify_circles(tree, naive)
+            swept = [Candidate(a, b) for a, b in pairs]
+            verification._SWEEP_THRESHOLD = 0  # force sweep
+            verify_circles(tree, swept)
+        finally:
+            verification._SWEEP_THRESHOLD = old_threshold
+        assert [c.alive for c in naive] == [c.alive for c in swept]
+
+
+class TestVerifyAgainstLinearScan:
+    @given(
+        lattice_pointset(min_size=1, max_size=30),
+        lattice_pointset(min_size=2, max_size=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_alive_iff_circle_empty(self, data_coords, cand_coords):
+        data = make_points(data_coords)
+        tree = bulk_load(data, page_size=128)
+        cand_pts = make_points(cand_coords, start_oid=500)
+        cands = [
+            Candidate(a, b) for a, b in zip(cand_pts[::2], cand_pts[1::2])
+        ]
+        verify_circles(tree, cands)
+        for c in cands:
+            expected = not any(
+                c.circle.contains_point(p.x, p.y) for p in data
+            )
+            assert c.alive == expected

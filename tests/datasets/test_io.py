@@ -1,0 +1,39 @@
+"""Unit tests for pointset serialisation."""
+
+import pytest
+
+from repro.datasets.io import load_points, save_points
+from repro.datasets.synthetic import uniform
+from repro.geometry.point import Point
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        pts = uniform(100, seed=1)
+        path = str(tmp_path / "pts.txt")
+        save_points(pts, path)
+        assert load_points(path) == pts
+
+    def test_exact_float_preservation(self, tmp_path):
+        pts = [Point(0.1 + 0.2, 1e-17, 5)]
+        path = str(tmp_path / "pts.txt")
+        save_points(pts, path)
+        restored = load_points(path)
+        assert restored[0].x == 0.1 + 0.2
+        assert restored[0].y == 1e-17
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = str(tmp_path / "pts.txt")
+        path_obj = tmp_path / "pts.txt"
+        path_obj.write_text("# header\n\n1 2.0 3.0\n")
+        assert load_points(path) == [Point(2.0, 3.0, 1)]
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path_obj = tmp_path / "bad.txt"
+        path_obj.write_text("1 2.0\n")
+        with pytest.raises(ValueError, match="bad.txt:1"):
+            load_points(str(path_obj))
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            load_points("/nonexistent/file.txt")

@@ -1,0 +1,105 @@
+"""Unit tests for the USGS-dataset stand-ins."""
+
+import pytest
+
+from repro.datasets.real import (
+    REAL_CARDINALITIES,
+    join_combination,
+    locales,
+    populated_places,
+    schools,
+)
+from repro.datasets.synthetic import DOMAIN
+
+
+class TestCardinalities:
+    def test_paper_table2_values(self):
+        assert REAL_CARDINALITIES == {
+            "PP": 177_983,
+            "SC": 172_188,
+            "LO": 128_476,
+        }
+
+    def test_scaled_sizes(self):
+        assert len(populated_places(scale=100)) == 177_983 // 100
+        assert len(schools(scale=100)) == 172_188 // 100
+        assert len(locales(scale=100)) == 128_476 // 100
+
+    def test_cardinality_ratio_preserved(self):
+        pp = len(populated_places(scale=64))
+        sc = len(schools(scale=64))
+        ratio_paper = REAL_CARDINALITIES["PP"] / REAL_CARDINALITIES["SC"]
+        assert abs(pp / sc - ratio_paper) < 0.01
+
+
+class TestStructure:
+    def test_in_domain(self):
+        lo, hi = DOMAIN
+        for p in populated_places(scale=200):
+            assert lo <= p.x <= hi and lo <= p.y <= hi
+
+    def test_deterministic(self):
+        assert populated_places(scale=200, seed=7) == populated_places(
+            scale=200, seed=7
+        )
+
+    def test_clustered_not_uniform(self):
+        # The stand-in must be visibly skewed: compare coarse-cell
+        # occupancy variance against a uniform sample of the same size.
+        from repro.datasets.synthetic import uniform
+
+        def variance(points, cells=10):
+            lo, hi = DOMAIN
+            width = (hi - lo) / cells
+            counts = {}
+            for p in points:
+                key = (int((p.x - lo) / width), int((p.y - lo) / width))
+                counts[key] = counts.get(key, 0) + 1
+            mean = len(points) / (cells * cells)
+            return sum(
+                (counts.get((i, j), 0) - mean) ** 2
+                for i in range(cells)
+                for j in range(cells)
+            )
+
+        pp = populated_places(scale=64)
+        flat = uniform(len(pp), seed=1)
+        assert variance(pp) > 3 * variance(flat)
+
+    def test_datasets_spatially_correlated(self):
+        # Schools concentrate near populated places: mean NN distance
+        # from SC to PP is far below the uniform expectation.
+        from repro.geometry.point import Point
+        from scipy.spatial import cKDTree
+        import numpy as np
+
+        pp = populated_places(scale=64)
+        sc = schools(scale=64)
+        tree = cKDTree(np.array([(p.x, p.y) for p in pp]))
+        dists, _ = tree.query(np.array([(s.x, s.y) for s in sc]))
+        mean_nn = float(dists.mean())
+        # Uniform expectation ~ 0.5 / sqrt(density).
+        expected_uniform = 0.5 * 10000 / (len(pp) ** 0.5)
+        assert mean_nn < expected_uniform
+
+
+class TestJoinCombinations:
+    def test_sp_roles(self):
+        q, p = join_combination("SP", scale=200)
+        # SP: Q = SC, P = PP (paper Table 3).
+        assert len(q) == 172_188 // 200
+        assert len(p) == 177_983 // 200
+
+    def test_primed_combination_swaps_roles(self):
+        q1, p1 = join_combination("LP", scale=200)
+        q2, p2 = join_combination("LP'", scale=200)
+        assert len(q1) == len(p2)
+        assert len(p1) == len(q2)
+
+    def test_disjoint_oids(self):
+        q, p = join_combination("SP", scale=200)
+        assert {x.oid for x in q}.isdisjoint({x.oid for x in p})
+
+    def test_unknown_combination_rejected(self):
+        with pytest.raises(ValueError, match="unknown join combination"):
+            join_combination("XX")

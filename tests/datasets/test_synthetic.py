@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, gaussian_clusters, uniform
+
+
+class TestUniform:
+    def test_cardinality_and_oids(self):
+        pts = uniform(100, seed=1, start_oid=50)
+        assert len(pts) == 100
+        assert [p.oid for p in pts] == list(range(50, 150))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            uniform(-1)
+
+    def test_in_domain(self):
+        lo, hi = DOMAIN
+        for p in uniform(500, seed=2):
+            assert lo <= p.x <= hi
+            assert lo <= p.y <= hi
+
+    def test_deterministic_per_seed(self):
+        assert uniform(50, seed=3) == uniform(50, seed=3)
+        assert uniform(50, seed=3) != uniform(50, seed=4)
+
+    def test_roughly_uniform_spread(self):
+        # Quadrant counts of 4000 uniform points stay within 3 sigma.
+        pts = uniform(4000, seed=5)
+        mid = (DOMAIN[0] + DOMAIN[1]) / 2
+        quadrants = [0, 0, 0, 0]
+        for p in pts:
+            quadrants[(p.x >= mid) * 2 + (p.y >= mid)] += 1
+        for count in quadrants:
+            assert abs(count - 1000) < 3 * (4000 * 0.25 * 0.75) ** 0.5
+
+
+class TestGaussianClusters:
+    def test_cardinality(self):
+        assert len(gaussian_clusters(200, w=5, seed=1)) == 200
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(-1, w=2)
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, w=0)
+
+    def test_clamped_to_domain(self):
+        lo, hi = DOMAIN
+        for p in gaussian_clusters(1000, w=2, seed=2):
+            assert lo <= p.x <= hi
+            assert lo <= p.y <= hi
+
+    def test_equal_cluster_sizes(self):
+        # Points are assigned round-robin: cluster sizes differ by <= 1.
+        pts = gaussian_clusters(103, w=5, seed=3)
+        assert len(pts) == 103
+
+    def test_more_clusters_less_skew(self):
+        # With more clusters the point spread widens (less skew):
+        # measure the variance of cell occupancy on a coarse histogram.
+        def occupancy_variance(points, cells=10):
+            lo, hi = DOMAIN
+            width = (hi - lo) / cells
+            counts = {}
+            for p in points:
+                key = (int((p.x - lo) / width), int((p.y - lo) / width))
+                counts[key] = counts.get(key, 0) + 1
+            total_cells = cells * cells
+            mean = len(points) / total_cells
+            return sum(
+                (counts.get((i, j), 0) - mean) ** 2
+                for i in range(cells)
+                for j in range(cells)
+            ) / total_cells
+
+        skewed = occupancy_variance(gaussian_clusters(3000, w=2, seed=4))
+        spread = occupancy_variance(gaussian_clusters(3000, w=20, seed=4))
+        assert spread < skewed
+
+    def test_deterministic_per_seed(self):
+        a = gaussian_clusters(60, w=3, seed=7)
+        b = gaussian_clusters(60, w=3, seed=7)
+        assert a == b

@@ -1,0 +1,118 @@
+"""Tests for the GNIS (USGS) file loader."""
+
+import pytest
+
+from repro.datasets.usgs import (
+    FEATURE_CLASSES,
+    GNISFormatError,
+    load_gnis,
+    normalize,
+)
+from repro.geometry.point import Point
+
+HEADER = (
+    "FEATURE_ID|FEATURE_NAME|FEATURE_CLASS|STATE_ALPHA|"
+    "PRIM_LAT_DEC|PRIM_LONG_DEC|ELEV_IN_M\n"
+)
+
+ROWS = [
+    "1397658|Anchorage|Populated Place|AK|61.2180556|-149.9002778|31\n",
+    "1419836|Denali School|School|AK|63.1148|-149.42|610\n",
+    "561847|Eagle Camp|Locale|AK|64.787|-141.2|0\n",
+    "561848|Nowhere|Locale|AK|0.0|0.0|0\n",            # unknown-coords sentinel
+    "561849|Badrow|Locale|AK|not-a-number|-141.2|0\n",  # malformed
+    "1397659|Juneau|Populated Place|AK|58.3019444|-134.4197222|17\n",
+    "1397660|Fairbanks|Populated Place|AK|64.8377778|-147.7163889|136\n",
+]
+
+
+@pytest.fixture
+def gnis_file(tmp_path):
+    path = tmp_path / "AK_Features.txt"
+    path.write_text(HEADER + "".join(ROWS))
+    return str(path)
+
+
+class TestLoadGNIS:
+    def test_filters_by_class_name(self, gnis_file):
+        pts = load_gnis(gnis_file, "Populated Place")
+        assert {p.oid for p in pts} == {1397658, 1397659, 1397660}
+
+    def test_paper_dataset_ids(self, gnis_file):
+        assert len(load_gnis(gnis_file, "PP")) == 3
+        assert len(load_gnis(gnis_file, "SC")) == 1
+        assert len(load_gnis(gnis_file, "LO")) == 1
+
+    def test_coordinates_are_lon_lat(self, gnis_file):
+        (anchorage,) = [p for p in load_gnis(gnis_file, "PP") if p.oid == 1397658]
+        assert anchorage.x == pytest.approx(-149.9002778)
+        assert anchorage.y == pytest.approx(61.2180556)
+
+    def test_unknown_sentinel_and_malformed_rows_dropped(self, gnis_file):
+        pts = load_gnis(gnis_file, "Locale")
+        assert {p.oid for p in pts} == {561847}
+
+    def test_limit(self, gnis_file):
+        assert len(load_gnis(gnis_file, "PP", limit=2)) == 2
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("A|B|C\n1|2|3\n")
+        with pytest.raises(GNISFormatError):
+            load_gnis(str(path), "PP")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(GNISFormatError):
+            load_gnis(str(path), "PP")
+
+    def test_short_rows_skipped(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text(HEADER + "1|x\n" + ROWS[0])
+        assert len(load_gnis(str(path), "PP")) == 1
+
+    def test_all_paper_ids_have_class_names(self):
+        assert set(FEATURE_CLASSES) == {"PP", "SC", "LO"}
+
+
+class TestNormalize:
+    def test_joint_domain(self):
+        a = [Point(-150.0, 60.0, 0), Point(-140.0, 70.0, 1)]
+        b = [Point(-145.0, 65.0, 0)]
+        na, nb = normalize([a, b])
+        # Joint bbox is 10 x 10 degrees -> scale 1000 per degree.
+        assert (na[0].x, na[0].y) == (0.0, 0.0)
+        assert (na[1].x, na[1].y) == (10000.0, 10000.0)
+        assert (nb[0].x, nb[0].y) == (5000.0, 5000.0)
+
+    def test_oids_preserved(self):
+        pts = [Point(1, 2, 42), Point(3, 4, 43)]
+        (out,) = normalize([pts])
+        assert [p.oid for p in out] == [42, 43]
+
+    def test_aspect_ratio_preserved(self):
+        pts = [Point(0, 0, 0), Point(20, 10, 1)]
+        (out,) = normalize([pts])
+        assert out[1].x == 10000.0
+        assert out[1].y == 5000.0  # same scale on both axes
+
+    def test_single_point(self):
+        (out,) = normalize([[Point(7, 8, 0)]])
+        assert (out[0].x, out[0].y) == (0.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([[], []])
+
+    def test_loaded_data_joins_cleanly(self, tmp_path):
+        """End to end: parse, normalise, join."""
+        path = tmp_path / "f.txt"
+        path.write_text(HEADER + "".join(ROWS))
+        pp = load_gnis(str(path), "PP")
+        sc_lo = load_gnis(str(path), "SC") + load_gnis(str(path), "LO")
+        npp, nother = normalize([pp, sc_lo])
+        from repro.core.brute import brute_force_rcj
+
+        pairs = brute_force_rcj(npp, nother)
+        assert pairs  # tiny inputs: at least one valid middleman

@@ -1,0 +1,194 @@
+"""Tests for the adversarial pointset families and the result-size
+regimes they exhibit (the paper's future-work study)."""
+
+import math
+
+import pytest
+
+from repro.core.brute import brute_force_rcj
+from repro.datasets.worstcase import (
+    cocircular,
+    coincident,
+    collinear,
+    lattice,
+    split_alternating,
+    two_clusters,
+)
+from repro.evaluation.analysis import upper_bound_result_size
+from repro.geometry.ring import Ring
+
+
+def _gabriel_edge_count(points) -> int:
+    """All (monochromatic + bichromatic) Gabriel edges, brute force."""
+    n = len(points)
+    edges = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            ring = Ring.of_pair(points[i], points[j])
+            if not any(
+                ring.contains_point(z.x, z.y)
+                for k, z in enumerate(points)
+                if k != i and k != j
+            ):
+                edges += 1
+    return edges
+
+
+class TestGenerators:
+    def test_collinear_even_spacing(self):
+        pts = collinear(10)
+        xs = [p.x for p in pts]
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert all(math.isclose(g, gaps[0]) for g in gaps)
+        assert len({p.y for p in pts}) == 1
+
+    def test_collinear_jitter(self):
+        pts = collinear(10, jitter=5.0, seed=3)
+        assert len({p.y for p in pts}) > 1
+
+    def test_cocircular_on_circle(self):
+        pts = cocircular(12, radius=1000.0)
+        cx = cy = 5000.0
+        for p in pts:
+            assert math.isclose(math.hypot(p.x - cx, p.y - cy), 1000.0)
+
+    def test_lattice_size_and_distinct(self):
+        pts = lattice(50)
+        assert len(pts) == 49  # largest full square <= 50
+        assert len({(p.x, p.y) for p in pts}) == len(pts)
+
+    def test_coincident_all_same(self):
+        pts = coincident(7)
+        assert len({(p.x, p.y) for p in pts}) == 1
+        assert len({p.oid for p in pts}) == 7
+
+    def test_two_clusters_bimodal(self):
+        pts = two_clusters(200, separation=8000.0, spread=50.0, seed=1)
+        left = [p for p in pts if p.x < 5000]
+        right = [p for p in pts if p.x >= 5000]
+        assert len(left) > 50 and len(right) > 50
+
+    def test_split_alternating_renumbers(self):
+        ps, qs = split_alternating(collinear(9))
+        assert [p.oid for p in ps] == list(range(5))
+        assert [q.oid for q in qs] == list(range(4))
+
+    @pytest.mark.parametrize(
+        "gen", [collinear, cocircular, lattice, coincident]
+    )
+    def test_negative_size_rejected(self, gen):
+        with pytest.raises(ValueError):
+            gen(-1)
+
+    def test_empty_families(self):
+        assert collinear(0) == []
+        assert lattice(0) == []
+        assert coincident(0) == []
+
+
+class TestResultSizeRegimes:
+    def test_collinear_rcj_is_the_path(self):
+        """Alternating split of a line: exactly the adjacent pairs."""
+        pts = collinear(21)
+        ps, qs = split_alternating(pts)
+        result = brute_force_rcj(ps, qs)
+        assert len(result) == 20  # every adjacency is bichromatic
+
+    def test_cocircular_regular_2m_gon_edges(self):
+        """Strict convention on a regular 2m-gon: the 2m sides always
+        qualify; the m diametral ties resolve by floating-point
+        rounding, so the count stays within [2m, 3m]."""
+        m = 8
+        pts = cocircular(2 * m)
+        edges = _gabriel_edge_count(pts)
+        assert 2 * m <= edges <= 3 * m
+
+    def test_cocircular_sides_always_qualify(self):
+        """Adjacent-vertex rings have a real margin from the other
+        vertices, immune to rounding."""
+        pts = cocircular(16)
+        n = len(pts)
+        for i in range(n):
+            j = (i + 1) % n
+            ring = Ring.of_pair(pts[i], pts[j])
+            assert not any(
+                ring.contains_point(z.x, z.y)
+                for k, z in enumerate(pts)
+                if k != i and k != j
+            )
+
+    def test_lattice_breaks_planar_bound(self):
+        """Cocircular unit cells put both crossing diagonals in the
+        graph: the general-position bound 3N-6 is exceeded."""
+        pts = lattice(49)
+        edges = _gabriel_edge_count(pts)
+        n = len(pts)
+        assert edges > 3 * n - 6
+        assert edges <= 4 * n  # the empirical lattice regime
+
+    def test_coincident_result_is_quadratic(self):
+        ps, qs = split_alternating(coincident(12))
+        result = brute_force_rcj(ps, qs)
+        assert len(result) == len(ps) * len(qs)
+        assert len(result) == upper_bound_result_size(
+            len(ps), len(qs), general_position=False
+        )
+
+    def test_general_position_bound_holds_on_uniform(self):
+        from repro.datasets.synthetic import uniform
+
+        ps = uniform(60, seed=90)
+        qs = uniform(60, seed=91, start_oid=60)
+        result = brute_force_rcj(ps, qs)
+        assert len(result) <= upper_bound_result_size(60, 60)
+
+    def test_two_clusters_result_mostly_intra_cluster(self):
+        pts = two_clusters(120, separation=9000.0, spread=30.0, seed=2)
+        ps, qs = split_alternating(pts)
+        result = brute_force_rcj(ps, qs)
+        bridging = [
+            pair
+            for pair in result
+            if (pair.p.x < 5000) != (pair.q.x < 5000)
+        ]
+        # Giant bridging rings almost always swallow a third point;
+        # only a couple of frontier pairs survive.
+        assert len(result) > 10
+        assert len(bridging) <= 4
+
+
+class TestBulkCostModel:
+    def test_bij_model_positive_and_below_inj(self):
+        from repro.evaluation.analysis import (
+            estimate_bij_node_accesses,
+            estimate_inj_node_accesses,
+            speedup_bij_over_inj,
+        )
+
+        inj_cost = estimate_inj_node_accesses(10_000, 10_000, 42, 25)
+        bij_cost = estimate_bij_node_accesses(10_000, 10_000, 42, 25)
+        assert 0 < bij_cost < inj_cost
+        assert speedup_bij_over_inj(10_000, 10_000, 42, 25) > 1.0
+
+    def test_models_zero_for_empty_inputs(self):
+        from repro.evaluation.analysis import estimate_bij_node_accesses
+
+        assert estimate_bij_node_accesses(0, 100, 42, 25) == 0.0
+        assert estimate_bij_node_accesses(100, 0, 42, 25) == 0.0
+
+    def test_bij_model_within_factor_three_of_measured(self):
+        from repro.core.bij import bij
+        from repro.datasets.synthetic import uniform
+        from repro.evaluation.analysis import estimate_bij_node_accesses
+        from repro.rtree.bulk import bulk_load
+
+        n = 2000
+        points_q = uniform(n, seed=92)
+        points_p = uniform(n, seed=93, start_oid=n)
+        tree_q = bulk_load(points_q, name="TQ")
+        tree_p = bulk_load(points_p, name="TP")
+        report = bij(tree_q, tree_p)
+        model = estimate_bij_node_accesses(
+            n, n, tree_q.leaf_capacity, tree_q.branch_capacity
+        )
+        assert model / 3 <= report.node_accesses <= model * 3

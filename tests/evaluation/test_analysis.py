@@ -1,0 +1,109 @@
+"""Unit tests for the analytical result-size / cost models."""
+
+import pytest
+
+from repro.bench.runner import build_workload, run_algorithm
+from repro.datasets.synthetic import uniform
+from repro.evaluation.analysis import (
+    estimate_inj_node_accesses,
+    expected_result_size,
+    expected_tree_height,
+    upper_bound_result_size,
+)
+
+
+class TestExpectedResultSize:
+    def test_trivial_cases(self):
+        assert expected_result_size(0, 10) == 0.0
+        assert expected_result_size(10, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            expected_result_size(-1, 5)
+
+    def test_balanced_formula(self):
+        # |P| = |Q| = n: expectation 2n.
+        assert expected_result_size(1000, 1000) == 2000.0
+
+    def test_maximised_at_balanced_ratio(self):
+        # Figure 17b's shape follows directly from the formula.
+        total = 4000
+        values = {
+            ratio: expected_result_size(p, total - p)
+            for ratio, p in (("1:4", 800), ("1:2", 1333), ("1:1", 2000),
+                             ("2:1", 2667), ("4:1", 3200))
+        }
+        assert values["1:1"] == max(values.values())
+
+    def test_linear_in_n(self):
+        # Figure 16b's shape: doubling both inputs doubles the result.
+        assert expected_result_size(2000, 2000) == 2 * expected_result_size(
+            1000, 1000
+        )
+
+    @pytest.mark.parametrize("n", [500, 1000, 2000])
+    def test_accurate_on_uniform_data(self, n):
+        points_q = uniform(n, seed=300)
+        points_p = uniform(n, seed=301, start_oid=n)
+        w = build_workload(points_q, points_p)
+        measured = run_algorithm(w, "OBJ").result_count
+        predicted = expected_result_size(n, n)
+        assert abs(measured - predicted) / predicted < 0.15
+
+    def test_accurate_on_unbalanced_data(self):
+        points_q = uniform(500, seed=302)
+        points_p = uniform(2000, seed=303, start_oid=500)
+        w = build_workload(points_q, points_p)
+        measured = run_algorithm(w, "OBJ").result_count
+        predicted = expected_result_size(2000, 500)
+        assert abs(measured - predicted) / predicted < 0.20
+
+
+class TestUpperBound:
+    def test_planar_bound(self):
+        assert upper_bound_result_size(100, 100) == 3 * 200 - 6
+
+    def test_tiny_inputs(self):
+        assert upper_bound_result_size(1, 1) == 1
+        assert upper_bound_result_size(0, 10) == 0
+
+    def test_bound_never_violated_empirically(self):
+        from repro.core.brute import brute_force_rcj
+
+        points_p = uniform(60, seed=310)
+        points_q = uniform(60, seed=311, start_oid=60)
+        result = brute_force_rcj(points_p, points_q)
+        assert len(result) <= upper_bound_result_size(60, 60)
+
+
+class TestTreeHeight:
+    def test_single_leaf(self):
+        assert expected_tree_height(40, 42, 25) == 1
+
+    def test_two_levels(self):
+        assert expected_tree_height(42 * 25, 42, 25) == 2
+
+    def test_matches_actual_str_tree(self):
+        from repro.rtree.bulk import bulk_load
+
+        for n in (30, 500, 5000):
+            tree = bulk_load(uniform(n, seed=5))
+            assert tree.height == expected_tree_height(
+                n, tree.leaf_capacity, tree.branch_capacity
+            )
+
+
+class TestInjAccessEstimate:
+    def test_empty_inputs(self):
+        assert estimate_inj_node_accesses(0, 100, 42, 25) == 0.0
+
+    def test_within_factor_three_of_measured(self):
+        n = 2000
+        points_q = uniform(n, seed=320)
+        points_p = uniform(n, seed=321, start_oid=n)
+        w = build_workload(points_q, points_p)
+        measured = run_algorithm(w, "INJ").node_accesses
+        predicted = estimate_inj_node_accesses(
+            n, n, w.tree_p.leaf_capacity, w.tree_p.branch_capacity
+        )
+        assert predicted / 3 < measured < predicted * 3

@@ -1,0 +1,101 @@
+"""Tests for the Figure-1-style SVG join map."""
+
+import pytest
+
+from repro.core.brute import brute_force_rcj
+from repro.datasets.synthetic import uniform
+from repro.evaluation.joinmap import draw_join_map
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def small_join():
+    ps = uniform(30, seed=0)
+    qs = uniform(25, seed=1, start_oid=100)
+    return ps, qs, brute_force_rcj(ps, qs)
+
+
+class TestDrawJoinMap:
+    def test_valid_svg_document(self, small_join):
+        ps, qs, pairs = small_join
+        svg = draw_join_map(ps, qs, pairs)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_one_marker_per_point_and_ring_per_pair(self, small_join):
+        ps, qs, pairs = small_join
+        svg = draw_join_map(ps, qs, pairs)
+        assert svg.count('class="p"') == len(ps)
+        assert svg.count('class="q"') == len(qs)
+        assert svg.count('class="ring"') == len(pairs)
+        assert svg.count('class="mid"') == len(pairs)
+
+    def test_max_pairs_draws_smallest_rings(self, small_join):
+        ps, qs, pairs = small_join
+        svg = draw_join_map(ps, qs, pairs, max_pairs=3)
+        assert svg.count('class="ring"') == 3
+        # Title still reports the full pair count.
+        assert f"pairs={len(pairs)}" in svg
+
+    def test_title_and_counts_in_header(self, small_join):
+        ps, qs, pairs = small_join
+        svg = draw_join_map(ps, qs, pairs, title="Paper Figure 1")
+        assert "Paper Figure 1" in svg
+        assert f"|P|={len(ps)}" in svg
+
+    def test_writes_file(self, small_join, tmp_path):
+        ps, qs, pairs = small_join
+        out = tmp_path / "map.svg"
+        svg = draw_join_map(ps, qs, pairs, path=str(out))
+        assert out.read_text() == svg
+
+    def test_coordinates_inside_canvas(self, small_join):
+        import re
+
+        ps, qs, pairs = small_join
+        svg = draw_join_map(ps, qs, pairs, size=500)
+        for m in re.finditer(r'c[xy]="([-0-9.]+)"', svg):
+            value = float(m.group(1))
+            assert -1 <= value <= 501
+
+    def test_empty_join_rejected(self):
+        with pytest.raises(ValueError):
+            draw_join_map([], [], [])
+
+    def test_single_pair_degenerate_extent(self):
+        ps = [Point(5, 5, 0)]
+        qs = [Point(5, 6, 0)]
+        pairs = brute_force_rcj(ps, qs)
+        svg = draw_join_map(ps, qs, pairs)
+        assert svg.count('class="ring"') == 1
+
+
+class TestLatexTable:
+    def test_basic_structure(self):
+        from repro.evaluation.report import format_latex_table
+
+        tex = format_latex_table(
+            ["algo", "time"],
+            [["OBJ", 1.5], ["INJ", 20.4]],
+            caption="Costs",
+            label="tab:costs",
+        )
+        assert tex.startswith(r"\begin{table}")
+        assert r"\begin{tabular}{ll}" in tex
+        assert r"OBJ & 1.5 \\" in tex
+        assert r"\caption{Costs}" in tex
+        assert r"\label{tab:costs}" in tex
+
+    def test_escaping(self):
+        from repro.evaluation.report import format_latex_table
+
+        tex = format_latex_table(["x"], [["50% & #1_2"]])
+        assert r"50\% \& \#1\_2" in tex
+
+    def test_no_caption_or_label(self):
+        from repro.evaluation.report import format_latex_table
+
+        tex = format_latex_table(["a"], [[1]])
+        assert "caption" not in tex
+        assert "label" not in tex

@@ -1,0 +1,37 @@
+"""Unit tests for the report formatting helpers."""
+
+from repro.evaluation.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(
+            ["algo", "time"], [["INJ", 12], ["OBJ", 3]], title="Fig X"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig X"
+        assert "algo" in lines[1] and "time" in lines[1]
+        assert any("INJ" in line and "12" in line for line in lines)
+        # All data rows share the same width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/sep/rows aligned
+
+    def test_no_title(self):
+        text = format_table(["a"], [["1"]])
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "n", [1, 2], {"INJ": [10, 20], "OBJ": [1, 2]}, title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "INJ" in lines[1] and "OBJ" in lines[1]
+        assert "20" in text and "2" in text
+
+    def test_row_per_x(self):
+        text = format_series("k", [5, 10, 15], {"v": [0.1, 0.2, 0.3]})
+        # header + separator + 3 rows
+        assert len(text.splitlines()) == 5

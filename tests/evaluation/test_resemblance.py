@@ -1,0 +1,59 @@
+"""Unit tests for the precision/recall resemblance measures."""
+
+from hypothesis import given, strategies as st
+
+from repro.evaluation.resemblance import precision, precision_recall, recall
+
+pairs_st = st.sets(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=40)
+
+
+class TestDefinitions:
+    def test_perfect_match(self):
+        s = {(1, 2), (3, 4)}
+        assert precision(s, s) == 100.0
+        assert recall(s, s) == 100.0
+
+    def test_disjoint_sets(self):
+        assert precision({(1, 2)}, {(3, 4)}) == 0.0
+        assert recall({(1, 2)}, {(3, 4)}) == 0.0
+
+    def test_partial_overlap(self):
+        result = {(1, 1), (2, 2), (3, 3), (4, 4)}
+        reference = {(1, 1), (2, 2)}
+        assert precision(result, reference) == 50.0
+        assert recall(result, reference) == 100.0
+
+    def test_empty_result_convention(self):
+        assert precision(set(), {(1, 1)}) == 100.0
+        assert recall(set(), {(1, 1)}) == 0.0
+
+    def test_empty_reference_convention(self):
+        assert recall({(1, 1)}, set()) == 100.0
+
+    def test_paper_low_eps_shape(self):
+        # Figure 10 at low ε: few found pairs, mostly correct -> high
+        # precision, low recall.
+        reference = {(i, i) for i in range(100)}
+        result = {(i, i) for i in range(5)}
+        assert precision(result, reference) == 100.0
+        assert recall(result, reference) == 5.0
+
+
+class TestCombined:
+    @given(pairs_st, pairs_st)
+    def test_precision_recall_consistent_with_parts(self, result, reference):
+        prec, rec = precision_recall(result, reference)
+        assert prec == precision(result, reference)
+        assert rec == recall(result, reference)
+
+    @given(pairs_st, pairs_st)
+    def test_bounds(self, result, reference):
+        prec, rec = precision_recall(result, reference)
+        assert 0.0 <= prec <= 100.0
+        assert 0.0 <= rec <= 100.0
+
+    @given(pairs_st)
+    def test_symmetric_roles_on_equal_sets(self, s):
+        prec, rec = precision_recall(s, s)
+        assert prec == 100.0
+        assert rec == 100.0

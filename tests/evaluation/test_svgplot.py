@@ -1,0 +1,85 @@
+"""Unit tests for the SVG line-chart renderer."""
+
+import pytest
+
+from repro.evaluation.svgplot import PALETTE, _nice_ticks, line_chart
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0, 100)
+        assert ticks[0] <= 0
+        assert ticks[-1] >= 100
+
+    def test_sorted_distinct(self):
+        ticks = _nice_ticks(3.7, 92.4)
+        assert ticks == sorted(set(ticks))
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5, 5)
+        assert len(ticks) >= 2
+
+
+class TestLineChart:
+    def test_basic_document(self):
+        svg = line_chart(
+            "T", "x", "y", [1, 2, 3], {"a": [1, 4, 9], "b": [2, 2, 2]}
+        )
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "T" in svg and ">x<" in svg and ">y<" in svg
+        assert PALETTE[0] in svg and PALETTE[1] in svg
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart("t", "x", "y", [], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values for"):
+            line_chart("t", "x", "y", [1, 2], {"a": [1]})
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            line_chart("t", "x", "y", [1, 2], {"a": [1, 0]}, log_y=True)
+
+    def test_log_scale_orders_series(self):
+        # On a log axis 10 and 1000 map within the plot area.
+        svg = line_chart(
+            "t", "x", "y", [1, 2], {"a": [10, 1000]}, log_y=True
+        )
+        assert "1e" in svg  # log tick labels
+
+    def test_writes_file(self, tmp_path):
+        out = str(tmp_path / "chart.svg")
+        svg = line_chart("t", "x", "y", [0, 1], {"a": [0, 1]}, path=out)
+        assert open(out).read() == svg
+
+    def test_coordinates_inside_canvas(self):
+        svg = line_chart(
+            "t", "x", "y", [0, 50, 100], {"a": [5, 99, 42]},
+            width=640, height=400,
+        )
+        import re
+
+        for cx, cy in re.findall(r'circle cx="([\d.]+)" cy="([\d.]+)"', svg):
+            assert 0 <= float(cx) <= 640
+            assert 0 <= float(cy) <= 400
+
+    def test_single_point_series(self):
+        svg = line_chart("t", "x", "y", [7], {"a": [3]})
+        assert "<circle" in svg
+
+    def test_figures_from_bench_data(self):
+        # Smoke: render a Figure-10-like dataset.
+        svg = line_chart(
+            "Figure 10 (SP)",
+            "eps / mean NN",
+            "quality (%)",
+            [0.25, 0.5, 1, 2, 4, 8, 16],
+            {
+                "precision": [98.4, 91.6, 71.0, 40.5, 16.4, 5.3, 1.8],
+                "recall": [2.4, 8.6, 26.4, 58.3, 91.3, 99.9, 100.0],
+            },
+        )
+        assert svg.count("<circle") == 14

@@ -1,0 +1,130 @@
+"""Unit tests for repro.geometry.circle (the shared RCJ predicate)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.enclosing import enclosing_circle
+from repro.geometry.rect import Rect
+
+
+class TestConstruction:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(0, 0, -1)
+
+    def test_zero_radius_allowed(self):
+        c = Circle(1, 1, 0)
+        assert c.r_sq == 0.0
+
+
+class TestStrictContainment:
+    def test_interior_point_contained(self):
+        assert Circle(0, 0, 1).contains_point(0.5, 0)
+
+    def test_boundary_point_not_contained(self):
+        # The strict convention: boundary points never invalidate a pair.
+        assert not Circle(0, 0, 1).contains_point(1.0, 0.0)
+        assert not Circle(0, 0, 1).contains_point(0.0, -1.0)
+
+    def test_defining_endpoints_of_pair_circle_not_contained(self):
+        p, q = Point(3, 7), Point(11, 2)
+        c = enclosing_circle(p, q)
+        assert not c.contains_point(p.x, p.y)
+        assert not c.contains_point(q.x, q.y)
+
+    def test_zero_radius_contains_nothing(self):
+        c = Circle(5, 5, 0)
+        assert not c.contains_point(5, 5)
+
+    def test_covers_point_closed(self):
+        c = Circle(0, 0, 1)
+        assert c.covers_point(1.0, 0.0)
+        assert not c.covers_point(1.001, 0.0)
+
+    @given(st.floats(-100, 100), st.floats(-100, 100), st.floats(0.001, 50))
+    def test_center_always_strictly_inside_positive_circle(self, cx, cy, r):
+        assert Circle(cx, cy, r).contains_point(cx, cy)
+
+
+class TestRectRelations:
+    def test_intersects_rect_overlapping(self):
+        assert Circle(0, 0, 2).intersects_rect(Rect(1, 1, 3, 3))
+
+    def test_intersects_rect_disjoint(self):
+        assert not Circle(0, 0, 1).intersects_rect(Rect(2, 2, 3, 3))
+
+    def test_intersects_rect_touching(self):
+        # Closed semantics: touching counts (conservative for descent).
+        assert Circle(0, 0, 1).intersects_rect(Rect(1, -1, 2, 1))
+
+    def test_circle_inside_rect_intersects(self):
+        assert Circle(5, 5, 0.1).intersects_rect(Rect(0, 0, 10, 10))
+
+    def test_contains_rect_face_full_side_inside(self):
+        # Left side of the rect is well inside the circle.
+        c = Circle(0, 0, 10)
+        assert c.contains_rect_face(Rect(-1, -1, 100, 1))
+
+    def test_contains_rect_face_no_side_inside(self):
+        c = Circle(0, 0, 1)
+        # Rect surrounds the circle: no side inside.
+        assert not c.contains_rect_face(Rect(-5, -5, 5, 5))
+
+    def test_contains_rect_face_only_corner_inside(self):
+        # One corner strictly inside but no complete side.
+        c = Circle(0, 0, 1.1)
+        rect = Rect(0.5, 0.5, 5, 5)
+        assert c.contains_point(0.5, 0.5)
+        assert not c.contains_rect_face(rect)
+
+    def test_contains_rect_whole(self):
+        c = Circle(0, 0, 10)
+        assert c.contains_rect(Rect(-1, -1, 1, 1))
+        assert not c.contains_rect(Rect(-1, -1, 20, 1))
+
+    def test_contains_rect_implies_contains_face(self):
+        c = Circle(0, 0, 10)
+        r = Rect(-2, -2, 2, 2)
+        assert c.contains_rect(r)
+        assert c.contains_rect_face(r)
+
+    def test_bounding_rect(self):
+        b = Circle(1, 2, 3).bounding_rect()
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (-2, -1, 4, 5)
+
+
+class TestMbrFaceProperty:
+    """The verification step relies on: a full MBR side strictly inside
+    the circle certifies a data point strictly inside."""
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=2,
+            max_size=12,
+        ),
+        st.floats(-50, 50),
+        st.floats(-50, 50),
+        st.floats(1, 100),
+    )
+    def test_face_inside_implies_point_inside(self, coords, cx, cy, r):
+        pts = [Point(x, y) for x, y in coords]
+        rect = Rect.from_points(pts)
+        c = Circle(cx, cy, r)
+        if c.contains_rect_face(rect):
+            # The MBR is tight: every side touches a data point, so some
+            # point must lie strictly inside the circle.
+            assert any(c.contains_point(p.x, p.y) for p in pts)
+
+
+class TestDunder:
+    def test_equality_hash(self):
+        assert Circle(0, 0, 1) == Circle(0, 0, 1)
+        assert len({Circle(0, 0, 1), Circle(0, 0, 1)}) == 1
+
+    def test_dist_to_center(self):
+        assert math.isclose(Circle(0, 0, 1).dist_to_center(3, 4), 5.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the Ψ− pruning half-planes (Lemmas 1 and 3 geometry)."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.geometry.enclosing import enclosing_circle
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+coord = st.floats(-100.0, 100.0)
+
+
+class TestPsiMinusConstruction:
+    def test_anchor_at_p_normal_away_from_q(self):
+        q, p = Point(0, 0), Point(2, 0)
+        hp = HalfPlane.psi_minus(q, p)
+        assert (hp.ax, hp.ay) == (2, 0)
+        assert (hp.nx, hp.ny) == (2, 0)
+
+    def test_q_never_in_psi_minus(self):
+        q, p = Point(1, 3), Point(4, -1)
+        hp = HalfPlane.psi_minus(q, p)
+        assert not hp.contains_point(q.x, q.y)
+
+    def test_p_on_boundary_not_contained(self):
+        q, p = Point(0, 0), Point(2, 0)
+        hp = HalfPlane.psi_minus(q, p)
+        assert not hp.contains_point(p.x, p.y)
+
+    def test_point_beyond_p_contained(self):
+        q, p = Point(0, 0), Point(2, 0)
+        hp = HalfPlane.psi_minus(q, p)
+        assert hp.contains_point(3, 0)
+        assert hp.contains_point(2.001, 50)
+
+    def test_degenerate_when_p_equals_q(self):
+        q = Point(1, 1)
+        hp = HalfPlane.psi_minus(q, Point(1, 1, 9))
+        assert hp.is_degenerate()
+        assert not hp.contains_point(100, 100)
+        assert not hp.contains_rect(Rect(50, 50, 60, 60))
+
+
+class TestContainsRect:
+    def test_rect_fully_beyond_line(self):
+        hp = HalfPlane.psi_minus(Point(0, 0), Point(2, 0))
+        assert hp.contains_rect(Rect(3, -5, 6, 5))
+
+    def test_rect_straddling_line(self):
+        hp = HalfPlane.psi_minus(Point(0, 0), Point(2, 0))
+        assert not hp.contains_rect(Rect(1, -1, 3, 1))
+
+    def test_rect_touching_line_not_contained(self):
+        # Strict semantics: a rect touching the boundary is kept.
+        hp = HalfPlane.psi_minus(Point(0, 0), Point(2, 0))
+        assert not hp.contains_rect(Rect(2, -1, 4, 1))
+
+    @given(coord, coord, coord, coord, coord, coord, coord, coord)
+    def test_rect_containment_implies_all_corners(
+        self, qx, qy, px, py, x1, y1, x2, y2
+    ):
+        # contains_rect is deliberately conservative (it demands a
+        # margin above floating-point noise), so it implies — but is not
+        # implied by — strict containment of every corner.
+        q, p = Point(qx, qy), Point(px, py)
+        assume((qx, qy) != (px, py))
+        hp = HalfPlane.psi_minus(q, p)
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        if hp.contains_rect(rect):
+            assert all(hp.contains_point(x, y) for x, y in rect.corners())
+
+    def test_rect_with_clear_margin_contained(self):
+        hp = HalfPlane.psi_minus(Point(0, 0), Point(2, 0))
+        assert hp.contains_rect(Rect(2.5, -3, 9, 3))
+
+    def test_rect_within_noise_band_not_pruned(self):
+        # A rect beyond the line by less than the conservative margin is
+        # kept: missing a prune is cheap, a wrong prune is a bug.
+        hp = HalfPlane.psi_minus(Point(0, 0), Point(1e8, 0))
+        thin = Rect(1e8 + 1e-9, -1, 1e8 + 2e-9, 1)
+        assert not hp.contains_rect(thin)
+
+
+class TestLemma1Semantics:
+    """A point strictly inside Ψ−(q, p) has p strictly inside the
+    enclosing circle of <p', q> — the geometric heart of Lemma 1."""
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_pruned_point_pair_is_invalidated_by_p(
+        self, qx, qy, px, py, ox, oy
+    ):
+        q, p, other = Point(qx, qy), Point(px, py), Point(ox, oy)
+        assume((qx, qy) != (px, py))
+        hp = HalfPlane.psi_minus(q, p)
+        assume(hp.contains_point(other.x, other.y))
+        circle = enclosing_circle(other, q)
+        # p invalidates the pair <other, q> unless floating-point noise
+        # puts it within the boundary slack; the slack only makes the
+        # filter conservative, never incorrect, so allow a tiny margin.
+        d_sq = (p.x - circle.cx) ** 2 + (p.y - circle.cy) ** 2
+        assert d_sq <= circle.r_sq * (1.0 + 1e-9)

@@ -1,0 +1,139 @@
+"""Tests for the Hilbert curve and coordinate mapper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.hilbert import DEFAULT_ORDER, HilbertMapper, d_to_xy, xy_to_d
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestCurveTransform:
+    def test_order_one_visits_all_cells(self):
+        cells = [d_to_xy(1, d) for d in range(4)]
+        assert sorted(cells) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_curve_starts_at_origin(self):
+        for order in (1, 2, 5, 10):
+            assert d_to_xy(order, 0) == (0, 0)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_bijection_exhaustive(self, order):
+        side = 1 << order
+        seen = set()
+        for d in range(side * side):
+            cell = d_to_xy(order, d)
+            assert xy_to_d(order, *cell) == d
+            seen.add(cell)
+        assert len(seen) == side * side
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_consecutive_cells_are_grid_neighbors(self, order):
+        side = 1 << order
+        prev = d_to_xy(order, 0)
+        for d in range(1, side * side):
+            x, y = d_to_xy(order, d)
+            assert abs(x - prev[0]) + abs(y - prev[1]) == 1
+            prev = (x, y)
+
+    @given(
+        order=st.integers(min_value=1, max_value=16),
+        data=st.data(),
+    )
+    def test_roundtrip_random_cells(self, order, data):
+        side = 1 << order
+        x = data.draw(st.integers(min_value=0, max_value=side - 1))
+        y = data.draw(st.integers(min_value=0, max_value=side - 1))
+        d = xy_to_d(order, x, y)
+        assert 0 <= d < side * side
+        assert d_to_xy(order, d) == (x, y)
+
+    def test_out_of_range_cell_rejected(self):
+        with pytest.raises(ValueError):
+            xy_to_d(2, 4, 0)
+        with pytest.raises(ValueError):
+            xy_to_d(2, 0, -1)
+
+    def test_out_of_range_distance_rejected(self):
+        with pytest.raises(ValueError):
+            d_to_xy(2, 16)
+        with pytest.raises(ValueError):
+            d_to_xy(2, -1)
+
+
+class TestHilbertMapper:
+    def test_corners_map_to_extreme_cells(self):
+        mapper = HilbertMapper(Rect(0, 0, 100, 100), order=4)
+        assert mapper.cell_of(0, 0) == (0, 0)
+        assert mapper.cell_of(100, 100) == (15, 15)
+
+    def test_clamps_outside_domain(self):
+        mapper = HilbertMapper(Rect(0, 0, 100, 100), order=4)
+        assert mapper.cell_of(-50, 500) == (0, 15)
+
+    def test_degenerate_domain_collapses_axis(self):
+        mapper = HilbertMapper(Rect(5, 0, 5, 100), order=4)
+        assert mapper.cell_of(5, 50)[0] == 0
+
+    def test_single_point_domain(self):
+        mapper = HilbertMapper.for_points([Point(3, 4, 0)], order=4)
+        assert mapper.key(3, 4) == mapper.key_of_point(Point(3, 4, 9))
+
+    def test_for_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HilbertMapper.for_points([])
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            HilbertMapper(Rect(0, 0, 1, 1), order=0)
+        with pytest.raises(ValueError):
+            HilbertMapper(Rect(0, 0, 1, 1), order=32)
+
+    def test_default_order(self):
+        mapper = HilbertMapper(Rect(0, 0, 1, 1))
+        assert mapper.order == DEFAULT_ORDER
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10000.0),
+                st.floats(min_value=0.0, max_value=10000.0),
+            ),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_keys_within_curve_range(self, coords):
+        points = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+        mapper = HilbertMapper.for_points(points, order=10)
+        side = 1 << 10
+        for p in points:
+            assert 0 <= mapper.key_of_point(p) < side * side
+
+    def test_nearby_points_have_nearby_keys_on_average(self):
+        """Locality: the mean key gap of close pairs is far smaller than
+        that of random pairs (statistical, fixed seed)."""
+        import random
+
+        rng = random.Random(7)
+        mapper = HilbertMapper(Rect(0, 0, 10000, 10000), order=12)
+        close_gaps, far_gaps = [], []
+        for _ in range(300):
+            x, y = rng.uniform(0, 9990), rng.uniform(0, 9990)
+            close_gaps.append(
+                abs(mapper.key(x, y) - mapper.key(x + 5, y + 5))
+            )
+            far_gaps.append(
+                abs(
+                    mapper.key(x, y)
+                    - mapper.key(rng.uniform(0, 10000), rng.uniform(0, 10000))
+                )
+            )
+        assert sum(close_gaps) / len(close_gaps) < sum(far_gaps) / len(far_gaps) / 10
+
+    def test_key_of_rect_uses_center(self):
+        mapper = HilbertMapper(Rect(0, 0, 100, 100), order=6)
+        rect = Rect(10, 10, 30, 30)
+        assert mapper.key_of_rect(rect) == mapper.key(20, 20)

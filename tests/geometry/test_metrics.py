@@ -1,0 +1,94 @@
+"""Unit tests for the alternative distance metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.metrics import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    get_metric,
+)
+from repro.geometry.point import Point
+
+coord = st.floats(-100.0, 100.0)
+
+
+class TestLookup:
+    def test_canonical_names(self):
+        assert isinstance(get_metric("l1"), ManhattanMetric)
+        assert isinstance(get_metric("l2"), EuclideanMetric)
+        assert isinstance(get_metric("linf"), ChebyshevMetric)
+
+    def test_aliases_and_case(self):
+        assert isinstance(get_metric("Manhattan"), ManhattanMetric)
+        assert isinstance(get_metric("EUCLIDEAN"), EuclideanMetric)
+        assert isinstance(get_metric("chebyshev"), ChebyshevMetric)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("l3")
+
+
+class TestDistances:
+    def test_values_on_a_3_4_triangle(self):
+        assert get_metric("l2").dist(0, 0, 3, 4) == 5.0
+        assert get_metric("l1").dist(0, 0, 3, 4) == 7.0
+        assert get_metric("linf").dist(0, 0, 3, 4) == 4.0
+
+    @given(coord, coord, coord, coord)
+    def test_metric_ordering(self, ax, ay, bx, by):
+        # Classic norm inequalities: linf <= l2 <= l1 <= 2 * linf.
+        linf = get_metric("linf").dist(ax, ay, bx, by)
+        l2 = get_metric("l2").dist(ax, ay, bx, by)
+        l1 = get_metric("l1").dist(ax, ay, bx, by)
+        assert linf <= l2 * (1 + 1e-12) + 1e-12
+        assert l2 <= l1 * (1 + 1e-12) + 1e-12
+        assert l1 <= 2 * linf * (1 + 1e-12) + 1e-12
+
+    @given(coord, coord, coord, coord)
+    def test_symmetry_and_identity(self, ax, ay, bx, by):
+        for name in ("l1", "l2", "linf"):
+            m = get_metric(name)
+            assert m.dist(ax, ay, bx, by) == m.dist(bx, by, ax, ay)
+            assert m.dist(ax, ay, ax, ay) == 0.0
+
+
+class TestPairBall:
+    @given(coord, coord, coord, coord)
+    def test_endpoints_on_ball_boundary(self, ax, ay, bx, by):
+        p, q = Point(ax, ay), Point(bx, by)
+        for name in ("l1", "l2", "linf"):
+            ball = get_metric(name).pair_ball(p, q)
+            # Endpoints sit exactly on the boundary: never strictly inside.
+            assert not ball.contains_point(p.x, p.y)
+            assert not ball.contains_point(q.x, q.y)
+
+    def test_midpoint_strictly_inside_positive_ball(self):
+        p, q = Point(0, 0), Point(4, 2)
+        for name in ("l1", "l2", "linf"):
+            ball = get_metric(name).pair_ball(p, q)
+            assert ball.contains_point(ball.cx, ball.cy)
+
+    def test_l1_ball_is_a_diamond(self):
+        ball = get_metric("l1").pair_ball(Point(0, 0), Point(4, 0))
+        # r = 2 around (2, 0): the corner point (3.9, 0) is inside but
+        # (3.5, 1.0) (l1 distance 2.5) is outside.
+        assert ball.contains_point(3.9, 0)
+        assert not ball.contains_point(3.5, 1.0)
+
+    def test_linf_ball_is_a_square(self):
+        ball = get_metric("linf").pair_ball(Point(0, 0), Point(4, 0))
+        # r = 2 around (2, 0): (3.9, 1.9) is inside the square.
+        assert ball.contains_point(3.9, 1.9)
+        assert not ball.contains_point(4.1, 0)
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_bounding_rect_covers_ball_members(self, ax, ay, bx, by, px, py):
+        p, q = Point(ax, ay), Point(bx, by)
+        for name in ("l1", "l2", "linf"):
+            ball = get_metric(name).pair_ball(p, q)
+            if ball.contains_point(px, py):
+                assert ball.bounding_rect().contains_point(px, py)

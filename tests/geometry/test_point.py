@@ -1,0 +1,89 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.point import Point, dist, dist_sq, midpoint, points_from_coords
+
+
+class TestPointBasics:
+    def test_coordinates_and_oid(self):
+        p = Point(1.5, -2.0, 7)
+        assert p.x == 1.5
+        assert p.y == -2.0
+        assert p.oid == 7
+
+    def test_default_oid_is_anonymous(self):
+        assert Point(0, 0).oid == -1
+
+    def test_coordinates_coerced_to_float(self):
+        p = Point(1, 2, 3)
+        assert isinstance(p.x, float)
+        assert isinstance(p.y, float)
+
+    def test_immutable(self):
+        p = Point(0, 0, 0)
+        with pytest.raises(AttributeError):
+            p.x = 5.0
+
+    def test_iterates_as_coordinate_pair(self):
+        assert tuple(Point(3, 4, 1)) == (3.0, 4.0)
+
+    def test_equality_includes_oid(self):
+        assert Point(1, 2, 3) == Point(1, 2, 3)
+        assert Point(1, 2, 3) != Point(1, 2, 4)
+
+    def test_hashable_consistent_with_equality(self):
+        assert len({Point(1, 2, 3), Point(1, 2, 3), Point(1, 2, 4)}) == 2
+
+    def test_same_location_ignores_oid(self):
+        assert Point(1, 2, 3).same_location(Point(1, 2, 99))
+        assert not Point(1, 2, 3).same_location(Point(1, 2.5, 3))
+
+    def test_repr_mentions_oid(self):
+        assert "oid=5" in repr(Point(0, 0, 5))
+
+
+class TestDistances:
+    def test_dist_pythagorean(self):
+        assert dist(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_dist_sq_avoids_sqrt(self):
+        assert dist_sq(Point(0, 0), Point(3, 4)) == 25.0
+
+    def test_dist_to_method_matches_function(self):
+        a, b = Point(1, 1), Point(4, 5)
+        assert a.dist_to(b) == dist(a, b)
+        assert a.dist_sq_to(b) == dist_sq(a, b)
+
+    def test_zero_distance_for_coincident_points(self):
+        assert dist(Point(2, 3), Point(2, 3, 9)) == 0.0
+
+    @given(
+        st.floats(-1e6, 1e6), st.floats(-1e6, 1e6),
+        st.floats(-1e6, 1e6), st.floats(-1e6, 1e6),
+    )
+    def test_dist_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert dist(a, b) == dist(b, a)
+        assert math.isclose(dist(a, b) ** 2, dist_sq(a, b), rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestMidpoint:
+    def test_midpoint_halves_segment(self):
+        assert midpoint(Point(0, 0), Point(4, 6)) == (2.0, 3.0)
+
+    @given(st.floats(-1e5, 1e5), st.floats(-1e5, 1e5))
+    def test_midpoint_of_coincident_points_is_the_point(self, x, y):
+        assert midpoint(Point(x, y), Point(x, y)) == (x, y)
+
+
+class TestPointsFromCoords:
+    def test_assigns_sequential_oids(self):
+        pts = points_from_coords([(0, 0), (1, 1)], start_oid=10)
+        assert [p.oid for p in pts] == [10, 11]
+
+    def test_empty_input(self):
+        assert points_from_coords([]) == []

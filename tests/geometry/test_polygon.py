@@ -1,0 +1,167 @@
+"""Tests for convex polygon clipping and intersection."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.polygon import (
+    box_polygon,
+    clip_convex_pair,
+    clip_halfplane,
+    convex_polygons_intersect,
+    polygon_area,
+    polygon_bbox,
+    polygon_centroid,
+)
+
+_UNIT = box_polygon(0, 0, 10, 10)
+
+
+def _regular(cx, cy, r, k=8):
+    """CCW regular k-gon."""
+    return [
+        (cx + r * math.cos(2 * math.pi * i / k), cy + r * math.sin(2 * math.pi * i / k))
+        for i in range(k)
+    ]
+
+
+class TestClipHalfplane:
+    def test_clip_keeps_left_half(self):
+        # Keep x <= 5: plane anchored at (5, 0), normal +x.
+        got = clip_halfplane(_UNIT, 5, 0, 1, 0)
+        assert polygon_area(got) == 50.0
+        assert all(x <= 5.0 for x, _y in got)
+
+    def test_clip_away_everything(self):
+        got = clip_halfplane(_UNIT, -1, 0, 1, 0)
+        assert polygon_area(got) == 0.0 or got == [] or all(x <= -1 for x, _ in got)
+        assert not [v for v in got if v[0] > -1 + 1e-9]
+
+    def test_clip_nothing(self):
+        got = clip_halfplane(_UNIT, 20, 0, 1, 0)
+        assert polygon_area(got) == 100.0
+
+    def test_diagonal_clip(self):
+        # Keep x + y <= 10: cuts the square into a triangle.
+        got = clip_halfplane(_UNIT, 5, 5, 1, 1)
+        assert math.isclose(polygon_area(got), 50.0)
+
+    def test_clip_empty_polygon(self):
+        assert clip_halfplane([], 0, 0, 1, 0) == []
+
+    def test_sequential_clips_build_cell(self):
+        cell = _UNIT
+        cell = clip_halfplane(cell, 5, 0, 1, 0)  # x <= 5
+        cell = clip_halfplane(cell, 0, 5, 0, 1)  # y <= 5
+        assert math.isclose(polygon_area(cell), 25.0)
+
+    def test_preserves_ccw_orientation(self):
+        got = clip_halfplane(_UNIT, 5, 5, 1, 1)
+        assert polygon_area(got) > 0
+
+
+class TestAreaBBoxCentroid:
+    def test_box_area(self):
+        assert polygon_area(_UNIT) == 100.0
+
+    def test_degenerate_area(self):
+        assert polygon_area([(0, 0), (5, 5)]) == 0.0
+        assert polygon_area([]) == 0.0
+
+    def test_bbox(self):
+        assert polygon_bbox(_UNIT) == (0, 0, 10, 10)
+
+    def test_bbox_empty_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            polygon_bbox([])
+
+    def test_centroid_of_box(self):
+        assert polygon_centroid(_UNIT) == (5.0, 5.0)
+
+    def test_centroid_degenerate_falls_back_to_mean(self):
+        cx, cy = polygon_centroid([(0, 0), (4, 4)])
+        assert (cx, cy) == (2.0, 2.0)
+
+
+class TestIntersection:
+    def test_overlapping_boxes(self):
+        a = box_polygon(0, 0, 5, 5)
+        b = box_polygon(3, 3, 8, 8)
+        assert convex_polygons_intersect(a, b)
+
+    def test_disjoint_boxes(self):
+        a = box_polygon(0, 0, 2, 2)
+        b = box_polygon(5, 5, 8, 8)
+        assert not convex_polygons_intersect(a, b)
+
+    def test_touching_edge_counts(self):
+        a = box_polygon(0, 0, 5, 5)
+        b = box_polygon(5, 0, 8, 5)
+        assert convex_polygons_intersect(a, b)
+
+    def test_touching_corner_counts(self):
+        a = box_polygon(0, 0, 5, 5)
+        b = box_polygon(5, 5, 8, 8)
+        assert convex_polygons_intersect(a, b)
+
+    def test_nested(self):
+        assert convex_polygons_intersect(_UNIT, box_polygon(4, 4, 6, 6))
+
+    def test_octagon_vs_box(self):
+        assert convex_polygons_intersect(_regular(5, 5, 3), _UNIT)
+        assert not convex_polygons_intersect(_regular(50, 50, 3), _UNIT)
+
+    def test_rotated_separation(self):
+        # Diagonal gap only a rotated axis detects.
+        tri_a = [(0, 0), (4, 0), (0, 4)]
+        tri_b = [(5, 5), (9, 5), (5, 9)]
+        assert not convex_polygons_intersect(tri_a, tri_b)
+
+    def test_empty_polygon_never_intersects(self):
+        assert not convex_polygons_intersect([], _UNIT)
+        assert not convex_polygons_intersect(_UNIT, [])
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(0, 20), st.integers(0, 20), st.integers(1, 8), st.integers(1, 8)
+        ),
+        st.tuples(
+            st.integers(0, 20), st.integers(0, 20), st.integers(1, 8), st.integers(1, 8)
+        ),
+    )
+    def test_property_sat_matches_clip_oracle_boxes(self, a, b):
+        pa = box_polygon(a[0], a[1], a[0] + a[2], a[1] + a[3])
+        pb = box_polygon(b[0], b[1], b[0] + b[2], b[1] + b[3])
+        clipped = clip_convex_pair(pa, pb)
+        assert convex_polygons_intersect(pa, pb) == bool(clipped)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)),
+        st.integers(1, 6),
+        st.tuples(st.integers(0, 30), st.integers(0, 30)),
+        st.integers(1, 6),
+    )
+    def test_property_sat_matches_clip_oracle_octagons(self, ca, ra, cb, rb):
+        pa = _regular(ca[0], ca[1], ra)
+        pb = _regular(cb[0], cb[1], rb)
+        clipped = clip_convex_pair(pa, pb)
+        got = convex_polygons_intersect(pa, pb)
+        if clipped and polygon_area(clipped) > 1e-9:
+            assert got
+        if not clipped:
+            # SAT with tolerance may keep near-touching pairs; only a
+            # clearly separated pair must be rejected.
+            center_gap = math.hypot(ca[0] - cb[0], ca[1] - cb[1])
+            if center_gap > ra + rb + 1e-6:
+                assert not got
+
+    def test_clip_convex_pair_of_overlap(self):
+        a = box_polygon(0, 0, 6, 6)
+        b = box_polygon(3, 3, 9, 9)
+        overlap = clip_convex_pair(a, b)
+        assert math.isclose(polygon_area(overlap), 9.0)

@@ -1,0 +1,139 @@
+"""Unit tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+coord = st.floats(-1000.0, 1000.0)
+
+
+def rect_strategy():
+    return st.tuples(coord, coord, coord, coord).map(
+        lambda t: Rect(min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]), max(t[1], t[3]))
+    )
+
+
+class TestConstruction:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_degenerate_rect_is_legal(self):
+        r = Rect(2, 3, 2, 3)
+        assert r.area() == 0.0
+        assert r.contains_point(2, 3)
+
+    def test_from_point(self):
+        r = Rect.from_point(Point(5, 6))
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (5, 6, 5, 6)
+
+    def test_from_points_tight(self):
+        r = Rect.from_points([Point(1, 5), Point(3, 2), Point(2, 4)])
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (1, 2, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_union_of(self):
+        r = Rect.union_of([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (0, -1, 3, 1)
+
+    def test_union_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.union_of([])
+
+
+class TestMeasures:
+    def test_area_margin_width_height(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width() == 4
+        assert r.height() == 3
+        assert r.area() == 12
+        assert r.margin() == 7
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center() == (2.0, 1.0)
+
+    def test_enlargement(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.enlargement(Rect(1, 1, 3, 3)) == 9 - 4
+        assert r.enlargement(Rect(0.5, 0.5, 1, 1)) == 0.0
+
+
+class TestRelations:
+    def test_contains_point_closed(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(0, 0)  # boundary included
+        assert r.contains_point(2, 2)
+        assert not r.contains_point(2.0001, 1)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 4, 4).contains_rect(Rect(1, 1, 2, 2))
+        assert Rect(0, 0, 4, 4).contains_rect(Rect(0, 0, 4, 4))
+        assert not Rect(0, 0, 4, 4).contains_rect(Rect(3, 3, 5, 4))
+
+    def test_intersects_touching_edges(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 0, 2, 1))
+
+    def test_intersection_area(self):
+        assert Rect(0, 0, 2, 2).intersection_area(Rect(1, 1, 3, 3)) == 1.0
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(5, 5, 6, 6)) == 0.0
+        # touching edges share zero area
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(1, 0, 2, 1)) == 0.0
+
+    @given(rect_strategy(), rect_strategy())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rect_strategy(), rect_strategy())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestDistances:
+    def test_mindist_inside_is_zero(self):
+        assert Rect(0, 0, 2, 2).mindist_sq(1, 1) == 0.0
+
+    def test_mindist_to_edge_and_corner(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.mindist_sq(3, 1) == 1.0  # edge
+        assert r.mindist_sq(3, 3) == 2.0  # corner
+        assert math.isclose(r.mindist(3, 3), math.sqrt(2))
+
+    def test_maxdist(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.maxdist_sq(0, 0) == 8.0
+
+    def test_rect_mindist(self):
+        assert Rect(0, 0, 1, 1).rect_mindist_sq(Rect(2, 0, 3, 1)) == 1.0
+        assert Rect(0, 0, 1, 1).rect_mindist_sq(Rect(2, 2, 3, 3)) == 2.0
+        assert Rect(0, 0, 2, 2).rect_mindist_sq(Rect(1, 1, 3, 3)) == 0.0
+
+    @given(rect_strategy(), coord, coord)
+    def test_mindist_bounded_by_any_inner_point_distance(self, r, x, y):
+        # MINDIST lower-bounds the distance to the rect centre.
+        cx, cy = r.center()
+        d_center = (cx - x) ** 2 + (cy - y) ** 2
+        assert r.mindist_sq(x, y) <= d_center + 1e-9
+
+    def test_corners_enumerates_four(self):
+        assert len(list(Rect(0, 0, 1, 2).corners())) == 4
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert Rect(0, 0, 1, 1) == Rect(0, 0, 1, 1)
+        assert len({Rect(0, 0, 1, 1), Rect(0, 0, 1, 1)}) == 1
+
+    def test_repr_roundtrippable_values(self):
+        assert "Rect(0, 0, 1, 2)" in repr(Rect(0, 0, 1, 2))

@@ -1,0 +1,120 @@
+"""Unit tests for the exact ring predicate (the heart of the join)."""
+
+import math
+
+from hypothesis import assume, given, strategies as st
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.ring import Ring
+
+coord = st.floats(-1e4, 1e4)
+adversarial = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+class TestGeometry:
+    def test_center_and_radius(self):
+        ring = Ring(0, 0, 4, 0)
+        assert (ring.cx, ring.cy) == (2.0, 0.0)
+        assert ring.r == 2.0
+
+    def test_of_pair(self):
+        ring = Ring.of_pair(Point(1, 1, 0), Point(3, 3, 1))
+        assert (ring.cx, ring.cy) == (2.0, 2.0)
+        assert math.isclose(ring.r, math.sqrt(2))
+
+    def test_is_a_circle(self):
+        from repro.geometry.circle import Circle
+
+        assert isinstance(Ring(0, 0, 1, 1), Circle)
+
+
+class TestExactPredicate:
+    def test_interior(self):
+        assert Ring(0, 0, 10, 0).contains_point(5, 1)
+
+    def test_endpoints_exactly_zero(self):
+        ring = Ring(0.1, 0.7, 9.3, 4.2)
+        assert not ring.contains_point(0.1, 0.7)
+        assert not ring.contains_point(9.3, 4.2)
+
+    def test_boundary_point(self):
+        # (5, 5) on the circle of diameter (0,0)-(10,0).
+        assert not Ring(0, 0, 10, 0).contains_point(5, 5)
+
+    def test_degenerate_ring_contains_nothing(self):
+        ring = Ring(3, 3, 3, 3)
+        assert not ring.contains_point(3, 3)
+        assert not ring.contains_point(3.0000001, 3)
+
+    @given(adversarial, adversarial, adversarial, adversarial)
+    def test_endpoints_never_contained(self, px, py, qx, qy):
+        # Exact for ANY floats, including adversarial near-coincident
+        # pairs — the property that motivated the dot-product form.
+        ring = Ring(px, py, qx, qy)
+        assert not ring.contains_point(px, py)
+        assert not ring.contains_point(qx, qy)
+
+    @given(adversarial, adversarial, adversarial, adversarial,
+           adversarial, adversarial)
+    def test_exact_equivalence_with_halfplane(self, qx, qy, px, py, ox, oy):
+        """The IEEE-exact Lemma-1 consistency: Ψ−(q, p) contains p'
+        exactly when p is strictly inside Ring(p', q)."""
+        q, p = Point(qx, qy), Point(px, py)
+        assume(not q.same_location(p))
+        hp = HalfPlane.psi_minus(q, p)
+        ring = Ring(ox, oy, qx, qy)  # pair <p'=(ox,oy), q>
+        assert hp.contains_point(ox, oy) == ring.contains_point(px, py)
+
+    @given(adversarial, adversarial, adversarial, adversarial,
+           adversarial, adversarial)
+    def test_symmetric_in_pair_order(self, px, py, qx, qy, x, y):
+        a = Ring(px, py, qx, qy).contains_point(x, y)
+        b = Ring(qx, qy, px, py).contains_point(x, y)
+        assert a == b
+
+
+class TestCertainPredicate:
+    def test_deep_interior_certain(self):
+        ring = Ring(0, 0, 10, 0)
+        assert ring.contains_point_certainly(5, 0)
+
+    def test_boundary_not_certain(self):
+        ring = Ring(0, 0, 10, 0)
+        assert not ring.contains_point_certainly(0, 0)
+        assert not ring.contains_point_certainly(5, 5)
+
+    @given(adversarial, adversarial, adversarial, adversarial,
+           adversarial, adversarial)
+    def test_certain_implies_contained(self, px, py, qx, qy, x, y):
+        ring = Ring(px, py, qx, qy)
+        if ring.contains_point_certainly(x, y):
+            assert ring.contains_point(x, y)
+
+
+class TestRectInteractions:
+    def test_descend_conservative(self):
+        ring = Ring(0, 0, 10, 0)
+        # Touching rect must be visited.
+        assert ring.intersects_rect(Rect(10, -1, 12, 1))
+        # Far rect is skipped.
+        assert not ring.intersects_rect(Rect(100, 100, 110, 110))
+
+    @given(adversarial, adversarial, adversarial, adversarial,
+           adversarial, adversarial)
+    def test_contained_point_implies_rect_visited(self, px, py, qx, qy, x, y):
+        # Any point the predicate counts must be reachable: its
+        # enclosing (degenerate) rect passes the descent test.
+        ring = Ring(px, py, qx, qy)
+        if ring.contains_point(x, y):
+            assert ring.intersects_rect(Rect(x, y, x, y))
+
+    def test_face_containment_requires_margin(self):
+        ring = Ring(0, 0, 10, 0)
+        # A side well inside the circle.
+        assert ring.contains_rect_face(Rect(4, -1, 6, 1))
+        # A rect whose sides all cross the boundary.
+        assert not ring.contains_rect_face(Rect(-20, -20, 20, 20))

@@ -1,0 +1,83 @@
+"""Unit tests for the uniform-grid index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.grid.index import GridIndex
+
+from tests.conftest import lattice_pointset, make_points
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex([])
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            GridIndex([Point(0, 0, 0)], cells_per_axis=0)
+
+    def test_single_point(self):
+        grid = GridIndex([Point(5, 5, 0)])
+        assert grid.points_in_rect(Rect(0, 0, 10, 10)) == [Point(5, 5, 0)]
+
+    def test_identical_points(self):
+        pts = [Point(2, 2, i) for i in range(10)]
+        grid = GridIndex(pts)
+        assert len(grid.points_in_rect(Rect(2, 2, 2, 2))) == 10
+
+
+class TestRangeQueries:
+    def test_matches_linear_scan(self, uniform_points, rng):
+        grid = GridIndex(uniform_points)
+        for _ in range(20):
+            x1, x2 = sorted(rng.uniform(0, 10000) for _ in range(2))
+            y1, y2 = sorted(rng.uniform(0, 10000) for _ in range(2))
+            window = Rect(x1, y1, x2, y2)
+            expected = sorted(
+                p.oid for p in uniform_points if window.contains_point(p.x, p.y)
+            )
+            got = sorted(p.oid for p in grid.points_in_rect(window))
+            assert got == expected
+
+    def test_matches_rtree(self, uniform_points):
+        from repro.rtree.bulk import bulk_load
+
+        grid = GridIndex(uniform_points)
+        tree = bulk_load(uniform_points)
+        window = Rect(1000, 2000, 6000, 7000)
+        assert sorted(p.oid for p in grid.points_in_rect(window)) == sorted(
+            p.oid for p in tree.range_search(window)
+        )
+
+    @given(lattice_pointset(min_size=1, max_size=40), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_window_queries(self, coords, cells):
+        pts = make_points(coords)
+        grid = GridIndex(pts, cells_per_axis=cells)
+        window = Rect(5, 5, 30, 30)
+        expected = sorted(
+            p.oid for p in pts if window.contains_point(p.x, p.y)
+        )
+        assert sorted(p.oid for p in grid.points_in_rect(window)) == expected
+
+
+class TestPredicateSearch:
+    def test_any_point_where(self, uniform_points):
+        grid = GridIndex(uniform_points)
+        window = Rect(0, 0, 10000, 10000)
+        assert grid.any_point_where(window, lambda p: p.oid == 17)
+        assert not grid.any_point_where(window, lambda p: p.oid == 10**9)
+
+    def test_predicate_restricted_to_window(self):
+        pts = [Point(0, 0, 0), Point(100, 100, 1)]
+        grid = GridIndex(pts, cells_per_axis=4)
+        # oid 1 exists but outside the probed window's cells.
+        assert not grid.any_point_where(
+            Rect(0, 0, 10, 10), lambda p: p.oid == 1
+        )
+
+    def test_len(self, uniform_points):
+        assert len(GridIndex(uniform_points)) == len(uniform_points)

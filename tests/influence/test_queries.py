@@ -1,0 +1,127 @@
+"""Unit tests for the influence-based queries (paper, Section 2.2)."""
+
+import pytest
+
+from repro.datasets.synthetic import uniform
+from repro.geometry.point import Point
+from repro.influence.queries import (
+    influence_counts,
+    optimal_location,
+    top_k_influential,
+)
+
+
+@pytest.fixture
+def figure3():
+    """A configuration reproducing the paper's Figure 3 story:
+    sites p1, p2, p3 with influences 3, 1, 2."""
+    sites = [
+        Point(0.25, 0.70, 1),  # p1
+        Point(0.30, 0.20, 2),  # p2
+        Point(0.80, 0.45, 3),  # p3
+    ]
+    objects = [
+        # Three objects nearest to p1.
+        Point(0.15, 0.80, 10),
+        Point(0.30, 0.85, 11),
+        Point(0.20, 0.60, 12),
+        # One object nearest to p2.
+        Point(0.35, 0.10, 13),
+        # Two objects nearest to p3.
+        Point(0.85, 0.55, 14),
+        Point(0.75, 0.30, 15),
+    ]
+    return sites, objects
+
+
+class TestInfluenceCounts:
+    def test_figure3_counts(self, figure3):
+        sites, objects = figure3
+        counts = influence_counts(sites, objects)
+        assert counts == {1: 3, 2: 1, 3: 2}
+
+    def test_counts_partition_objects(self):
+        sites = uniform(20, seed=1)
+        objects = uniform(300, seed=2, start_oid=100)
+        counts = influence_counts(sites, objects)
+        assert sum(counts.values()) == len(objects)
+        assert set(counts) == {s.oid for s in sites}
+
+    def test_empty_sites(self):
+        assert influence_counts([], uniform(5, seed=1)) == {}
+
+    def test_empty_objects(self):
+        sites = uniform(5, seed=1)
+        counts = influence_counts(sites, [])
+        assert counts == {s.oid: 0 for s in sites}
+
+    def test_matches_linear_scan(self):
+        sites = uniform(15, seed=3)
+        objects = uniform(200, seed=4, start_oid=100)
+        counts = influence_counts(sites, objects)
+        expected: dict[int, int] = {s.oid: 0 for s in sites}
+        for obj in objects:
+            nearest = min(sites, key=obj.dist_sq_to)
+            expected[nearest.oid] += 1
+        assert counts == expected
+
+
+class TestTopKInfluential:
+    def test_figure3_top1(self, figure3):
+        sites, objects = figure3
+        top = top_k_influential(sites, objects, 1)
+        assert top[0][0].oid == 1  # p1, the paper's top-1
+        assert top[0][1] == 3
+
+    def test_figure3_full_ranking(self, figure3):
+        sites, objects = figure3
+        ranked = top_k_influential(sites, objects, 3)
+        assert [(s.oid, c) for s, c in ranked] == [(1, 3), (3, 2), (2, 1)]
+
+    def test_k_zero(self, figure3):
+        sites, objects = figure3
+        assert top_k_influential(sites, objects, 0) == []
+
+    def test_k_exceeds_sites(self, figure3):
+        sites, objects = figure3
+        assert len(top_k_influential(sites, objects, 99)) == 3
+
+    def test_influence_descending(self):
+        sites = uniform(25, seed=5)
+        objects = uniform(400, seed=6, start_oid=100)
+        ranked = top_k_influential(sites, objects, 25)
+        influences = [c for _, c in ranked]
+        assert influences == sorted(influences, reverse=True)
+
+
+class TestOptimalLocation:
+    def test_needs_objects(self):
+        with pytest.raises(ValueError):
+            optimal_location(uniform(3, seed=1), [])
+
+    def test_no_existing_sites_captures_everything(self):
+        objects = [Point(0, 0, 1), Point(1, 1, 2), Point(2, 2, 3)]
+        _loc, influence = optimal_location([], objects)
+        assert influence == len(objects)
+
+    def test_new_location_beats_far_sites(self):
+        # Sites far away; a candidate amid the objects captures all.
+        sites = [Point(10000, 10000, 1)]
+        objects = [Point(i, 0, 10 + i) for i in range(5)]
+        loc, influence = optimal_location(sites, objects)
+        assert influence == 5
+        assert loc.y == 0
+
+    def test_candidate_pool_respected(self):
+        sites = [Point(0, 0, 1)]
+        objects = [Point(10, 0, 2), Point(11, 0, 3)]
+        candidates = [Point(500, 500, 9)]
+        loc, influence = optimal_location(sites, objects, candidates)
+        assert loc.oid == 9
+        assert influence == 0  # candidate too far to win any object
+
+    def test_influence_bounded_by_objects(self):
+        sites = uniform(10, seed=7)
+        objects = uniform(100, seed=8, start_oid=50)
+        _loc, influence = optimal_location(sites, objects)
+        assert 0 <= influence <= len(objects)

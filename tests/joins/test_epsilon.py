@@ -1,0 +1,105 @@
+"""Unit tests for the ε-distance join."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.joins.epsilon import epsilon_join, epsilon_join_arrays
+from repro.rtree.bulk import bulk_load
+
+from tests.conftest import lattice_pointset, make_points
+
+
+def brute_eps(points_p, points_q, eps):
+    return {
+        (p.oid, q.oid)
+        for p in points_p
+        for q in points_q
+        if math.hypot(p.x - q.x, p.y - q.y) <= eps
+    }
+
+
+class TestRTreeEpsilonJoin:
+    def test_negative_eps_rejected(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        with pytest.raises(ValueError):
+            epsilon_join(tree, tree, -1.0)
+
+    def test_empty_tree(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        empty = bulk_load([])
+        assert epsilon_join(tree, empty, 100.0) == []
+        assert epsilon_join(empty, tree, 100.0) == []
+
+    def test_matches_brute(self, uniform_points):
+        points_p = uniform_points[:150]
+        points_q = uniform_points[150:]
+        tree_p = bulk_load(points_p)
+        tree_q = bulk_load(points_q)
+        for eps in (0.0, 50.0, 300.0, 1500.0):
+            got = {
+                (p.oid, q.oid) for p, q in epsilon_join(tree_p, tree_q, eps)
+            }
+            assert got == brute_eps(points_p, points_q, eps), eps
+
+    def test_different_tree_heights(self):
+        from repro.datasets.synthetic import uniform
+
+        small = uniform(5, seed=1)
+        large = uniform(3000, seed=2, start_oid=10)
+        tree_s = bulk_load(small)
+        tree_l = bulk_load(large)
+        got = {(p.oid, q.oid) for p, q in epsilon_join(tree_s, tree_l, 150.0)}
+        assert got == brute_eps(small, large, 150.0)
+
+    def test_eps_zero_finds_coincident_only(self):
+        from repro.geometry.point import Point
+
+        points_p = [Point(1, 1, 0), Point(2, 2, 1)]
+        points_q = [Point(1, 1, 10), Point(3, 3, 11)]
+        got = {
+            (p.oid, q.oid)
+            for p, q in epsilon_join(bulk_load(points_p), bulk_load(points_q), 0.0)
+        }
+        assert got == {(0, 10)}
+
+    @given(
+        lattice_pointset(min_size=1, max_size=25),
+        lattice_pointset(min_size=1, max_size=25),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute(self, coords_p, coords_q):
+        points_p = make_points(coords_p)
+        points_q = make_points(coords_q, start_oid=1000)
+        tree_p = bulk_load(points_p, page_size=128)
+        tree_q = bulk_load(points_q, page_size=128)
+        for eps in (1.0, 5.0):
+            got = {
+                (p.oid, q.oid) for p, q in epsilon_join(tree_p, tree_q, eps)
+            }
+            assert got == brute_eps(points_p, points_q, eps)
+
+
+class TestArrayEpsilonJoin:
+    def test_matches_rtree_variant(self, uniform_points):
+        points_p = uniform_points[:100]
+        points_q = uniform_points[100:250]
+        tree_p = bulk_load(points_p)
+        tree_q = bulk_load(points_q)
+        for eps in (100.0, 700.0):
+            a = epsilon_join_arrays(points_p, points_q, eps)
+            b = {(p.oid, q.oid) for p, q in epsilon_join(tree_p, tree_q, eps)}
+            assert a == b
+
+    def test_empty_input(self):
+        assert epsilon_join_arrays([], [], 5.0) == set()
+
+    def test_monotone_in_eps(self, uniform_points):
+        points_p = uniform_points[:100]
+        points_q = uniform_points[100:]
+        prev: set = set()
+        for eps in (10, 100, 400, 1000):
+            cur = epsilon_join_arrays(points_p, points_q, eps)
+            assert prev <= cur
+            prev = cur

@@ -1,0 +1,70 @@
+"""Unit tests for the kNN join."""
+
+from repro.joins.knn import knn_join, knn_join_prefixes
+from repro.rtree.bulk import bulk_load
+
+
+def brute_knn(points_p, points_q, k):
+    out = set()
+    for p in points_p:
+        ranked = sorted(points_q, key=p.dist_sq_to)[:k]
+        out.update((p.oid, q.oid) for q in ranked)
+    return out
+
+
+class TestKnnJoin:
+    def test_k_zero(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        assert knn_join(uniform_points, tree, 0) == []
+
+    def test_result_size_is_k_times_p(self, uniform_points):
+        points_p = uniform_points[:100]
+        points_q = uniform_points[100:]
+        tree_q = bulk_load(points_q)
+        for k in (1, 3):
+            assert len(knn_join(points_p, tree_q, k)) == k * len(points_p)
+
+    def test_matches_brute(self, uniform_points):
+        points_p = uniform_points[:80]
+        points_q = uniform_points[80:200]
+        tree_q = bulk_load(points_q)
+        got = {(p.oid, q.oid) for p, q in knn_join(points_p, tree_q, 4)}
+        assert got == brute_knn(points_p, points_q, 4)
+
+    def test_asymmetric(self, uniform_points):
+        # Paper Table 1: the kNN join is not symmetric.
+        points_p = uniform_points[:60]
+        points_q = uniform_points[60:120]
+        tree_p = bulk_load(points_p)
+        tree_q = bulk_load(points_q)
+        forward = {(p.oid, q.oid) for p, q in knn_join(points_p, tree_q, 2)}
+        backward = {
+            (p.oid, q.oid) for q, p in knn_join(points_q, tree_p, 2)
+        }
+        assert forward != backward
+
+    def test_k_larger_than_q(self):
+        from repro.geometry.point import Point
+
+        points_p = [Point(0, 0, 0)]
+        points_q = [Point(1, 1, 10), Point(2, 2, 11)]
+        tree_q = bulk_load(points_q)
+        assert len(knn_join(points_p, tree_q, 99)) == 2
+
+
+class TestKnnPrefixes:
+    def test_prefixes_nested(self, uniform_points):
+        points_p = uniform_points[:60]
+        tree_q = bulk_load(uniform_points[60:])
+        prefixes = knn_join_prefixes(points_p, tree_q, 5)
+        for k in range(1, 5):
+            assert prefixes[k] <= prefixes[k + 1]
+
+    def test_prefix_matches_direct_join(self, uniform_points):
+        points_p = uniform_points[:60]
+        points_q = uniform_points[60:]
+        tree_q = bulk_load(points_q)
+        prefixes = knn_join_prefixes(points_p, tree_q, 4)
+        for k in (1, 2, 4):
+            direct = {(p.oid, q.oid) for p, q in knn_join(points_p, tree_q, k)}
+            assert prefixes[k] == direct

@@ -1,0 +1,92 @@
+"""Unit tests for the network-distance RCJ."""
+
+import networkx as nx
+import pytest
+
+from repro.network.rcj import network_rcj
+from repro.network.roadnet import attach_points, grid_road_network
+
+
+def brute_network_rcj(graph, located_p, located_q, weight="length"):
+    """Independent quadratic re-implementation for cross-checking."""
+    dist = {
+        v: nx.single_source_dijkstra_path_length(graph, v, weight=weight)
+        for v in {v for _, v in located_p} | {v for _, v in located_q}
+    }
+    occupants = list(located_p) + list(located_q)
+    nodes = list(graph.nodes)
+    out = set()
+    for p, vp in located_p:
+        for q, vq in located_q:
+            m = min(nodes, key=lambda v: max(dist[vp][v], dist[vq][v]))
+            r = max(dist[vp][m], dist[vq][m])
+            if not any(
+                dist[vo][m] < r * (1 - 1e-9)
+                for o, vo in occupants
+                if o is not p and o is not q
+            ):
+                out.add((p.oid, q.oid))
+    return out
+
+
+@pytest.fixture
+def small_network():
+    g = grid_road_network(6, 6, seed=11)
+    located_p = attach_points(g, 6, seed=12)
+    located_q = attach_points(g, 6, seed=13, start_oid=100)
+    return g, located_p, located_q
+
+
+class TestNetworkRCJ:
+    def test_empty_inputs(self, small_network):
+        g, lp, lq = small_network
+        assert network_rcj(g, [], lq) == []
+        assert network_rcj(g, lp, []) == []
+
+    def test_disconnected_rejected(self, small_network):
+        _, lp, lq = small_network
+        g2 = nx.Graph()
+        g2.add_edge((0, 0), (0, 1), length=1.0)
+        g2.add_node((9, 9))
+        with pytest.raises(ValueError, match="connected"):
+            network_rcj(g2, lp[:1], lq[:1])
+
+    def test_matches_independent_implementation(self, small_network):
+        g, lp, lq = small_network
+        got = {r.key() for r in network_rcj(g, lp, lq)}
+        assert got == brute_network_rcj(g, lp, lq)
+
+    def test_single_pair_always_joins(self):
+        g = grid_road_network(3, 3, seed=1)
+        lp = attach_points(g, 1, seed=2)
+        lq = attach_points(g, 1, seed=3, start_oid=10)
+        result = network_rcj(g, lp, lq)
+        assert len(result) == 1
+
+    def test_middleman_minimises_max_distance(self, small_network):
+        g, lp, lq = small_network
+        dist = {
+            v: nx.single_source_dijkstra_path_length(g, v, weight="length")
+            for v in {v for _, v in lp} | {v for _, v in lq}
+        }
+        vertex_of = {p.oid: v for p, v in lp}
+        vertex_of.update({q.oid: v for q, v in lq})
+        for pair in network_rcj(g, lp, lq):
+            vp, vq = vertex_of[pair.p.oid], vertex_of[pair.q.oid]
+            best = min(max(dist[vp][v], dist[vq][v]) for v in g.nodes)
+            assert pair.radius == pytest.approx(best)
+
+    def test_fairness_radius_bounded_by_path_length(self, small_network):
+        g, lp, lq = small_network
+        dist = {
+            v: nx.single_source_dijkstra_path_length(g, v, weight="length")
+            for v in {v for _, v in lp} | {v for _, v in lq}
+        }
+        vertex_of = {p.oid: v for p, v in lp}
+        vertex_of.update({q.oid: v for q, v in lq})
+        for pair in network_rcj(g, lp, lq):
+            vp, vq = vertex_of[pair.p.oid], vertex_of[pair.q.oid]
+            d_pq = dist[vp][vq]
+            # max-dist at the best vertex is at least half the distance
+            # and at most the full distance (meet at an endpoint).
+            assert d_pq / 2 - 1e-9 <= pair.radius <= d_pq + 1e-9

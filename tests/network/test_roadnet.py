@@ -1,0 +1,60 @@
+"""Unit tests for the synthetic road-network generator."""
+
+import networkx as nx
+import pytest
+
+from repro.network.roadnet import attach_points, grid_road_network
+
+
+class TestGridRoadNetwork:
+    def test_size(self):
+        g = grid_road_network(4, 5, seed=1)
+        assert g.number_of_nodes() == 20
+        # Grid edges: rows*(cols-1) + (rows-1)*cols.
+        assert g.number_of_edges() == 4 * 4 + 3 * 5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            grid_road_network(1, 5)
+
+    def test_connected(self):
+        assert nx.is_connected(grid_road_network(6, 6, seed=2))
+
+    def test_positive_edge_lengths(self):
+        g = grid_road_network(5, 5, seed=3)
+        for _, _, data in g.edges(data=True):
+            assert data["length"] > 0
+
+    def test_node_coordinates_attached(self):
+        g = grid_road_network(3, 3, seed=4)
+        for _, data in g.nodes(data=True):
+            assert "x" in data and "y" in data
+
+    def test_deterministic(self):
+        a = grid_road_network(4, 4, seed=5)
+        b = grid_road_network(4, 4, seed=5)
+        assert [a.nodes[n]["x"] for n in a] == [b.nodes[n]["x"] for n in b]
+
+
+class TestAttachPoints:
+    def test_distinct_vertices(self):
+        g = grid_road_network(5, 5, seed=1)
+        located = attach_points(g, 10, seed=2)
+        vertices = [v for _, v in located]
+        assert len(set(vertices)) == 10
+
+    def test_too_many_points_rejected(self):
+        g = grid_road_network(2, 2, seed=1)
+        with pytest.raises(ValueError):
+            attach_points(g, 5)
+
+    def test_oids_sequential(self):
+        g = grid_road_network(4, 4, seed=1)
+        located = attach_points(g, 5, seed=3, start_oid=100)
+        assert [p.oid for p, _ in located] == list(range(100, 105))
+
+    def test_point_coordinates_match_vertex(self):
+        g = grid_road_network(4, 4, seed=1)
+        for p, v in attach_points(g, 6, seed=4):
+            assert p.x == g.nodes[v]["x"]
+            assert p.y == g.nodes[v]["y"]

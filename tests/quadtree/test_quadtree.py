@@ -1,0 +1,217 @@
+"""Unit and property tests for the point quadtree substrate."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.quadtree.node import QuadBranch, QuadNode
+from repro.quadtree.tree import QuadTree
+
+from tests.conftest import lattice_pointset, make_points
+
+
+def validate(tree: QuadTree) -> None:
+    """Assert the quadtree's structural invariants."""
+    if tree.root_pid is None:
+        assert tree.count == 0
+        return
+    seen = []
+
+    def recurse(pid: int) -> Rect:
+        node = tree.read_node(pid)
+        assert node.entries, "empty node"
+        if node.is_leaf:
+            seen.extend(node.entries)
+            return node.mbr()
+        quadrants = [b.quadrant for b in node.entries]
+        assert len(set(quadrants)) == len(quadrants), "duplicate quadrant"
+        for b in node.entries:
+            child_mbr = recurse(b.child)
+            # Branch rects are TIGHT subtree MBRs (the face property the
+            # shared verification step relies on).
+            assert b.rect == child_mbr
+        return node.mbr()
+
+    recurse(tree.root_pid)
+    assert len(seen) == tree.count
+
+
+class TestNodeSerialisation:
+    def test_leaf_roundtrip(self):
+        node = QuadNode(0, [Point(1.5, 2.5, 3)])
+        restored = QuadNode.from_bytes(node.to_bytes(1024))
+        assert restored.is_leaf
+        assert restored.entries[0] == Point(1.5, 2.5, 3)
+
+    def test_branch_roundtrip(self):
+        node = QuadNode(
+            1,
+            [
+                QuadBranch(2, Rect(0, 0, 1, 1), 7),
+                QuadBranch(0, Rect(-1, -1, 0, 0), 9),
+            ],
+        )
+        restored = QuadNode.from_bytes(node.to_bytes(1024))
+        assert [(b.quadrant, b.rect, b.child) for b in restored.entries] == [
+            (2, Rect(0, 0, 1, 1), 7),
+            (0, Rect(-1, -1, 0, 0), 9),
+        ]
+
+
+class TestInsertion:
+    def test_out_of_bounds_rejected(self):
+        tree = QuadTree()
+        with pytest.raises(ValueError, match="outside"):
+            tree.insert(Point(-1, 5, 0))
+
+    def test_points_retrievable(self, rng):
+        tree = QuadTree(page_size=192)
+        pts = [
+            Point(rng.uniform(0, 10000), rng.uniform(0, 10000), i)
+            for i in range(300)
+        ]
+        for p in pts:
+            tree.insert(p)
+        assert sorted(p.oid for p in tree.all_points()) == list(range(300))
+        validate(tree)
+
+    def test_coincident_duplicates_beyond_capacity(self):
+        # All points identical: splitting cannot separate them; the
+        # depth cap lets the leaf grow.
+        tree = QuadTree(page_size=256)
+        for i in range(9):  # leaf capacity at 256B is 10
+            tree.insert(Point(5000, 5000, i))
+        for i in range(9, 30):
+            tree.insert(Point(5000, 5000, i))
+        assert sorted(p.oid for p in tree.all_points()) == list(range(30))
+
+    def test_boundary_points(self):
+        tree = QuadTree()
+        corners = [
+            Point(0, 0, 0),
+            Point(10000, 0, 1),
+            Point(0, 10000, 2),
+            Point(10000, 10000, 3),
+            Point(5000, 5000, 4),
+        ]
+        for p in corners:
+            tree.insert(p)
+        assert len(tree.all_points()) == 5
+
+    @given(lattice_pointset(min_size=0, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_structure_valid_on_lattice_workloads(self, coords):
+        tree = QuadTree(page_size=192, bounds=Rect(0, 0, 64, 64))
+        pts = make_points(coords)
+        for p in pts:
+            tree.insert(p)
+        validate(tree)
+        assert sorted(p.oid for p in tree.all_points()) == sorted(
+            p.oid for p in pts
+        )
+
+
+class TestQueries:
+    def test_range_matches_linear_scan(self, uniform_points, rng):
+        tree = QuadTree()
+        for p in uniform_points:
+            tree.insert(p)
+        for _ in range(20):
+            x1, x2 = sorted(rng.uniform(0, 10000) for _ in range(2))
+            y1, y2 = sorted(rng.uniform(0, 10000) for _ in range(2))
+            window = Rect(x1, y1, x2, y2)
+            expected = sorted(
+                p.oid for p in uniform_points if window.contains_point(p.x, p.y)
+            )
+            got = sorted(p.oid for p in tree.range_search(window))
+            assert got == expected
+
+    def test_incremental_nn_protocol_compatible(self, uniform_points):
+        # The R-tree INN iterator runs over the quadtree unchanged.
+        from repro.rtree.inn import incremental_nearest
+
+        tree = QuadTree()
+        for p in uniform_points:
+            tree.insert(p)
+        got = [p.oid for _d, p in incremental_nearest(tree, 5000, 5000)]
+        expected = [
+            p.oid
+            for p in sorted(
+                uniform_points,
+                key=lambda p: (p.x - 5000) ** 2 + (p.y - 5000) ** 2,
+            )
+        ]
+        assert got == expected
+
+    def test_leaf_pids_cover_everything(self, uniform_points):
+        tree = QuadTree()
+        for p in uniform_points:
+            tree.insert(p)
+        total = 0
+        for pid in tree.leaf_pids():
+            node = tree.read_node(pid)
+            assert node.is_leaf
+            total += len(node.entries)
+        assert total == len(uniform_points)
+
+
+class TestJoinAlgorithmsOverQuadtrees:
+    """The paper's generality claim: the RCJ algorithms run over any
+    hierarchical index with bounding-box entries."""
+
+    def _build(self, points):
+        tree = QuadTree()
+        for p in points:
+            tree.insert(p)
+        return tree
+
+    def test_inj_bij_obj_match_oracle(self):
+        from repro.core.bij import bij
+        from repro.core.brute import brute_force_rcj
+        from repro.core.inj import inj
+        from repro.datasets.synthetic import uniform
+
+        points_p = uniform(400, seed=50)
+        points_q = uniform(350, seed=51, start_oid=400)
+        tree_p = self._build(points_p)
+        tree_q = self._build(points_q)
+        expected = {r.key() for r in brute_force_rcj(points_p, points_q)}
+        assert inj(tree_q, tree_p).pair_keys() == expected
+        assert bij(tree_q, tree_p).pair_keys() == expected
+        assert bij(tree_q, tree_p, symmetric=True).pair_keys() == expected
+
+    def test_mixed_index_join(self):
+        # One side R-tree, the other quadtree: still exact.
+        from repro.core.bij import bij
+        from repro.core.brute import brute_force_rcj
+        from repro.datasets.synthetic import uniform
+        from repro.rtree.bulk import bulk_load
+
+        points_p = uniform(300, seed=52)
+        points_q = uniform(250, seed=53, start_oid=300)
+        tree_p = bulk_load(points_p)
+        tree_q = self._build(points_q)
+        expected = {r.key() for r in brute_force_rcj(points_p, points_q)}
+        assert bij(tree_q, tree_p, symmetric=True).pair_keys() == expected
+
+    @given(
+        lattice_pointset(min_size=1, max_size=20),
+        lattice_pointset(min_size=1, max_size=20),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_equivalence_on_lattice(self, coords_p, coords_q):
+        from repro.core.bij import bij
+        from repro.core.brute import brute_force_rcj
+
+        bounds = Rect(0, 0, 64, 64)
+        points_p = make_points(coords_p)
+        points_q = make_points(coords_q, start_oid=1000)
+        tree_p = QuadTree(page_size=192, bounds=bounds)
+        tree_q = QuadTree(page_size=192, bounds=bounds)
+        for p in points_p:
+            tree_p.insert(p)
+        for q in points_q:
+            tree_q.insert(q)
+        expected = {r.key() for r in brute_force_rcj(points_p, points_q)}
+        assert bij(tree_q, tree_p, symmetric=True).pair_keys() == expected

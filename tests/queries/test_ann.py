@@ -1,0 +1,124 @@
+"""Tests for aggregate nearest-neighbour search."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datasets.synthetic import uniform
+from repro.geometry.point import Point
+from repro.queries.ann import aggregate_nearest, aggregate_nearest_brute
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+
+from tests.conftest import lattice_pointset, make_points
+
+
+class TestAggregateNearest:
+    def test_empty_tree(self):
+        assert aggregate_nearest(RTree(), [Point(1, 1)]) == []
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_nearest(RTree(), [])
+
+    def test_unknown_aggregate_rejected(self):
+        tree = bulk_load(uniform(10, seed=0))
+        with pytest.raises(ValueError):
+            aggregate_nearest(tree, [Point(1, 1)], agg="median")
+
+    def test_k_zero(self):
+        tree = bulk_load(uniform(10, seed=0))
+        assert aggregate_nearest(tree, [Point(1, 1)], k=0) == []
+
+    def test_single_query_point_is_plain_nn(self):
+        points = uniform(300, seed=1)
+        tree = bulk_load(points)
+        q = Point(5000, 5000)
+        ((d, best),) = aggregate_nearest(tree, [q], agg="max")
+        expected = min(points, key=lambda p: p.dist_sq_to(q))
+        assert best.oid == expected.oid
+        assert d == pytest.approx(expected.dist_to(q))
+
+    def test_minimax_between_two_points_prefers_midpointish(self):
+        # Candidate sites on a line between the two group members: the
+        # minimax winner is the one nearest the midpoint.
+        sites = [Point(x, 0, i) for i, x in enumerate(range(0, 101, 10))]
+        tree = bulk_load(sites)
+        group = [Point(0, 0), Point(100, 0)]
+        ((_d, best),) = aggregate_nearest(tree, group, agg="max")
+        assert best.x == 50
+
+    def test_sum_differs_from_max(self):
+        # An off-centre cluster: sum favours the crowd, max the centre.
+        sites = [Point(0, 0, 0), Point(55, 0, 1)]
+        group = [Point(0, 0), Point(0, 10), Point(10, 0), Point(100, 0)]
+        tree = bulk_load(sites)
+        ((_d1, best_sum),) = aggregate_nearest(tree, group, agg="sum")
+        ((_d2, best_max),) = aggregate_nearest(tree, group, agg="max")
+        assert best_sum.oid == 0
+        assert best_max.oid == 1
+
+    @pytest.mark.parametrize("agg", ["max", "sum"])
+    def test_matches_brute_uniform(self, agg):
+        points = uniform(400, seed=2)
+        tree = bulk_load(points)
+        group = [Point(2000, 3000), Point(7000, 6000), Point(5000, 9000)]
+        got = aggregate_nearest(tree, group, agg=agg, k=5)
+        expected = aggregate_nearest_brute(points, group, agg=agg, k=5)
+        assert [p.oid for _d, p in got] == [p.oid for _d, p in expected] or [
+            d for d, _p in got
+        ] == pytest.approx([d for d, _p in expected])
+
+    def test_k_larger_than_tree(self):
+        points = uniform(5, seed=3)
+        tree = bulk_load(points)
+        got = aggregate_nearest(tree, [Point(0, 0)], k=50)
+        assert len(got) == 5
+
+    def test_results_sorted(self):
+        points = uniform(200, seed=4)
+        tree = bulk_load(points)
+        got = aggregate_nearest(
+            tree, [Point(1000, 1000), Point(9000, 9000)], agg="sum", k=10
+        )
+        values = [d for d, _p in got]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("agg", ["max", "sum"])
+    @given(coords=lattice_pointset(min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute(self, agg, coords):
+        points = make_points(coords)
+        tree = bulk_load(points, page_size=256)
+        group = [Point(10, 10), Point(50, 30)]
+        got = aggregate_nearest(tree, group, agg=agg, k=3)
+        expected = aggregate_nearest_brute(points, group, agg=agg, k=3)
+        assert [d for d, _p in got] == pytest.approx(
+            [d for d, _p in expected]
+        )
+
+    def test_rcj_convenience_property(self):
+        """The RCJ ring centre is the continuous minimax optimum for its
+        endpoints; the discrete ANN over a fine site grid lands next to
+        it."""
+        from repro.core.brute import brute_force_rcj
+
+        ps = [Point(2000, 5000, 0)]
+        qs = [Point(4000, 5000, 0)]
+        (pair,) = brute_force_rcj(ps, qs)
+        cx, cy = pair.center
+        sites = [
+            Point(x, y, i)
+            for i, (x, y) in enumerate(
+                (x, y)
+                for x in range(0, 10001, 250)
+                for y in range(0, 10001, 250)
+            )
+        ]
+        tree = bulk_load(sites)
+        ((best_val, best),) = aggregate_nearest(
+            tree, [ps[0], qs[0]], agg="max"
+        )
+        # The winning site is the grid point nearest the ring centre,
+        # and its minimax value is within a grid step of the optimum.
+        assert abs(best.x - cx) <= 125 and abs(best.y - cy) <= 125
+        assert best_val <= pair.radius + 250

@@ -1,0 +1,182 @@
+"""Tests for reverse nearest-neighbour search."""
+
+from hypothesis import given, settings
+
+from repro.datasets.synthetic import uniform
+from repro.geometry.point import Point
+from repro.queries import bichromatic_reverse_nearest, reverse_nearest
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+
+from tests.conftest import lattice_pointset, make_points
+
+
+def _mono_oracle(points, q, exclude_oid=None):
+    """p is RNN of q iff no other point is strictly closer to p than q."""
+    out = set()
+    for p in points:
+        if exclude_oid is not None and p.oid == exclude_oid:
+            continue
+        d_q = p.dist_sq_to(q)
+        beaten = any(
+            z.oid != p.oid
+            and (exclude_oid is None or z.oid != exclude_oid)
+            and p.dist_sq_to(z) < d_q
+            for z in points
+        )
+        if not beaten:
+            out.add(p.oid)
+    return out
+
+
+def _bi_oracle(objects, sites, q):
+    """o adopts q iff no existing site is strictly closer to o."""
+    return {
+        o.oid
+        for o in objects
+        if not any(o.dist_sq_to(s) < o.dist_sq_to(q) for s in sites)
+    }
+
+
+class TestMonochromaticRNN:
+    def test_empty_tree(self):
+        assert reverse_nearest(RTree(), Point(5, 5)) == []
+
+    def test_single_point_is_rnn(self):
+        tree = RTree()
+        tree.insert(Point(10, 10, 0))
+        assert [p.oid for p in reverse_nearest(tree, Point(0, 0))] == [0]
+
+    def test_two_points_far_query(self):
+        # q far away: only the nearer point has q as its NN?  Neither —
+        # each point's NN is the other, both closer than q.
+        tree = RTree()
+        tree.insert(Point(100, 100, 0))
+        tree.insert(Point(101, 100, 1))
+        assert reverse_nearest(tree, Point(5000, 5000)) == []
+
+    def test_query_between_two_points(self):
+        tree = RTree()
+        tree.insert(Point(0, 0, 0))
+        tree.insert(Point(10, 0, 1))
+        got = {p.oid for p in reverse_nearest(tree, Point(5, 0))}
+        assert got == {0, 1}
+
+    def test_equidistant_tie_counts_for_query(self):
+        # p at (0,0); q and z both at distance 5.  z is not *strictly*
+        # closer, so p remains an RNN of q.
+        tree = RTree()
+        tree.insert(Point(0, 0, 0))
+        tree.insert(Point(5, 0, 1))
+        got = {p.oid for p in reverse_nearest(tree, Point(-5, 0))}
+        assert 0 in got
+
+    def test_matches_oracle_uniform(self):
+        points = uniform(300, seed=20)
+        tree = bulk_load(points)
+        for q in (Point(5000, 5000), Point(0, 0), Point(9999, 123)):
+            got = {p.oid for p in reverse_nearest(tree, q)}
+            assert got == _mono_oracle(points, q)
+
+    def test_exclude_oid_self_query(self):
+        points = uniform(200, seed=21)
+        tree = bulk_load(points)
+        q = points[7]
+        got = {p.oid for p in reverse_nearest(tree, q, exclude_oid=q.oid)}
+        assert got == _mono_oracle(points, q, exclude_oid=q.oid)
+        assert q.oid not in got
+
+    def test_results_sorted_by_distance(self):
+        points = uniform(250, seed=22)
+        tree = bulk_load(points)
+        q = Point(4000, 6000)
+        got = reverse_nearest(tree, q)
+        dists = [p.dist_to(q) for p in got]
+        assert dists == sorted(dists)
+
+    @given(lattice_pointset(min_size=0, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, coords):
+        points = make_points(coords)
+        tree = bulk_load(points, page_size=256)
+        q = Point(32, 32)
+        got = {p.oid for p in reverse_nearest(tree, q)}
+        assert got == _mono_oracle(points, q)
+
+    @given(lattice_pointset(min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_rnn_of_member_query(self, coords):
+        points = make_points(coords)
+        tree = bulk_load(points, page_size=256)
+        q = points[0]
+        got = {p.oid for p in reverse_nearest(tree, q, exclude_oid=q.oid)}
+        assert got == _mono_oracle(points, q, exclude_oid=q.oid)
+
+
+class TestBichromaticRNN:
+    def test_empty_objects(self):
+        sites = bulk_load(uniform(50, seed=23))
+        assert bichromatic_reverse_nearest(RTree(), sites, Point(5, 5)) == []
+
+    def test_no_sites_everything_adopts(self):
+        objects = uniform(100, seed=24)
+        tree = bulk_load(objects)
+        got = bichromatic_reverse_nearest(tree, RTree(), Point(5000, 5000))
+        assert {o.oid for o in got} == {o.oid for o in objects}
+
+    def test_dominating_site_blocks_all(self):
+        # A site coincident with every object: nothing adopts a distant q.
+        objects = [Point(100, 100, i) for i in range(10)]
+        sites = [Point(100, 100, 0)]
+        got = bichromatic_reverse_nearest(
+            bulk_load(objects), bulk_load(sites), Point(9000, 9000)
+        )
+        assert got == []
+
+    def test_matches_oracle_uniform(self):
+        objects = uniform(250, seed=25)
+        sites = uniform(40, seed=26, start_oid=1000)
+        to, ts = bulk_load(objects), bulk_load(sites)
+        for q in (Point(5000, 5000), Point(1234, 8765), Point(0, 0)):
+            got = {o.oid for o in bichromatic_reverse_nearest(to, ts, q)}
+            assert got == _bi_oracle(objects, sites, q)
+
+    def test_results_sorted_by_distance(self):
+        objects = uniform(200, seed=27)
+        sites = uniform(20, seed=28, start_oid=1000)
+        q = Point(3000, 3000)
+        got = bichromatic_reverse_nearest(bulk_load(objects), bulk_load(sites), q)
+        dists = [o.dist_to(q) for o in got]
+        assert dists == sorted(dists)
+
+    @given(
+        lattice_pointset(min_size=0, max_size=20),
+        lattice_pointset(min_size=0, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, obj_coords, site_coords):
+        objects = make_points(obj_coords)
+        sites = make_points(site_coords, start_oid=1000)
+        to = bulk_load(objects, page_size=256)
+        ts = bulk_load(sites, page_size=256)
+        q = Point(32, 32)
+        got = {o.oid for o in bichromatic_reverse_nearest(to, ts, q)}
+        assert got == _bi_oracle(objects, sites, q)
+
+    def test_agrees_with_influence_counting(self):
+        """Adopting objects of an existing site = that site's influence
+        set from the influence module."""
+        from repro.influence.queries import influence_counts
+
+        objects = uniform(150, seed=29)
+        sites = uniform(10, seed=30, start_oid=500)
+        to, ts_all = bulk_load(objects), bulk_load(sites)
+        counts = influence_counts(sites, objects)
+        # Re-derive each site's influence with bRNN, excluding the site
+        # itself from the competitor tree.
+        for s in sites:
+            others = [z for z in sites if z.oid != s.oid]
+            got = bichromatic_reverse_nearest(to, bulk_load(others), s)
+            # bRNN counts ties for q; influence counting may break ties
+            # differently, so compare as a superset relation.
+            assert len(got) >= counts[s.oid]

@@ -1,0 +1,93 @@
+"""Tests for branch-and-bound skyline retrieval."""
+
+from hypothesis import given, settings
+
+from repro.datasets.synthetic import uniform
+from repro.geometry.point import Point
+from repro.queries import skyline
+from repro.queries.skyline import skyline_brute
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+
+from tests.conftest import lattice_pointset, make_points
+
+
+class TestSkyline:
+    def test_empty_tree(self):
+        assert skyline(RTree()) == []
+
+    def test_single_point(self):
+        tree = RTree()
+        tree.insert(Point(5, 5, 0))
+        assert [p.oid for p in skyline(tree)] == [0]
+
+    def test_dominated_point_excluded(self):
+        tree = RTree()
+        tree.insert(Point(1, 1, 0))
+        tree.insert(Point(2, 2, 1))
+        assert {p.oid for p in skyline(tree)} == {0}
+
+    def test_incomparable_points_both_kept(self):
+        tree = RTree()
+        tree.insert(Point(1, 10, 0))
+        tree.insert(Point(10, 1, 1))
+        assert {p.oid for p in skyline(tree)} == {0, 1}
+
+    def test_coincident_duplicates_all_kept(self):
+        tree = RTree()
+        tree.insert(Point(3, 3, 0))
+        tree.insert(Point(3, 3, 1))
+        assert {p.oid for p in skyline(tree)} == {0, 1}
+
+    def test_same_x_different_y(self):
+        tree = RTree()
+        tree.insert(Point(3, 5, 0))
+        tree.insert(Point(3, 4, 1))
+        assert {p.oid for p in skyline(tree)} == {1}
+
+    def test_staircase_all_on_skyline(self):
+        points = [Point(i, 100 - i, i) for i in range(100)]
+        tree = bulk_load(points)
+        assert {p.oid for p in skyline(tree)} == set(range(100))
+
+    def test_matches_brute_uniform(self):
+        points = uniform(500, seed=40)
+        tree = bulk_load(points)
+        got = {p.oid for p in skyline(tree)}
+        assert got == {p.oid for p in skyline_brute(points)}
+
+    def test_output_sorted_by_l1_key(self):
+        points = uniform(400, seed=41)
+        tree = bulk_load(points)
+        keys = [p.x + p.y for p in skyline(tree)]
+        assert keys == sorted(keys)
+
+    def test_io_pruning_reads_few_nodes(self):
+        """BBS must not touch subtrees dominated by found skyline
+        points: on uniform data that is almost the whole tree."""
+        points = uniform(5000, seed=42)
+        tree = bulk_load(points)
+        tree.reset_stats()
+        skyline(tree)
+        total_nodes = tree.disk.num_pages
+        assert tree.node_accesses < total_nodes / 2
+
+    @given(lattice_pointset(min_size=0, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_brute(self, coords):
+        points = make_points(coords)
+        tree = bulk_load(points, page_size=256)
+        got = sorted(p.oid for p in skyline(tree))
+        assert got == sorted(p.oid for p in skyline_brute(points))
+
+    @given(lattice_pointset(min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_skyline_is_antichain(self, coords):
+        from repro.queries.skyline import _dominates
+
+        points = make_points(coords)
+        tree = bulk_load(points, page_size=256)
+        result = skyline(tree)
+        for a in result:
+            for b in result:
+                assert not _dominates(a, b.x, b.y)

@@ -1,0 +1,166 @@
+"""Tests for R-tree deletion and update (condense-tree)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import uniform as uniform_points
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+from repro.rtree.validate import check_invariants
+
+
+def _oids(points):
+    return sorted(p.oid for p in points)
+
+
+class TestDeleteBasics:
+    def test_delete_from_empty_tree(self):
+        assert RTree().delete(Point(1, 1, 0)) is False
+
+    def test_delete_only_point_empties_tree(self):
+        tree = RTree()
+        p = Point(3, 4, 0)
+        tree.insert(p)
+        assert tree.delete(p) is True
+        assert len(tree) == 0
+        assert tree.root_pid is None
+        assert tree.height == 0
+        check_invariants(tree)
+
+    def test_delete_missing_point_returns_false(self):
+        tree = bulk_load(uniform_points(100, seed=0))
+        assert tree.delete(Point(-1, -1, 9999)) is False
+        assert len(tree) == 100
+
+    def test_delete_requires_matching_oid(self):
+        tree = RTree()
+        tree.insert(Point(5, 5, 1))
+        assert tree.delete(Point(5, 5, 2)) is False
+        assert tree.delete(Point(5, 5, 1)) is True
+
+    def test_delete_requires_matching_location(self):
+        tree = RTree()
+        tree.insert(Point(5, 5, 1))
+        assert tree.delete(Point(5, 6, 1)) is False
+
+    def test_deleted_point_not_in_range_search(self):
+        points = uniform_points(200, seed=1)
+        tree = bulk_load(points)
+        victim = points[17]
+        assert tree.delete(victim)
+        found = tree.range_search(Rect(victim.x, victim.y, victim.x, victim.y))
+        assert victim.oid not in {p.oid for p in found}
+
+    def test_delete_one_of_coincident_points(self):
+        tree = RTree()
+        tree.insert(Point(5, 5, 1))
+        tree.insert(Point(5, 5, 2))
+        assert tree.delete(Point(5, 5, 1))
+        remaining = tree.all_points()
+        assert _oids(remaining) == [2]
+
+
+class TestDeleteBulk:
+    def test_delete_half_keeps_other_half(self):
+        points = uniform_points(400, seed=2)
+        tree = bulk_load(points)
+        for p in points[:200]:
+            assert tree.delete(p), p
+        assert len(tree) == 200
+        assert _oids(tree.all_points()) == _oids(points[200:])
+        check_invariants(tree)
+
+    def test_delete_everything(self):
+        points = uniform_points(300, seed=3)
+        tree = bulk_load(points)
+        order = list(points)
+        random.Random(5).shuffle(order)
+        for p in order:
+            assert tree.delete(p)
+        assert len(tree) == 0
+        assert tree.root_pid is None
+        check_invariants(tree)
+
+    def test_delete_from_inserted_tree(self):
+        points = uniform_points(350, seed=4)
+        tree = RTree()
+        for p in points:
+            tree.insert(p)
+        for p in points[::2]:
+            assert tree.delete(p)
+        assert _oids(tree.all_points()) == _oids(points[1::2])
+        check_invariants(tree)
+
+    def test_height_shrinks_after_mass_delete(self):
+        points = uniform_points(2000, seed=5)
+        tree = bulk_load(points)
+        tall = tree.height
+        for p in points[:1990]:
+            tree.delete(p)
+        assert tree.height < tall
+        assert _oids(tree.all_points()) == _oids(points[1990:])
+        check_invariants(tree)
+
+    def test_range_search_correct_after_interleaved_ops(self):
+        rng = random.Random(11)
+        tree = RTree()
+        alive: dict[int, Point] = {}
+        next_oid = 0
+        for _ in range(600):
+            if alive and rng.random() < 0.4:
+                oid = rng.choice(list(alive))
+                assert tree.delete(alive.pop(oid))
+            else:
+                p = Point(rng.uniform(0, 10000), rng.uniform(0, 10000), next_oid)
+                alive[p.oid] = p
+                tree.insert(p)
+                next_oid += 1
+        assert len(tree) == len(alive)
+        window = Rect(2000, 2000, 8000, 8000)
+        expected = sorted(
+            p.oid for p in alive.values() if window.contains_point(p.x, p.y)
+        )
+        assert _oids(tree.range_search(window)) == expected
+        check_invariants(tree)
+
+
+class TestUpdate:
+    def test_update_moves_point(self):
+        tree = bulk_load(uniform_points(100, seed=6))
+        old = tree.all_points()[0]
+        new = Point(9999.0, 9999.0, old.oid)
+        assert tree.update(old, new)
+        assert len(tree) == 100
+        found = tree.range_search(Rect(9999, 9999, 9999, 9999))
+        assert old.oid in {p.oid for p in found}
+
+    def test_update_missing_point_is_noop(self):
+        tree = bulk_load(uniform_points(50, seed=7))
+        assert tree.update(Point(-5, -5, 777), Point(1, 1, 777)) is False
+        assert len(tree) == 50
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=150),
+    delete_frac=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 100),
+)
+def test_property_delete_random_subset(n, delete_frac, seed):
+    """Deleting any subset leaves exactly the complement, with all
+    structural invariants intact."""
+    points = uniform_points(n, seed=seed)
+    tree = bulk_load(points)
+    rng = random.Random(seed)
+    victims = [p for p in points if rng.random() < delete_frac]
+    for v in victims:
+        assert tree.delete(v)
+    survivors = [p for p in points if p not in victims]
+    assert _oids(tree.all_points()) == _oids(survivors)
+    summary = check_invariants(tree)
+    assert summary.point_count == len(survivors)

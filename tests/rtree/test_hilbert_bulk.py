@@ -1,0 +1,119 @@
+"""Tests for Hilbert-packed bulk loading and the invariant checker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import uniform as uniform_points
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load, hilbert_bulk_load
+from repro.rtree.tree import RTree
+from repro.rtree.validate import InvariantViolation, check_invariants
+
+
+def _oids(points):
+    return sorted(p.oid for p in points)
+
+
+class TestHilbertBulkLoad:
+    def test_empty_input_yields_empty_tree(self):
+        tree = hilbert_bulk_load([])
+        assert len(tree) == 0
+        assert tree.root_pid is None
+
+    def test_all_points_present(self):
+        points = uniform_points(500, seed=1)
+        tree = hilbert_bulk_load(points)
+        assert len(tree) == 500
+        assert _oids(tree.all_points()) == _oids(points)
+
+    def test_invariants_hold(self):
+        points = uniform_points(800, seed=2)
+        tree = hilbert_bulk_load(points)
+        summary = check_invariants(tree)
+        assert summary.point_count == 800
+        assert summary.height == tree.height
+
+    def test_single_point(self):
+        tree = hilbert_bulk_load([Point(1, 2, 7)])
+        assert tree.height == 1
+        assert tree.all_points() == [Point(1, 2, 7)]
+
+    def test_rejects_nonempty_tree(self):
+        tree = RTree()
+        tree.insert(Point(0, 0, 0))
+        with pytest.raises(ValueError):
+            hilbert_bulk_load(uniform_points(10, seed=0), tree=tree)
+
+    def test_range_search_matches_str_build(self):
+        points = uniform_points(400, seed=3)
+        hil = hilbert_bulk_load(points)
+        strt = bulk_load(points)
+        for rect in (
+            Rect(0, 0, 2500, 2500),
+            Rect(4000, 4000, 6000, 6000),
+            Rect(0, 0, 10000, 10000),
+        ):
+            assert _oids(hil.range_search(rect)) == _oids(strt.range_search(rect))
+
+    def test_leaves_are_full_except_last(self):
+        points = uniform_points(300, seed=4)
+        tree = hilbert_bulk_load(points)
+        fills = [len(leaf.entries) for leaf in tree.leaves()]
+        assert sum(fills) == 300
+        assert fills.count(tree.leaf_capacity) >= len(fills) - 1
+
+    def test_duplicate_locations_supported(self):
+        points = [Point(5, 5, i) for i in range(100)]
+        tree = hilbert_bulk_load(points)
+        assert len(tree.range_search(Rect(5, 5, 5, 5))) == 100
+
+    def test_custom_page_size(self):
+        tree = hilbert_bulk_load(uniform_points(200, seed=5), page_size=512)
+        assert tree.disk.page_size == 512
+        check_invariants(tree)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=300), seed=st.integers(0, 10))
+    def test_property_valid_tree_any_size(self, n, seed):
+        points = uniform_points(n, seed=seed)
+        tree = hilbert_bulk_load(points)
+        summary = check_invariants(tree)
+        assert summary.point_count == n
+        assert _oids(tree.all_points()) == _oids(points)
+
+
+class TestCheckInvariants:
+    def test_empty_tree_passes(self):
+        summary = check_invariants(RTree())
+        assert summary.node_count == 0
+
+    def test_inserted_tree_passes_with_min_fill(self):
+        tree = RTree()
+        for p in uniform_points(300, seed=6):
+            tree.insert(p)
+        check_invariants(tree, check_min_fill=True)
+
+    def test_detects_wrong_count(self):
+        tree = bulk_load(uniform_points(50, seed=7))
+        tree.count = 49
+        with pytest.raises(InvariantViolation):
+            check_invariants(tree)
+
+    def test_detects_stale_branch_mbr(self):
+        tree = bulk_load(uniform_points(300, seed=8))
+        root = tree.read_node(tree.root_pid)
+        assert not root.is_leaf
+        bad = root.entries[0]
+        bad.rect = Rect(
+            bad.rect.xmin, bad.rect.ymin, bad.rect.xmax + 1, bad.rect.ymax
+        )
+        tree.write_node(tree.root_pid, root)
+        with pytest.raises(InvariantViolation):
+            check_invariants(tree)
+
+    def test_summary_average_fill(self):
+        tree = bulk_load(uniform_points(400, seed=9))
+        summary = check_invariants(tree)
+        assert 0 < summary.average_fill <= tree.leaf_capacity

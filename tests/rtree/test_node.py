@@ -1,0 +1,100 @@
+"""Unit tests for node layout and (de)serialisation."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.node import (
+    Branch,
+    Node,
+    branch_capacity,
+    entries_mbr,
+    entry_rect,
+    leaf_capacity,
+)
+
+
+class TestCapacities:
+    def test_paper_page_size(self):
+        # 1 KiB pages: 42 points or 25 branches per node.
+        assert leaf_capacity(1024) == 42
+        assert branch_capacity(1024) == 25
+
+    def test_small_page(self):
+        assert leaf_capacity(128) == 5
+        assert branch_capacity(128) == 3
+
+
+class TestSerialisation:
+    def test_leaf_roundtrip(self):
+        pts = [Point(1.5, 2.5, 10), Point(-3.25, 4.0, -77)]
+        node = Node(0, pts)
+        restored = Node.from_bytes(node.to_bytes(1024))
+        assert restored.is_leaf
+        assert restored.level == 0
+        assert [(p.x, p.y, p.oid) for p in restored.entries] == [
+            (1.5, 2.5, 10),
+            (-3.25, 4.0, -77),
+        ]
+
+    def test_branch_roundtrip(self):
+        branches = [
+            Branch(Rect(0, 0, 1, 1), 3),
+            Branch(Rect(-5.5, 2, 7, 9.25), 12),
+        ]
+        node = Node(2, branches)
+        restored = Node.from_bytes(node.to_bytes(1024))
+        assert not restored.is_leaf
+        assert restored.level == 2
+        assert [(b.rect, b.child) for b in restored.entries] == [
+            (Rect(0, 0, 1, 1), 3),
+            (Rect(-5.5, 2, 7, 9.25), 12),
+        ]
+
+    def test_empty_node_roundtrip(self):
+        restored = Node.from_bytes(Node(0, []).to_bytes(1024))
+        assert restored.entries == []
+
+    def test_full_leaf_fits_exactly(self):
+        pts = [Point(i, i, i) for i in range(leaf_capacity(1024))]
+        data = Node(0, pts).to_bytes(1024)
+        assert len(data) <= 1024
+
+    def test_overflow_raises(self):
+        pts = [Point(i, i, i) for i in range(leaf_capacity(1024) + 1)]
+        with pytest.raises(ValueError, match="overflows"):
+            Node(0, pts).to_bytes(1024)
+
+    def test_float_precision_preserved(self):
+        p = Point(0.1 + 0.2, 1e-300, 2**62)
+        restored = Node.from_bytes(Node(0, [p]).to_bytes(1024))
+        assert restored.entries[0].x == 0.1 + 0.2
+        assert restored.entries[0].y == 1e-300
+        assert restored.entries[0].oid == 2**62
+
+
+class TestMbr:
+    def test_leaf_mbr(self):
+        node = Node(0, [Point(0, 5), Point(3, 1)])
+        assert node.mbr() == Rect(0, 1, 3, 5)
+
+    def test_branch_mbr(self):
+        node = Node(1, [Branch(Rect(0, 0, 1, 1), 1), Branch(Rect(2, -1, 3, 4), 2)])
+        assert node.mbr() == Rect(0, -1, 3, 4)
+
+    def test_empty_mbr_raises(self):
+        with pytest.raises(ValueError):
+            Node(0, []).mbr()
+
+
+class TestEntryHelpers:
+    def test_entry_rect_point_degenerate(self):
+        assert entry_rect(Point(2, 3)) == Rect(2, 3, 2, 3)
+
+    def test_entry_rect_branch(self):
+        r = Rect(0, 0, 1, 1)
+        assert entry_rect(Branch(r, 5)) is r
+
+    def test_entries_mbr_mixed(self):
+        mbr = entries_mbr([Point(0, 0), Point(10, 10)])
+        assert mbr == Rect(0, 0, 10, 10)

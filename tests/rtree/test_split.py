@@ -1,0 +1,64 @@
+"""Unit tests for the R* split algorithm."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.node import entries_mbr
+from repro.rtree.split import rstar_split
+
+coord = st.floats(0.0, 1000.0)
+
+
+class TestBasics:
+    def test_too_few_entries_rejected(self):
+        pts = [Point(i, i) for i in range(3)]
+        with pytest.raises(ValueError):
+            rstar_split(pts, min_fill=2)
+
+    def test_two_obvious_clusters_separated(self):
+        left = [Point(x, y) for x in (0, 1, 2) for y in (0, 1)]
+        right = [Point(x + 100, y) for x in (0, 1, 2) for y in (0, 1)]
+        group_a, group_b = rstar_split(left + right, min_fill=3)
+        xs_a = {p.x for p in group_a}
+        xs_b = {p.x for p in group_b}
+        assert max(xs_a) < 50 < min(xs_b) or max(xs_b) < 50 < min(xs_a)
+
+    def test_split_axis_prefers_elongated_direction(self):
+        # Points along y: the split should cut across y, not x.
+        pts = [Point(0, i * 10) for i in range(8)]
+        group_a, group_b = rstar_split(pts, min_fill=3)
+        ys_a = {p.y for p in group_a}
+        ys_b = {p.y for p in group_b}
+        assert max(ys_a) < min(ys_b) or max(ys_b) < min(ys_a)
+
+
+class TestInvariants:
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=8, max_size=43),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_partition_preserves_entries_and_fill(self, coords, min_fill):
+        pts = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+        group_a, group_b = rstar_split(pts, min_fill=min_fill)
+        assert len(group_a) + len(group_b) == len(pts)
+        assert len(group_a) >= min_fill
+        assert len(group_b) >= min_fill
+        assert {p.oid for p in group_a} | {p.oid for p in group_b} == {
+            p.oid for p in pts
+        }
+        assert {p.oid for p in group_a} & {p.oid for p in group_b} == set()
+
+    @given(st.lists(st.tuples(coord, coord), min_size=8, max_size=30))
+    def test_group_mbrs_within_original(self, coords):
+        pts = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+        whole = entries_mbr(pts)
+        group_a, group_b = rstar_split(pts, min_fill=2)
+        assert whole.contains_rect(entries_mbr(group_a))
+        assert whole.contains_rect(entries_mbr(group_b))
+
+    def test_duplicate_points_split_cleanly(self):
+        pts = [Point(5, 5, i) for i in range(10)]
+        group_a, group_b = rstar_split(pts, min_fill=4)
+        assert len(group_a) >= 4 and len(group_b) >= 4

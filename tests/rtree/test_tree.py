@@ -1,0 +1,221 @@
+"""Unit and property tests for the R*-tree: insertion, bulk loading,
+structural invariants and range search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+from repro.storage.buffer import BufferManager
+
+from tests.conftest import lattice_pointset, make_points
+
+
+def validate_structure(tree: RTree) -> None:
+    """Assert every structural R-tree invariant."""
+    if tree.root_pid is None:
+        assert tree.count == 0
+        return
+    seen_points = []
+
+    def recurse(pid: int, expected_level: int) -> Rect:
+        node = tree.read_node(pid)
+        assert node.level == expected_level, "level mismatch"
+        assert node.entries, "empty node"
+        if node.is_leaf:
+            assert len(node.entries) <= tree.leaf_capacity
+            seen_points.extend(node.entries)
+            return node.mbr()
+        assert len(node.entries) <= tree.branch_capacity
+        for branch in node.entries:
+            child_mbr = recurse(branch.child, expected_level - 1)
+            assert branch.rect.contains_rect(child_mbr), "MBR not covering child"
+        return node.mbr()
+
+    recurse(tree.root_pid, tree.height - 1)
+    assert len(seen_points) == tree.count
+
+
+class TestInsertion:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.range_search(Rect(0, 0, 1, 1)) == []
+
+    def test_single_insert(self):
+        tree = RTree()
+        tree.insert(Point(1, 2, 0))
+        assert len(tree) == 1
+        assert tree.height == 1
+        assert [p.oid for p in tree.all_points()] == [0]
+
+    def test_inserts_retrievable(self, rng):
+        tree = RTree(page_size=128)  # tiny pages force deep trees
+        pts = [Point(rng.uniform(0, 100), rng.uniform(0, 100), i) for i in range(200)]
+        for p in pts:
+            tree.insert(p)
+        assert sorted(p.oid for p in tree.all_points()) == list(range(200))
+        validate_structure(tree)
+        assert tree.height >= 3
+
+    def test_duplicate_locations(self):
+        tree = RTree(page_size=128)
+        for i in range(50):
+            tree.insert(Point(5, 5, i))
+        assert sorted(p.oid for p in tree.all_points()) == list(range(50))
+        validate_structure(tree)
+
+    def test_collinear_points(self):
+        tree = RTree(page_size=128)
+        for i in range(64):
+            tree.insert(Point(float(i), 0.0, i))
+        validate_structure(tree)
+        found = tree.range_search(Rect(10, 0, 20, 0))
+        assert sorted(p.oid for p in found) == list(range(10, 21))
+
+    @given(lattice_pointset(min_size=0, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_structure_valid_after_every_workload(self, coords):
+        tree = RTree(page_size=128)
+        pts = make_points(coords)
+        for p in pts:
+            tree.insert(p)
+        validate_structure(tree)
+        assert sorted(p.oid for p in tree.all_points()) == sorted(
+            p.oid for p in pts
+        )
+
+
+class TestBulkLoad:
+    def test_bulk_equals_input(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        assert len(tree) == len(uniform_points)
+        assert sorted(p.oid for p in tree.all_points()) == sorted(
+            p.oid for p in uniform_points
+        )
+        validate_structure(tree)
+
+    def test_bulk_empty(self):
+        tree = bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_single_point(self):
+        tree = bulk_load([Point(1, 1, 0)])
+        assert tree.height == 1
+        assert len(tree) == 1
+
+    def test_bulk_into_nonempty_tree_rejected(self):
+        tree = RTree()
+        tree.insert(Point(0, 0, 0))
+        with pytest.raises(ValueError):
+            bulk_load([Point(1, 1, 1)], tree=tree)
+
+    def test_bulk_page_utilisation(self):
+        # STR packs leaves near capacity: page count close to optimal.
+        pts = [Point(i % 100, i // 100, i) for i in range(4200)]
+        tree = bulk_load(pts)
+        n_leaves = len(tree.leaf_pids())
+        optimal = -(-4200 // tree.leaf_capacity)
+        assert n_leaves <= optimal * 1.3
+
+    @given(lattice_pointset(min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_structure_valid(self, coords):
+        tree = bulk_load(make_points(coords), page_size=128)
+        validate_structure(tree)
+
+
+class TestRangeSearch:
+    @pytest.fixture
+    def tree_and_points(self, uniform_points):
+        return bulk_load(uniform_points), uniform_points
+
+    def test_matches_linear_scan(self, tree_and_points, rng):
+        tree, pts = tree_and_points
+        for _ in range(25):
+            x1, x2 = sorted(rng.uniform(0, 10000) for _ in range(2))
+            y1, y2 = sorted(rng.uniform(0, 10000) for _ in range(2))
+            window = Rect(x1, y1, x2, y2)
+            expected = sorted(
+                p.oid for p in pts if window.contains_point(p.x, p.y)
+            )
+            assert sorted(p.oid for p in tree.range_search(window)) == expected
+
+    def test_whole_domain_returns_everything(self, tree_and_points):
+        tree, pts = tree_and_points
+        assert len(tree.range_search(Rect(0, 0, 10000, 10000))) == len(pts)
+
+    def test_empty_window(self, tree_and_points):
+        tree, _ = tree_and_points
+        assert tree.range_search(Rect(-100, -100, -50, -50)) == []
+
+    def test_boundary_inclusive(self):
+        tree = bulk_load([Point(5, 5, 1)])
+        assert len(tree.range_search(Rect(5, 5, 5, 5))) == 1
+
+
+class TestNodeAccounting:
+    def test_node_accesses_counted(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        tree.reset_stats()
+        tree.range_search(Rect(0, 0, 10000, 10000))
+        assert tree.node_accesses == tree.disk.num_pages
+
+    def test_buffer_integration(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        buf = BufferManager(tree.disk.num_pages)
+        tree.attach_buffer(buf)
+        tree.range_search(Rect(0, 0, 10000, 10000))
+        tree.range_search(Rect(0, 0, 10000, 10000))
+        # Second scan entirely from the buffer.
+        assert buf.stats.page_faults == tree.disk.num_pages
+        assert buf.stats.buffer_hits == tree.disk.num_pages
+
+    def test_write_invalidates_buffer(self, uniform_points):
+        tree = bulk_load(uniform_points[:50])
+        buf = BufferManager(64)
+        tree.attach_buffer(buf)
+        tree.range_search(Rect(0, 0, 10000, 10000))
+        tree.insert(Point(1, 1, 9999))
+        found = tree.range_search(Rect(1, 1, 1, 1))
+        assert any(p.oid == 9999 for p in found)
+
+
+class TestTraversal:
+    def test_leaves_cover_all_points(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        total = sum(len(leaf.entries) for leaf in tree.leaves())
+        assert total == len(uniform_points)
+
+    def test_leaf_pids_match_leaves(self, uniform_points):
+        tree = bulk_load(uniform_points)
+        pids = tree.leaf_pids()
+        assert len(pids) == len(list(tree.leaves()))
+        for pid in pids:
+            assert tree.read_node(pid).is_leaf
+
+    def test_depth_first_order_is_spatially_local(self, uniform_points):
+        # Consecutive leaves in DF order should be closer on average
+        # than random pairs of leaves (the Section 3.4 argument).
+        tree = bulk_load(uniform_points)
+        centers = [leaf.mbr().center() for leaf in tree.leaves()]
+        if len(centers) < 4:
+            pytest.skip("tree too small for the locality check")
+
+        def d(a, b):
+            return ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2) ** 0.5
+
+        consecutive = sum(
+            d(centers[i], centers[i + 1]) for i in range(len(centers) - 1)
+        ) / (len(centers) - 1)
+        rng = random.Random(0)
+        pairs = [
+            (rng.randrange(len(centers)), rng.randrange(len(centers)))
+            for _ in range(200)
+        ]
+        random_avg = sum(d(centers[i], centers[j]) for i, j in pairs) / len(pairs)
+        assert consecutive < random_avg

@@ -1,0 +1,125 @@
+"""Unit tests for the LRU buffer manager."""
+
+import pytest
+
+from repro.storage.buffer import BufferManager, buffer_for_trees
+from repro.storage.disk import DiskManager
+
+
+def make_disk(n_pages: int, page_size: int = 64) -> DiskManager:
+    disk = DiskManager(page_size=page_size)
+    for i in range(n_pages):
+        pid = disk.allocate()
+        disk.write_page(pid, bytes([i]) * 8)
+    return disk
+
+
+class TestBasics:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferManager(-1)
+
+    def test_miss_then_hit(self):
+        disk = make_disk(2)
+        buf = BufferManager(4)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == 1
+        assert buf.stats.buffer_hits == 1
+
+    def test_zero_capacity_always_faults(self):
+        disk = make_disk(1)
+        buf = BufferManager(0)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == 2
+        assert buf.stats.buffer_hits == 0
+        assert buf.num_cached == 0
+
+    def test_returns_page_content(self):
+        disk = make_disk(3)
+        buf = BufferManager(2)
+        assert buf.get_page(disk, 2)[:8] == bytes([2]) * 8
+        assert buf.get_page(disk, 2)[:8] == bytes([2]) * 8  # cached copy
+
+
+class TestLRUPolicy:
+    def test_eviction_order_is_lru(self):
+        disk = make_disk(3)
+        buf = BufferManager(2)
+        buf.get_page(disk, 0)  # fault
+        buf.get_page(disk, 1)  # fault
+        buf.get_page(disk, 0)  # hit, 0 becomes MRU
+        buf.get_page(disk, 2)  # fault, evicts 1 (LRU)
+        buf.get_page(disk, 0)  # hit
+        buf.get_page(disk, 1)  # fault again
+        assert buf.stats.page_faults == 4
+        assert buf.stats.buffer_hits == 2
+
+    def test_capacity_respected(self):
+        disk = make_disk(10)
+        buf = BufferManager(3)
+        for pid in range(10):
+            buf.get_page(disk, pid)
+        assert buf.num_cached == 3
+
+    def test_resize_evicts(self):
+        disk = make_disk(5)
+        buf = BufferManager(5)
+        for pid in range(5):
+            buf.get_page(disk, pid)
+        buf.resize(2)
+        assert buf.num_cached == 2
+        # Remaining frames are the two most recently used.
+        buf.get_page(disk, 4)
+        buf.get_page(disk, 3)
+        assert buf.stats.page_faults == 5  # both still cached
+
+    def test_invalidate_forces_refetch(self):
+        disk = make_disk(1)
+        buf = BufferManager(2)
+        buf.get_page(disk, 0)
+        buf.invalidate(disk, 0)
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == 2
+
+    def test_clear_keeps_counters(self):
+        disk = make_disk(2)
+        buf = BufferManager(2)
+        buf.get_page(disk, 0)
+        buf.clear()
+        assert buf.num_cached == 0
+        assert buf.stats.page_faults == 1
+
+
+class TestMultiDisk:
+    def test_pages_keyed_by_disk(self):
+        disk_a = make_disk(1)
+        disk_b = make_disk(1)
+        buf = BufferManager(4)
+        buf.get_page(disk_a, 0)
+        buf.get_page(disk_b, 0)  # same pid, different disk: a fault
+        assert buf.stats.page_faults == 2
+        buf.get_page(disk_a, 0)
+        buf.get_page(disk_b, 0)
+        assert buf.stats.buffer_hits == 2
+
+
+class TestBufferForTrees:
+    def test_fraction_of_total_pages(self):
+        from repro.datasets.synthetic import uniform
+        from repro.rtree.bulk import bulk_load
+
+        tree_a = bulk_load(uniform(500, seed=1))
+        tree_b = bulk_load(uniform(500, seed=2))
+        total = tree_a.disk.num_pages + tree_b.disk.num_pages
+        buf = buffer_for_trees([tree_a, tree_b], 0.5)
+        assert buf.capacity == int(total * 0.5)
+
+    def test_minimum_one_page(self):
+        from repro.datasets.synthetic import uniform
+        from repro.rtree.bulk import bulk_load
+
+        tree = bulk_load(uniform(10, seed=1))
+        buf = buffer_for_trees([tree], 0.0001)
+        assert buf.capacity == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the page-granular disk manager."""
+
+import pytest
+
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskManager
+
+
+class TestAllocation:
+    def test_sequential_page_ids(self):
+        disk = DiskManager()
+        assert [disk.allocate() for _ in range(3)] == [0, 1, 2]
+        assert disk.num_pages == 3
+
+    def test_page_size_validation(self):
+        with pytest.raises(ValueError):
+            DiskManager(page_size=16)
+
+    def test_default_page_size_matches_paper(self):
+        assert DEFAULT_PAGE_SIZE == 1024
+        assert DiskManager().page_size == 1024
+
+    def test_distinct_disk_ids(self):
+        assert DiskManager().disk_id != DiskManager().disk_id
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.write_page(pid, b"hello")
+        assert disk.read_page(pid)[:5] == b"hello"
+
+    def test_overwrite(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.write_page(pid, b"one")
+        disk.write_page(pid, b"two")
+        assert disk.read_page(pid)[:3] == b"two"
+
+    def test_overflow_rejected(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate()
+        with pytest.raises(ValueError, match="overflow"):
+            disk.write_page(pid, b"x" * 65)
+
+    def test_exactly_full_page_accepted(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate()
+        disk.write_page(pid, b"x" * 64)
+        assert disk.read_page(pid) == b"x" * 64
+
+    def test_unallocated_page_rejected(self):
+        disk = DiskManager()
+        with pytest.raises(IndexError):
+            disk.read_page(0)
+        with pytest.raises(IndexError):
+            disk.write_page(5, b"")
+
+    def test_counters(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.write_page(pid, b"a")
+        disk.read_page(pid)
+        disk.read_page(pid)
+        assert disk.physical_writes == 1
+        assert disk.physical_reads == 2
+
+
+class TestFileBacked:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with DiskManager(page_size=128, path=path) as disk:
+            a = disk.allocate()
+            b = disk.allocate()
+            disk.write_page(a, b"alpha")
+            disk.write_page(b, b"beta")
+            assert disk.read_page(a)[:5] == b"alpha"
+            assert disk.read_page(b)[:4] == b"beta"
+
+    def test_close_removes_backing_file(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "pages.bin")
+        disk = DiskManager(page_size=128, path=path)
+        disk.allocate()
+        disk.close()
+        assert not os.path.exists(path)
+
+    def test_page_ids_iterates_all(self):
+        disk = DiskManager()
+        for _ in range(4):
+            disk.allocate()
+        assert list(disk.page_ids()) == [0, 1, 2, 3]

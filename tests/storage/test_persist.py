@@ -1,0 +1,183 @@
+"""Tests for durable single-file tree persistence."""
+
+import os
+
+import pytest
+
+from repro.core.bij import bij
+from repro.core.brute import brute_force_rcj
+from repro.datasets.synthetic import uniform
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load
+from repro.rtree.validate import check_invariants
+from repro.storage.buffer import BufferManager
+from repro.storage.persist import (
+    SUPERBLOCK_SIZE,
+    PersistenceError,
+    load_tree,
+    save_tree,
+    sync,
+)
+
+
+def _oids(points):
+    return sorted(p.oid for p in points)
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        points = uniform(600, seed=0)
+        tree = bulk_load(points)
+        path = str(tmp_path / "tree.rcj")
+        save_tree(tree, path)
+
+        loaded = load_tree(path)
+        try:
+            assert len(loaded) == 600
+            assert loaded.height == tree.height
+            assert _oids(loaded.all_points()) == _oids(points)
+            check_invariants(loaded)
+        finally:
+            loaded.disk.close()
+
+    def test_empty_tree_roundtrip(self, tmp_path):
+        from repro.rtree.tree import RTree
+
+        path = str(tmp_path / "empty.rcj")
+        save_tree(RTree(), path)
+        loaded = load_tree(path)
+        try:
+            assert len(loaded) == 0
+            assert loaded.root_pid is None
+        finally:
+            loaded.disk.close()
+
+    def test_queries_on_loaded_tree(self, tmp_path):
+        points = uniform(400, seed=1)
+        path = str(tmp_path / "tree.rcj")
+        save_tree(bulk_load(points), path)
+        loaded = load_tree(path)
+        try:
+            window = Rect(1000, 1000, 6000, 6000)
+            expected = sorted(
+                p.oid for p in points if window.contains_point(p.x, p.y)
+            )
+            assert _oids(loaded.range_search(window)) == expected
+        finally:
+            loaded.disk.close()
+
+    def test_loaded_tree_through_buffer(self, tmp_path):
+        points = uniform(300, seed=2)
+        path = str(tmp_path / "tree.rcj")
+        save_tree(bulk_load(points), path)
+        buffer = BufferManager(capacity=32)
+        loaded = load_tree(path, buffer=buffer)
+        try:
+            loaded.range_search(Rect(0, 0, 10000, 10000))
+            loaded.range_search(Rect(0, 0, 10000, 10000))
+            assert buffer.stats.buffer_hits > 0
+        finally:
+            loaded.disk.close()
+
+    def test_join_over_reloaded_trees(self, tmp_path):
+        points_p = uniform(250, seed=3)
+        points_q = uniform(250, seed=4, start_oid=250)
+        path_p = str(tmp_path / "p.rcj")
+        path_q = str(tmp_path / "q.rcj")
+        save_tree(bulk_load(points_p), path_p)
+        save_tree(bulk_load(points_q), path_q)
+        tp, tq = load_tree(path_p, name="TP"), load_tree(path_q, name="TQ")
+        try:
+            got = bij(tq, tp, symmetric=True).pair_keys()
+            assert got == {r.key() for r in brute_force_rcj(points_p, points_q)}
+        finally:
+            tp.disk.close()
+            tq.disk.close()
+
+
+class TestMutateAndSync:
+    def test_insert_after_load_then_reload(self, tmp_path):
+        points = uniform(200, seed=5)
+        path = str(tmp_path / "tree.rcj")
+        save_tree(bulk_load(points), path)
+
+        loaded = load_tree(path)
+        extra = Point(9876.0, 5432.0, 777)
+        loaded.insert(extra)
+        sync(loaded, path)
+        loaded.disk.close()
+
+        again = load_tree(path)
+        try:
+            assert len(again) == 201
+            assert 777 in {p.oid for p in again.all_points()}
+            check_invariants(again)
+        finally:
+            again.disk.close()
+
+    def test_delete_after_load_then_reload(self, tmp_path):
+        points = uniform(200, seed=6)
+        path = str(tmp_path / "tree.rcj")
+        save_tree(bulk_load(points), path)
+
+        loaded = load_tree(path)
+        assert loaded.delete(points[0])
+        sync(loaded, path)
+        loaded.disk.close()
+
+        again = load_tree(path)
+        try:
+            assert len(again) == 199
+            assert points[0].oid not in {p.oid for p in again.all_points()}
+        finally:
+            again.disk.close()
+
+    def test_sync_requires_filestore(self, tmp_path):
+        tree = bulk_load(uniform(10, seed=7))
+        with pytest.raises(PersistenceError):
+            sync(tree, str(tmp_path / "x.rcj"))
+
+
+class TestCorruptFiles:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            load_tree(str(tmp_path / "absent.rcj"))
+
+    def test_too_small(self, tmp_path):
+        path = tmp_path / "tiny.rcj"
+        path.write_bytes(b"xx")
+        with pytest.raises(PersistenceError):
+            load_tree(str(path))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rcj"
+        path.write_bytes(b"NOTATREE" + b"\x00" * 100)
+        with pytest.raises(PersistenceError):
+            load_tree(str(path))
+
+    def test_truncated_pages(self, tmp_path):
+        points = uniform(300, seed=8)
+        path = str(tmp_path / "trunc.rcj")
+        save_tree(bulk_load(points), path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 100)
+        with pytest.raises(PersistenceError):
+            load_tree(path)
+
+    def test_wrong_version(self, tmp_path):
+        points = uniform(50, seed=9)
+        path = str(tmp_path / "ver.rcj")
+        save_tree(bulk_load(points), path)
+        with open(path, "r+b") as f:
+            f.seek(8)
+            f.write((99).to_bytes(4, "little"))
+        with pytest.raises(PersistenceError):
+            load_tree(path)
+
+    def test_superblock_size_constant(self):
+        # The header must fit the reserved block.
+        from repro.storage.persist import _SUPERBLOCK
+
+        assert _SUPERBLOCK.size <= SUPERBLOCK_SIZE

@@ -1,0 +1,149 @@
+"""Tests for the FIFO and CLOCK buffer replacement policies."""
+
+import pytest
+
+from repro.datasets.synthetic import uniform
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+from repro.storage.policies import (
+    POLICIES,
+    ClockBufferManager,
+    FIFOBufferManager,
+)
+
+
+def _disk_with_pages(n: int, page_size: int = 64) -> DiskManager:
+    disk = DiskManager(page_size)
+    for i in range(n):
+        pid = disk.allocate()
+        disk.write_page(pid, bytes([i % 256]) * 8)
+    return disk
+
+
+class TestFIFO:
+    def test_hit_and_fault_accounting(self):
+        disk = _disk_with_pages(4)
+        buf = FIFOBufferManager(capacity=2)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == 1
+        assert buf.stats.buffer_hits == 1
+
+    def test_fifo_evicts_in_insertion_order_despite_hits(self):
+        disk = _disk_with_pages(4)
+        buf = FIFOBufferManager(capacity=2)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 1)
+        buf.get_page(disk, 0)  # hit; must NOT refresh page 0
+        buf.get_page(disk, 2)  # evicts page 0 (oldest by insertion)
+        before = buf.stats.page_faults
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == before + 1  # 0 was evicted
+
+    def test_lru_differs_on_same_trace(self):
+        # The same trace keeps page 0 under LRU (the hit refreshes it).
+        disk = _disk_with_pages(4)
+        buf = BufferManager(capacity=2)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 1)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 2)  # evicts page 1 under LRU
+        before = buf.stats.page_faults
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == before  # still cached
+
+    def test_zero_capacity(self):
+        disk = _disk_with_pages(2)
+        buf = FIFOBufferManager(capacity=0)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == 2
+
+
+class TestClock:
+    def test_hit_and_fault_accounting(self):
+        disk = _disk_with_pages(4)
+        buf = ClockBufferManager(capacity=2)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == 1
+        assert buf.stats.buffer_hits == 1
+
+    def test_second_chance_protects_referenced_page(self):
+        disk = _disk_with_pages(4)
+        buf = ClockBufferManager(capacity=2)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 1)
+        buf.get_page(disk, 0)  # sets 0's reference bit
+        buf.get_page(disk, 2)  # hand clears 0's bit, evicts 1
+        before = buf.stats.page_faults
+        buf.get_page(disk, 0)
+        assert buf.stats.page_faults == before  # 0 survived its sweep
+
+    def test_unreferenced_page_evicted_first(self):
+        disk = _disk_with_pages(4)
+        buf = ClockBufferManager(capacity=2)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 1)
+        buf.get_page(disk, 2)  # neither referenced: evict 0
+        before = buf.stats.page_faults
+        buf.get_page(disk, 1)
+        assert buf.stats.page_faults == before
+
+    def test_invalidate_clears_ref_bit_state(self):
+        disk = _disk_with_pages(3)
+        buf = ClockBufferManager(capacity=2)
+        buf.get_page(disk, 0)
+        buf.get_page(disk, 0)
+        buf.invalidate(disk, 0)
+        assert buf.num_cached == 0
+        buf.get_page(disk, 0)  # re-faults cleanly
+        assert buf.stats.page_faults == 2
+
+    def test_resize_shrinks(self):
+        disk = _disk_with_pages(5)
+        buf = ClockBufferManager(capacity=4)
+        for pid in range(4):
+            buf.get_page(disk, pid)
+        buf.resize(2)
+        assert buf.num_cached == 2
+
+    def test_clear(self):
+        disk = _disk_with_pages(3)
+        buf = ClockBufferManager(capacity=2)
+        buf.get_page(disk, 0)
+        buf.clear()
+        assert buf.num_cached == 0
+
+
+class TestPoliciesOnJoins:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_policy_does_not_change_results(self, policy):
+        """Replacement policy affects cost only, never correctness."""
+        from repro.core.bij import bij
+        from repro.core.brute import brute_force_rcj
+
+        points_p = uniform(200, seed=50)
+        points_q = uniform(200, seed=51, start_oid=200)
+        tree_p = bulk_load(points_p, name="TP")
+        tree_q = bulk_load(points_q, name="TQ")
+        buf = POLICIES[policy](capacity=8)
+        tree_p.attach_buffer(buf)
+        tree_q.attach_buffer(buf)
+        got = bij(tree_q, tree_p, symmetric=True).pair_keys()
+        assert got == {r.key() for r in brute_force_rcj(points_p, points_q)}
+        assert buf.stats.page_faults > 0
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_range_scan_identical_bytes(self, policy):
+        points = uniform(300, seed=52)
+        tree = bulk_load(points)
+        buf = POLICIES[policy](capacity=4)
+        tree.attach_buffer(buf)
+        window = Rect(2000, 2000, 8000, 8000)
+        expected = sorted(
+            p.oid for p in points if window.contains_point(p.x, p.y)
+        )
+        assert sorted(p.oid for p in tree.range_search(window)) == expected

@@ -1,0 +1,48 @@
+"""Unit tests for I/O statistics and the paper's cost model."""
+
+from repro.storage.stats import DEFAULT_MS_PER_FAULT, CostModel, IOStats
+
+
+class TestIOStats:
+    def test_initial_state_zero(self):
+        s = IOStats()
+        assert s.requests == 0
+        assert s.hit_ratio() == 0.0
+
+    def test_hit_ratio(self):
+        s = IOStats(buffer_hits=3, page_faults=1)
+        assert s.requests == 4
+        assert s.hit_ratio() == 0.75
+
+    def test_reset(self):
+        s = IOStats(buffer_hits=3, page_faults=1, physical_writes=2)
+        s.reset()
+        assert (s.buffer_hits, s.page_faults, s.physical_writes) == (0, 0, 0)
+
+    def test_snapshot_is_independent_copy(self):
+        s = IOStats(buffer_hits=1)
+        snap = s.snapshot()
+        s.buffer_hits = 10
+        assert snap.buffer_hits == 1
+
+    def test_delta(self):
+        start = IOStats(buffer_hits=2, page_faults=5, physical_writes=1)
+        now = IOStats(buffer_hits=7, page_faults=9, physical_writes=1)
+        d = now.delta(start)
+        assert (d.buffer_hits, d.page_faults, d.physical_writes) == (5, 4, 0)
+
+
+class TestCostModel:
+    def test_paper_default_charge(self):
+        # "charging 10ms per page fault (a typical value)"
+        assert DEFAULT_MS_PER_FAULT == 10.0
+        model = CostModel()
+        assert model.io_seconds(IOStats(page_faults=100)) == 1.0
+
+    def test_custom_charge(self):
+        model = CostModel(ms_per_fault=5.0)
+        assert model.io_seconds(IOStats(page_faults=200)) == 1.0
+
+    def test_hits_are_free(self):
+        model = CostModel()
+        assert model.io_seconds(IOStats(buffer_hits=10_000)) == 0.0

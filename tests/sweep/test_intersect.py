@@ -1,0 +1,153 @@
+"""Tests for the plane-sweep rectangle-intersection kernels."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.sweep import sweep_point_rect_pairs, sweep_rect_pairs
+
+# Small integer bounds generate many touching/nested/duplicate configs.
+_coord = st.integers(min_value=0, max_value=20)
+
+
+def _rects(min_size=0, max_size=25):
+    return st.lists(
+        st.tuples(_coord, _coord, _coord, _coord).map(
+            lambda t: Rect(min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]), max(t[1], t[3]))
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def _brute_pairs(left, right):
+    return {
+        (i, j)
+        for i, a in enumerate(left)
+        for j, b in enumerate(right)
+        if a.intersects(b)
+    }
+
+
+class TestSweepRectPairs:
+    def test_empty_inputs(self):
+        assert list(sweep_rect_pairs([], [])) == []
+        assert list(sweep_rect_pairs([Rect(0, 0, 1, 1)], [])) == []
+        assert list(sweep_rect_pairs([], [Rect(0, 0, 1, 1)])) == []
+
+    def test_single_overlapping_pair(self):
+        a, b = Rect(0, 0, 5, 5), Rect(3, 3, 8, 8)
+        assert list(sweep_rect_pairs([a], [b])) == [(a, b)]
+
+    def test_touching_edges_intersect(self):
+        a, b = Rect(0, 0, 5, 5), Rect(5, 0, 10, 5)
+        assert list(sweep_rect_pairs([a], [b])) == [(a, b)]
+
+    def test_touching_corners_intersect(self):
+        a, b = Rect(0, 0, 5, 5), Rect(5, 5, 10, 10)
+        assert list(sweep_rect_pairs([a], [b])) == [(a, b)]
+
+    def test_disjoint_in_x(self):
+        assert list(sweep_rect_pairs([Rect(0, 0, 1, 9)], [Rect(2, 0, 3, 9)])) == []
+
+    def test_disjoint_in_y_only(self):
+        assert list(sweep_rect_pairs([Rect(0, 0, 9, 1)], [Rect(0, 2, 9, 3)])) == []
+
+    def test_nested_rectangles(self):
+        outer, inner = Rect(0, 0, 10, 10), Rect(4, 4, 6, 6)
+        assert list(sweep_rect_pairs([outer], [inner])) == [(outer, inner)]
+
+    def test_duplicate_rectangles_pair_all(self):
+        a = [Rect(0, 0, 2, 2)] * 3
+        b = [Rect(1, 1, 3, 3)] * 2
+        assert len(list(sweep_rect_pairs(a, b))) == 6
+
+    def test_degenerate_point_rectangles(self):
+        a, b = Rect(5, 5, 5, 5), Rect(5, 5, 5, 5)
+        assert list(sweep_rect_pairs([a], [b])) == [(a, b)]
+
+    def test_accessors(self):
+        left = [("a", Rect(0, 0, 2, 2))]
+        right = [("b", Rect(1, 1, 3, 3))]
+        got = list(
+            sweep_rect_pairs(
+                left, right, left_rect=lambda t: t[1], right_rect=lambda t: t[1]
+            )
+        )
+        assert got == [(left[0], right[0])]
+
+    def test_each_pair_reported_once(self):
+        rng = random.Random(3)
+        left = [
+            Rect(x, y, x + rng.randint(0, 8), y + rng.randint(0, 8))
+            for x, y in [(rng.randint(0, 20), rng.randint(0, 20)) for _ in range(40)]
+        ]
+        right = [
+            Rect(x, y, x + rng.randint(0, 8), y + rng.randint(0, 8))
+            for x, y in [(rng.randint(0, 20), rng.randint(0, 20)) for _ in range(40)]
+        ]
+        li = {id(r): i for i, r in enumerate(left)}
+        ri = {id(r): i for i, r in enumerate(right)}
+        got = [(li[id(a)], ri[id(b)]) for a, b in sweep_rect_pairs(left, right)]
+        assert len(got) == len(set(got))
+        assert set(got) == _brute_pairs(left, right)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_rects(), _rects())
+    def test_property_matches_brute_force(self, left, right):
+        li = {id(r): i for i, r in enumerate(left)}
+        ri = {id(r): i for i, r in enumerate(right)}
+        got = {(li[id(a)], ri[id(b)]) for a, b in sweep_rect_pairs(left, right)}
+        assert got == _brute_pairs(left, right)
+
+
+class TestSweepPointRectPairs:
+    @staticmethod
+    def _run(points, rects):
+        return {
+            (p, (r.xmin, r.ymin, r.xmax, r.ymax))
+            for p, r in sweep_point_rect_pairs(
+                points, rects, point_xy=lambda p: p, rect_of=lambda r: r
+            )
+        }
+
+    def test_empty(self):
+        assert self._run([], []) == set()
+        assert self._run([(1.0, 1.0)], []) == set()
+        assert self._run([], [Rect(0, 0, 1, 1)]) == set()
+
+    def test_point_inside(self):
+        got = self._run([(1.0, 1.0)], [Rect(0, 0, 2, 2)])
+        assert got == {((1.0, 1.0), (0.0, 0.0, 2.0, 2.0))}
+
+    def test_point_on_boundary_counts(self):
+        assert len(self._run([(0.0, 1.0)], [Rect(0, 0, 2, 2)])) == 1
+        assert len(self._run([(2.0, 2.0)], [Rect(0, 0, 2, 2)])) == 1
+
+    def test_point_outside(self):
+        assert self._run([(3.0, 1.0)], [Rect(0, 0, 2, 2)]) == set()
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.tuples(_coord, _coord), max_size=25),
+        _rects(),
+    )
+    def test_property_matches_brute_force(self, coords, rects):
+        points = [(float(x), float(y)) for x, y in coords]
+        got = {
+            (i, j)
+            for i, p in enumerate(points)
+            for j, r in enumerate(rects)
+            if r.contains_point(p[0], p[1])
+        }
+        pi = {id(p): i for i, p in enumerate(points)}
+        rj = {id(r): j for j, r in enumerate(rects)}
+        sweep = {
+            (pi[id(p)], rj[id(r)])
+            for p, r in sweep_point_rect_pairs(
+                points, rects, point_xy=lambda p: p, rect_of=lambda r: r
+            )
+        }
+        assert sweep == got

@@ -1,0 +1,173 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import load_points
+
+
+def read_pairs(path):
+    out = []
+    with open(path) as f:
+        for line in f:
+            p_oid, q_oid, cx, cy, r = line.split()
+            out.append((int(p_oid), int(q_oid), float(cx), float(cy), float(r)))
+    return out
+
+
+class TestGenerate:
+    def test_uniform(self, tmp_path, capsys):
+        out = str(tmp_path / "u.txt")
+        assert main(["generate", "--kind", "uniform", "-n", "50",
+                     "--seed", "3", "-o", out]) == 0
+        assert len(load_points(out)) == 50
+        assert "wrote 50 points" in capsys.readouterr().out
+
+    def test_gaussian(self, tmp_path):
+        out = str(tmp_path / "g.txt")
+        assert main(["generate", "--kind", "gaussian", "-n", "40", "-w", "3",
+                     "--seed", "4", "-o", out]) == 0
+        assert len(load_points(out)) == 40
+
+    def test_start_oid(self, tmp_path):
+        out = str(tmp_path / "u.txt")
+        main(["generate", "-n", "5", "--start-oid", "100", "-o", out])
+        assert [p.oid for p in load_points(out)] == list(range(100, 105))
+
+
+class TestJoin:
+    @pytest.fixture
+    def files(self, tmp_path):
+        p = str(tmp_path / "p.txt")
+        q = str(tmp_path / "q.txt")
+        main(["generate", "-n", "80", "--seed", "1", "-o", p])
+        main(["generate", "-n", "70", "--seed", "2", "--start-oid", "80", "-o", q])
+        return p, q
+
+    def test_join_writes_pairs(self, files, tmp_path):
+        p, q = files
+        out = str(tmp_path / "pairs.txt")
+        assert main(["join", p, q, "--method", "obj", "-o", out]) == 0
+        pairs = read_pairs(out)
+        assert pairs
+        # Output oids come from the two inputs.
+        assert all(a < 80 <= b for a, b, *_ in pairs)
+
+    def test_methods_agree_via_cli(self, files, tmp_path):
+        p, q = files
+        results = {}
+        for method in ("obj", "gabriel", "brute"):
+            out = str(tmp_path / f"{method}.txt")
+            main(["join", p, q, "--method", method, "-o", out])
+            results[method] = {(a, b) for a, b, *_ in read_pairs(out)}
+        assert results["obj"] == results["gabriel"] == results["brute"]
+
+    def test_join_to_stdout(self, files, capsys):
+        p, q = files
+        assert main(["join", p, q]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip()
+        assert "pairs" in captured.err
+
+    def test_radius_field_consistent(self, files, tmp_path):
+        p, q = files
+        out = str(tmp_path / "pairs.txt")
+        main(["join", p, q, "-o", out])
+        points = {pt.oid: pt for pt in load_points(p) + load_points(q)}
+        for a, b, cx, cy, r in read_pairs(out):
+            pa, pb = points[a], points[b]
+            assert ((pa.x - cx) ** 2 + (pa.y - cy) ** 2) ** 0.5 == pytest.approx(r)
+            assert ((pb.x - cx) ** 2 + (pb.y - cy) ** 2) ** 0.5 == pytest.approx(r)
+
+
+class TestSelfJoin:
+    def test_selfjoin(self, tmp_path):
+        pts = str(tmp_path / "p.txt")
+        out = str(tmp_path / "pairs.txt")
+        main(["generate", "-n", "60", "--seed", "9", "-o", pts])
+        assert main(["selfjoin", pts, "-o", out]) == 0
+        pairs = read_pairs(out)
+        assert pairs
+        assert all(a < b for a, b, *_ in pairs)
+
+
+class TestTopK:
+    @pytest.fixture
+    def files(self, tmp_path):
+        p = str(tmp_path / "p.txt")
+        q = str(tmp_path / "q.txt")
+        main(["generate", "-n", "60", "--seed", "5", "-o", p])
+        main(["generate", "-n", "60", "--seed", "6", "--start-oid", "60", "-o", q])
+        return p, q
+
+    def test_topk_reports_k_sorted_pairs(self, files, tmp_path):
+        p, q = files
+        out = str(tmp_path / "topk.txt")
+        assert main(["topk", p, q, "-k", "7", "-o", out]) == 0
+        pairs = read_pairs(out)
+        assert len(pairs) == 7
+        radii = [r for *_rest, r in pairs]
+        assert radii == sorted(radii)
+
+    def test_topk_are_the_smallest_join_pairs(self, files, tmp_path):
+        p, q = files
+        join_out = str(tmp_path / "all.txt")
+        topk_out = str(tmp_path / "topk.txt")
+        main(["join", p, q, "--method", "gabriel", "-o", join_out])
+        main(["topk", p, q, "-k", "5", "-o", topk_out])
+        all_pairs = sorted(read_pairs(join_out), key=lambda t: t[4])
+        top = read_pairs(topk_out)
+        assert {(a, b) for a, b, *_ in top} == {
+            (a, b) for a, b, *_ in all_pairs[:5]
+        }
+
+
+class TestResemblance:
+    @pytest.fixture
+    def files(self, tmp_path):
+        p = str(tmp_path / "p.txt")
+        q = str(tmp_path / "q.txt")
+        main(["generate", "-n", "80", "--seed", "7", "-o", p])
+        main(["generate", "-n", "80", "--seed", "8", "--start-oid", "80", "-o", q])
+        return p, q
+
+    def test_eps_resemblance(self, files, capsys):
+        p, q = files
+        assert main(["resemblance", p, q, "--join", "eps", "--param", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "precision=" in out and "recall=" in out
+
+    def test_cij_needs_no_param(self, files, capsys):
+        p, q = files
+        assert main(["resemblance", p, q, "--join", "cij"]) == 0
+        out = capsys.readouterr().out
+        assert "recall=100.0%" in out
+
+    def test_knn_resemblance(self, files, capsys):
+        p, q = files
+        assert main(["resemblance", p, q, "--join", "knn", "--param", "1"]) == 0
+        assert "knn vs RCJ" in capsys.readouterr().out
+
+    def test_kcp_resemblance(self, files, capsys):
+        p, q = files
+        assert main(["resemblance", p, q, "--join", "kcp", "--param", "50"]) == 0
+        assert "kcp vs RCJ" in capsys.readouterr().out
+
+    def test_param_required_for_eps(self, files, capsys):
+        p, q = files
+        assert main(["resemblance", p, q, "--join", "eps"]) == 2
+        assert "--param is required" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_method_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["join", "a", "b", "--method", "quantum"])
+
+    def test_unknown_resemblance_join_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["resemblance", "a", "b", "--join", "voronoi"])

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run clean.
+
+Examples are part of the public deliverable; running them in-process
+(via runpy) keeps them from silently rotting as the API evolves.
+"""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "recycling_stations.py",
+    "tourist_recommendation.py",
+    "postboxes_selfjoin.py",
+    "school_bus_stops.py",
+    "road_network_stations.py",
+    "plot_figures.py",
+    "dynamic_recycling_network.py",
+    "facility_analytics.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, tmp_path, monkeypatch):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"missing example {script}"
+    # Examples that write artifacts (e.g. SVG figures) target the cwd.
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_complete():
+    # Every example shipped is exercised above.
+    shipped = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    assert shipped == set(EXAMPLES)

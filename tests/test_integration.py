@@ -1,0 +1,111 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises the full pipeline — dataset generation, STR bulk
+loading into page-serialised trees, shared LRU buffer, join execution,
+cost accounting — the way the benchmark harness uses it.
+"""
+
+import pytest
+
+from repro.bench.runner import build_workload, run_algorithm, run_all_algorithms
+from repro.core.brute import brute_force_rcj
+from repro.core.gabriel import gabriel_rcj
+from repro.datasets.real import join_combination
+from repro.datasets.synthetic import gaussian_clusters, uniform
+from repro.evaluation.resemblance import precision_recall
+from repro.joins.epsilon import epsilon_join_arrays
+
+
+class TestFullPipelineUniform:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload(
+            uniform(800, seed=1),
+            uniform(800, seed=2, start_oid=800),
+            buffer_fraction=0.01,
+        )
+
+    def test_algorithms_agree_and_match_gabriel(self, workload):
+        reports = run_all_algorithms(workload)
+        keys = {n: r.pair_keys() for n, r in reports.items()}
+        assert keys["INJ"] == keys["BIJ"] == keys["OBJ"]
+        gab = {
+            r.key() for r in gabriel_rcj(workload.points_p, workload.points_q)
+        }
+        assert gab == keys["OBJ"]
+
+    def test_cost_profile_matches_paper(self, workload):
+        reports = run_all_algorithms(workload)
+        # Bulk algorithms need far fewer node accesses than INJ
+        # (Figure 13's CPU-time story).
+        assert reports["BIJ"].node_accesses < reports["INJ"].node_accesses
+        assert reports["OBJ"].node_accesses < reports["INJ"].node_accesses
+        # Candidate ordering of Table 4.
+        assert (
+            reports["BIJ"].candidate_count
+            >= reports["INJ"].candidate_count
+            >= reports["OBJ"].candidate_count
+        )
+
+    def test_result_linear_in_input(self):
+        # Figure 16b: result cardinality grows linearly with n.
+        sizes = (250, 500, 1000)
+        counts = []
+        for n in sizes:
+            w = build_workload(
+                uniform(n, seed=3), uniform(n, seed=4, start_oid=n)
+            )
+            counts.append(run_algorithm(w, "OBJ").result_count)
+        ratio1 = counts[1] / counts[0]
+        ratio2 = counts[2] / counts[1]
+        assert 1.6 < ratio1 < 2.4
+        assert 1.6 < ratio2 < 2.4
+
+
+class TestFullPipelineRealStandins:
+    def test_sp_combination(self):
+        points_q, points_p = join_combination("SP", scale=256)
+        w = build_workload(points_q, points_p)
+        reports = run_all_algorithms(w)
+        assert reports["INJ"].pair_keys() == reports["OBJ"].pair_keys()
+        ref = {
+            r.key() for r in brute_force_rcj(points_p, points_q)
+        }
+        # Note the role convention: INJ iterates Q probing P, reporting
+        # (p, q) keys; brute reports (p, q) too.
+        assert reports["OBJ"].pair_keys() == ref
+
+
+class TestSkewRobustness:
+    def test_gaussian_agreement(self):
+        points_p = gaussian_clusters(700, w=5, seed=10)
+        points_q = gaussian_clusters(700, w=10, seed=11, start_oid=700)
+        w = build_workload(points_q, points_p)
+        reports = run_all_algorithms(w)
+        assert reports["INJ"].pair_keys() == reports["OBJ"].pair_keys()
+
+
+class TestResemblancePipeline:
+    def test_eps_join_never_matches_rcj_exactly(self):
+        # Section 5.1's claim: no ε achieves both high precision and
+        # high recall.
+        points_p = uniform(500, seed=20)
+        points_q = uniform(500, seed=21, start_oid=500)
+        w = build_workload(points_q, points_p)
+        rcj_keys = run_algorithm(w, "OBJ").pair_keys()
+        for eps in (50, 150, 300, 600, 1200):
+            eps_keys = epsilon_join_arrays(points_p, points_q, eps)
+            prec, rec = precision_recall(eps_keys, rcj_keys)
+            assert not (prec > 90 and rec > 90), (eps, prec, rec)
+
+
+class TestBufferSensitivity:
+    def test_larger_buffer_fewer_faults(self):
+        points_q = uniform(1200, seed=30)
+        points_p = uniform(1200, seed=31, start_oid=1200)
+        w = build_workload(points_q, points_p)
+        faults = []
+        for fraction in (0.005, 0.05, 0.5):
+            w.set_buffer_fraction(fraction)
+            faults.append(run_algorithm(w, "INJ").page_faults)
+        assert faults[0] > faults[1] > faults[2]

@@ -1,0 +1,66 @@
+"""Tests of the top-level public API (`import repro`)."""
+
+import pytest
+
+import repro
+from repro import Point, ring_constrained_join, uniform
+
+
+class TestRingConstrainedJoin:
+    @pytest.fixture(scope="class")
+    def datasets(self):
+        return uniform(150, seed=1), uniform(120, seed=2, start_oid=150)
+
+    def test_default_method_is_obj(self, datasets):
+        p, q = datasets
+        pairs = ring_constrained_join(p, q)
+        assert pairs
+        assert all(hasattr(pair, "center") for pair in pairs)
+
+    def test_methods_agree(self, datasets):
+        p, q = datasets
+        reference = {
+            pair.key() for pair in ring_constrained_join(p, q, method="brute")
+        }
+        for method in ("obj", "bij", "inj", "gabriel"):
+            got = {
+                pair.key()
+                for pair in ring_constrained_join(p, q, method=method)
+            }
+            assert got == reference, method
+
+    def test_unknown_method(self, datasets):
+        p, q = datasets
+        with pytest.raises(ValueError):
+            ring_constrained_join(p, q, method="quantum")
+
+    def test_result_semantics(self, datasets):
+        # Every reported centre is empty of other facilities: re-check
+        # with a linear scan.
+        p, q = datasets
+        everyone = p + q
+        for pair in ring_constrained_join(p, q)[:50]:
+            blockers = [
+                x
+                for x in everyone
+                if pair.circle.contains_point(x.x, x.y)
+            ]
+            assert blockers == []
+
+
+class TestApiSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_point_in_api(self):
+        assert repro.Point is Point
+
+    def test_docstring_quickstart_runs(self):
+        restaurants = uniform(50, seed=1)
+        complexes = uniform(40, seed=2, start_oid=50)
+        pairs = ring_constrained_join(restaurants, complexes)
+        assert all(pair.p.oid < 50 <= pair.q.oid for pair in pairs)

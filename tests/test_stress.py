@@ -1,0 +1,119 @@
+"""Randomised end-to-end stress: every index type x every algorithm x
+awkward page sizes x every data family, against the brute oracle.
+
+Each configuration is small (the oracle is quadratic) but the matrix is
+wide; these tests exist to catch interaction bugs that the per-module
+suites cannot (e.g. a pruning rule that is only wrong for deep trees
+over skewed data)."""
+
+import random
+
+import pytest
+
+from repro.core.bij import bij
+from repro.core.brute import brute_force_rcj
+from repro.core.inj import inj
+from repro.datasets.synthetic import gaussian_clusters, uniform
+from repro.datasets.worstcase import lattice, split_alternating, two_clusters
+from repro.kdtree import build_kdtree
+from repro.quadtree.tree import QuadTree
+from repro.rtree.bulk import bulk_load, hilbert_bulk_load
+from repro.rtree.tree import RTree
+
+
+def _rtree_str(points, page_size):
+    return bulk_load(points, page_size=page_size)
+
+
+def _rtree_hilbert(points, page_size):
+    return hilbert_bulk_load(points, page_size=page_size)
+
+
+def _rtree_insert(points, page_size):
+    tree = RTree(page_size=page_size)
+    for p in points:
+        tree.insert(p)
+    return tree
+
+
+def _kdtree(points, page_size):
+    return build_kdtree(points, page_size=page_size)
+
+
+def _quadtree(points, page_size):
+    tree = QuadTree(page_size=max(page_size, 256))
+    for p in points:
+        tree.insert(p)
+    return tree
+
+
+INDEX_BUILDERS = {
+    "rtree-str": _rtree_str,
+    "rtree-hilbert": _rtree_hilbert,
+    "rtree-insert": _rtree_insert,
+    "kdtree": _kdtree,
+    "quadtree": _quadtree,
+}
+
+DATA_FAMILIES = {
+    "uniform": lambda: (
+        uniform(90, seed=400),
+        uniform(80, seed=401, start_oid=1000),
+    ),
+    "gaussian": lambda: (
+        gaussian_clusters(90, w=3, seed=402),
+        gaussian_clusters(80, w=3, seed=403, start_oid=1000),
+    ),
+    "lattice": lambda: split_alternating(lattice(100)),
+    "dumbbell": lambda: split_alternating(two_clusters(100, seed=404)),
+}
+
+
+@pytest.mark.parametrize("index_kind", sorted(INDEX_BUILDERS))
+@pytest.mark.parametrize("family", sorted(DATA_FAMILIES))
+def test_obj_matches_oracle_everywhere(index_kind, family):
+    ps, qs = DATA_FAMILIES[family]()
+    build = INDEX_BUILDERS[index_kind]
+    tree_p = build(ps, 256)
+    tree_q = build(qs, 256)
+    expected = {r.key() for r in brute_force_rcj(ps, qs)}
+    assert bij(tree_q, tree_p, symmetric=True).pair_keys() == expected
+
+
+@pytest.mark.parametrize("page_size", [192, 320, 1024])
+def test_inj_bij_across_page_sizes(page_size):
+    ps, qs = DATA_FAMILIES["gaussian"]()
+    tree_p = bulk_load(ps, page_size=page_size)
+    tree_q = bulk_load(qs, page_size=page_size)
+    expected = {r.key() for r in brute_force_rcj(ps, qs)}
+    assert inj(tree_q, tree_p).pair_keys() == expected
+    assert bij(tree_q, tree_p).pair_keys() == expected
+
+
+def test_mixed_index_matrix():
+    """Every ordered pair of index kinds on the two sides still joins
+    exactly — the algorithms must not assume both trees are alike."""
+    ps, qs = DATA_FAMILIES["uniform"]()
+    expected = {r.key() for r in brute_force_rcj(ps, qs)}
+    kinds = ["rtree-str", "kdtree", "quadtree"]
+    trees_p = {k: INDEX_BUILDERS[k](ps, 256) for k in kinds}
+    trees_q = {k: INDEX_BUILDERS[k](qs, 256) for k in kinds}
+    for kp in kinds:
+        for kq in kinds:
+            got = bij(trees_q[kq], trees_p[kp], symmetric=True).pair_keys()
+            assert got == expected, (kp, kq)
+
+
+def test_random_config_fuzz():
+    """A seeded sweep over random sizes, seeds and page sizes."""
+    rng = random.Random(99)
+    for trial in range(6):
+        n_p = rng.randint(1, 120)
+        n_q = rng.randint(1, 120)
+        page = rng.choice([192, 256, 512])
+        ps = uniform(n_p, seed=500 + trial)
+        qs = uniform(n_q, seed=600 + trial, start_oid=5000)
+        tree_p = bulk_load(ps, page_size=page)
+        tree_q = bulk_load(qs, page_size=page)
+        expected = {r.key() for r in brute_force_rcj(ps, qs)}
+        assert bij(tree_q, tree_p, symmetric=True).pair_keys() == expected, trial
