@@ -22,6 +22,7 @@ import os
 import pytest
 
 from repro.bench.runner import BenchScale
+from repro.datasets import fixtures as dataset_fixtures
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -66,3 +67,12 @@ REPORT_HEADERS = [
 def scale() -> BenchScale:
     """Session-wide scaling configuration."""
     return BenchScale()
+
+
+@pytest.fixture(scope="session")
+def datasets() -> "type[dataset_fixtures]":
+    """The seeded dataset builders shared with the test suite
+    (:mod:`repro.datasets.fixtures`): ``uniform_pair``,
+    ``clustered_pair``, degenerate families, ``equivalence_families``.
+    """
+    return dataset_fixtures

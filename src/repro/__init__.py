@@ -30,6 +30,7 @@ from repro.core.bij import bij
 from repro.core.brute import brute_force_rcj
 from repro.core.gabriel import gabriel_rcj
 from repro.core.inj import inj
+from repro.engine import PointArray, array_rcj, run_join
 from repro.core.metric_rcj import metric_rcj
 from repro.core.obj import obj
 from repro.core.pairs import JoinReport, RCJPair
@@ -56,7 +57,7 @@ from repro.bench.runner import Workload, build_workload, run_algorithm
 
 __version__ = "1.1.0"
 
-Method = Literal["obj", "bij", "inj", "gabriel", "brute"]
+Method = Literal["obj", "bij", "inj", "gabriel", "brute", "array"]
 
 
 def ring_constrained_join(
@@ -67,10 +68,10 @@ def ring_constrained_join(
 ) -> list[RCJPair]:
     """Compute the ring-constrained join of two pointsets.
 
-    The one-call public API: indexes both datasets (for the R-tree
-    methods), runs the requested algorithm and returns the result pairs,
-    each carrying its fair middleman location (``pair.center``) and
-    fairness radius (``pair.radius``).
+    The one-call public API: dispatches through the unified join
+    planner (:func:`repro.engine.run_join`) and returns the result
+    pairs, each carrying its fair middleman location (``pair.center``)
+    and fairness radius (``pair.radius``).
 
     Parameters
     ----------
@@ -78,8 +79,8 @@ def ring_constrained_join(
         The two datasets; ``oid`` values identify points in the result.
     method:
         ``"obj"`` (paper's best; default), ``"bij"``, ``"inj"``,
-        ``"gabriel"`` (main-memory Delaunay-based) or ``"brute"``
-        (quadratic oracle).
+        ``"gabriel"`` (main-memory Delaunay-based), ``"brute"``
+        (quadratic oracle) or ``"array"`` (vectorized batch engine).
     buffer_fraction:
         LRU buffer size as a fraction of the summed index sizes (R-tree
         methods only).
@@ -88,28 +89,21 @@ def ring_constrained_join(
     -------
     The RCJ result pairs (order unspecified).
     """
-    if method == "brute":
-        return brute_force_rcj(points_p, points_q)
-    if method == "gabriel":
-        return gabriel_rcj(points_p, points_q)
-    workload = build_workload(points_q, points_p, buffer_fraction=buffer_fraction)
-    if method == "inj":
-        return inj(workload.tree_q, workload.tree_p).pairs
-    if method == "bij":
-        return bij(workload.tree_q, workload.tree_p).pairs
-    if method == "obj":
-        return bij(workload.tree_q, workload.tree_p, symmetric=True).pairs
-    raise ValueError(f"unknown method {method!r}")
+    return run_join(
+        points_p, points_q, algorithm=method, buffer_fraction=buffer_fraction
+    ).pairs
 
 
 __all__ = [
     "Circle",
     "JoinReport",
     "Point",
+    "PointArray",
     "RCJPair",
     "RTree",
     "Rect",
     "Workload",
+    "array_rcj",
     "bij",
     "brute_force_rcj",
     "build_workload",
@@ -125,6 +119,7 @@ __all__ = [
     "populated_places",
     "ring_constrained_join",
     "run_algorithm",
+    "run_join",
     "schools",
     "self_rcj",
     "top_k_rcj",

@@ -93,12 +93,28 @@ def build_workload(
 
 
 def run_algorithm(workload: Workload, name: str, **kwargs) -> JoinReport:
-    """Run one algorithm (``INJ``/``BIJ``/``OBJ``) with fresh counters."""
+    """Run one algorithm with fresh counters.
+
+    ``INJ``/``BIJ``/``OBJ`` execute over the workload's R-trees;
+    ``ARRAY`` dispatches the workload's pointsets through the
+    vectorized engine (:mod:`repro.engine`) — its report carries no
+    I/O-model figures but the same result pairs.
+    """
+    if name == "ARRAY":
+        # Imported lazily: the planner itself builds Workloads through
+        # this module for the R-tree backend.
+        from repro.engine.planner import run_join
+
+        workload.reset()
+        return run_join(
+            workload.points_p, workload.points_q, algorithm="array", **kwargs
+        )
     try:
         algo = ALGORITHMS[name]
     except KeyError:
         raise ValueError(
-            f"unknown algorithm {name!r}; expected one of {sorted(ALGORITHMS)}"
+            f"unknown algorithm {name!r}; expected one of "
+            f"{sorted(ALGORITHMS) + ['ARRAY']}"
         ) from None
     workload.reset()
     return algo(workload.tree_q, workload.tree_p, **kwargs)

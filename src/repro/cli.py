@@ -5,6 +5,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro generate --kind uniform -n 1000 --seed 1 -o p.txt
     python -m repro generate --kind gaussian -n 1000 -w 8 --seed 2 -o q.txt
     python -m repro join p.txt q.txt --method obj -o pairs.txt
+    python -m repro join p.txt q.txt --engine array -o pairs.txt
     python -m repro selfjoin p.txt -o postboxes.txt
     python -m repro topk p.txt q.txt -k 10
     python -m repro resemblance p.txt q.txt --join eps --param 50
@@ -46,17 +47,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _method_for(args: argparse.Namespace) -> str:
+    """The effective algorithm: ``--engine array`` overrides ``--method``."""
+    return "array" if args.engine == "array" else args.method
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     points_p = load_points(args.pointset_p)
     points_q = load_points(args.pointset_q)
-    pairs = ring_constrained_join(points_p, points_q, method=args.method)
+    method = _method_for(args)
+    pairs = ring_constrained_join(points_p, points_q, method=method)
     if args.output:
         with open(args.output, "w") as f:
             _write_pairs(pairs, f)
     else:
         _write_pairs(pairs, sys.stdout)
     print(
-        f"RCJ({args.pointset_p} x {args.pointset_q}) via {args.method}: "
+        f"RCJ({args.pointset_p} x {args.pointset_q}) via {method}: "
         f"{len(pairs)} pairs",
         file=sys.stderr,
     )
@@ -65,14 +72,15 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 def _cmd_selfjoin(args: argparse.Namespace) -> int:
     points = load_points(args.pointset)
-    pairs = self_rcj(points, algorithm=args.method)
+    method = _method_for(args)
+    pairs = self_rcj(points, algorithm=method)
     if args.output:
         with open(args.output, "w") as f:
             _write_pairs(pairs, f)
     else:
         _write_pairs(pairs, sys.stdout)
     print(
-        f"self-RCJ({args.pointset}) via {args.method}: {len(pairs)} pairs",
+        f"self-RCJ({args.pointset}) via {method}: {len(pairs)} pairs",
         file=sys.stderr,
     )
     return 0
@@ -169,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("obj", "bij", "inj", "gabriel", "brute"),
         default="obj",
     )
+    join.add_argument(
+        "--engine",
+        choices=("pointwise", "array"),
+        default="pointwise",
+        help="execution engine: the pointwise algorithm selected by "
+        "--method, or the vectorized batch engine (overrides --method)",
+    )
     join.add_argument("-o", "--output", default=None)
     join.set_defaults(func=_cmd_join)
 
@@ -178,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=("obj", "bij", "inj", "gabriel", "brute"),
         default="obj",
+    )
+    selfjoin.add_argument(
+        "--engine",
+        choices=("pointwise", "array"),
+        default="pointwise",
+        help="execution engine: the pointwise algorithm selected by "
+        "--method, or the vectorized batch engine (overrides --method)",
     )
     selfjoin.add_argument("-o", "--output", default=None)
     selfjoin.set_defaults(func=_cmd_selfjoin)

@@ -51,6 +51,68 @@ def _coincident_pairs(
     return out
 
 
+def recoverable_radius_bound(kdtree: cKDTree) -> float:
+    """Largest circumradius a cocircular cluster can possibly have.
+
+    A recoverable cluster's circle is the ring of some site pair, so
+    its radius is at most half the site bounding-box diagonal; the 1e6
+    headroom dwarfs every floating-point tolerance in play.  Simplices
+    with larger (or nan/inf) circumradii are near-degenerate slivers
+    that cannot hide a missed edge — and whose radii would overflow
+    inside a KD-tree ball query.
+    """
+    spans = kdtree.maxes - kdtree.mins
+    return 1e6 * (math.hypot(spans[0], spans[1]) + 1.0)
+
+
+def recover_cocircular_pairs(
+    sites, kdtree: cKDTree, centers_x, centers_y, radii
+) -> set[tuple[int, int]]:
+    """Pairwise site pairs of ≥4-site cocircular clusters.
+
+    Shared cluster recovery used by this comparator and by the
+    vectorized engine's Delaunay backstop
+    (:func:`repro.engine.kernels._cocircular_site_pairs`): each
+    candidate circle (``centers_x, centers_y, radii`` — typically
+    triangle circumcircles) is probed with one batched KD-tree ball
+    query; circles carrying four or more sites *exactly on* the circle
+    (within a tolerance tied to the radius) form a cluster whose
+    pairwise site pairs are emitted.  False pairs are harmless — every
+    consumer re-checks candidates with the exact blocker predicate.
+    """
+    extra: set[tuple[int, int]] = set()
+    if len(radii) == 0:
+        return extra
+    radii = np.asarray(radii, dtype=np.float64)
+    tol = 1e-9 * (radii + 1.0)
+    near_lists = kdtree.query_ball_point(
+        np.column_stack((centers_x, centers_y)),
+        radii + tol,
+        return_sorted=False,
+    )
+    seen_clusters: set[tuple[int, ...]] = set()
+    for i, near in enumerate(near_lists):
+        if len(near) < 4:
+            continue  # plain triangle: its edges are already candidates
+        cx, cy, radius = centers_x[i], centers_y[i], radii[i]
+        on_circle = [
+            int(s)
+            for s in near
+            if abs(math.hypot(sites[s][0] - cx, sites[s][1] - cy) - radius)
+            <= tol[i]
+        ]
+        if len(on_circle) < 4:
+            continue
+        cluster = tuple(sorted(on_circle))
+        if cluster in seen_clusters:
+            continue
+        seen_clusters.add(cluster)
+        for x in range(len(cluster)):
+            for y in range(x + 1, len(cluster)):
+                extra.add((cluster[x], cluster[y]))
+    return extra
+
+
 def _cocircular_cluster_pairs(tri, sites, kdtree) -> set[tuple[int, int]]:
     """Candidate edges missed by the triangulation under cocircular ties.
 
@@ -62,14 +124,14 @@ def _cocircular_cluster_pairs(tri, sites, kdtree) -> set[tuple[int, int]]:
     Any such edge lives on a cocircular face of the Delaunay *complex*,
     and every triangle qhull carved out of that face has the whole
     cluster on its circumcircle — so scanning triangle circumcircles
-    recovers the clusters, and emitting each cluster's pairwise index
-    pairs as extra candidates restores completeness.  False candidates
-    are harmless: every candidate still passes the exact blocker test.
+    recovers the clusters (:func:`recover_cocircular_pairs`), and
+    emitting each cluster's pairwise index pairs as extra candidates
+    restores completeness.
     """
-    import numpy as np
-
-    extra: set[tuple[int, int]] = set()
-    seen_clusters: set[tuple[int, ...]] = set()
+    max_radius = recoverable_radius_bound(kdtree)
+    centers_x: list[float] = []
+    centers_y: list[float] = []
+    radii: list[float] = []
     for simplex in tri.simplices:
         pa, pb, pc = (sites[int(v)] for v in simplex)
         # Circumcenter via the perpendicular-bisector linear system.
@@ -94,26 +156,12 @@ def _cocircular_cluster_pairs(tri, sites, kdtree) -> set[tuple[int, int]]:
             + sq_c * (pb[0] - pa[0])
         ) / d
         radius = math.hypot(pa[0] - ux, pa[1] - uy)
-        tol = 1e-9 * (radius + 1.0)
-        near = kdtree.query_ball_point([ux, uy], radius + tol)
-        if len(near) < 4:
-            continue  # plain triangle: its edges are already candidates
-        on_circle = [
-            int(s)
-            for s in near
-            if abs(math.hypot(sites[s][0] - ux, sites[s][1] - uy) - radius)
-            <= tol
-        ]
-        if len(on_circle) < 4:
+        if not (radius <= max_radius):  # False for nan/inf too
             continue
-        cluster = tuple(sorted(on_circle))
-        if cluster in seen_clusters:
-            continue
-        seen_clusters.add(cluster)
-        for x in range(len(cluster)):
-            for y in range(x + 1, len(cluster)):
-                extra.add((cluster[x], cluster[y]))
-    return extra
+        centers_x.append(ux)
+        centers_y.append(uy)
+        radii.append(radius)
+    return recover_cocircular_pairs(sites, kdtree, centers_x, centers_y, radii)
 
 
 def gabriel_rcj(

@@ -19,7 +19,7 @@ from repro.geometry.point import Point
 from repro.rtree.bulk import bulk_load
 from repro.rtree.tree import RTree
 
-SelfAlgorithm = Literal["inj", "bij", "obj", "brute", "gabriel"]
+SelfAlgorithm = Literal["inj", "bij", "obj", "brute", "gabriel", "array"]
 
 
 def _dedupe_symmetric(pairs: Sequence[RCJPair]) -> list[RCJPair]:
@@ -50,7 +50,7 @@ def self_rcj(
         endpoints of each reported pair).
     algorithm:
         One of ``"inj"``, ``"bij"``, ``"obj"`` (R-tree based),
-        ``"brute"`` or ``"gabriel"`` (main memory).
+        ``"brute"``, ``"gabriel"`` or ``"array"`` (main memory).
     tree:
         Optional pre-built index over ``points``; built with STR bulk
         loading when omitted (only used by the R-tree algorithms).
@@ -72,6 +72,13 @@ def self_rcj(
         return _dedupe_symmetric(
             gabriel_rcj(points, points, exclude_same_oid=True)
         )
+    if algorithm == "array":
+        # Imported lazily to keep the core layer import-light; the
+        # engine subsystem pulls in numpy/scipy machinery.
+        from repro.engine.planner import array_rcj
+
+        pairs, _candidates = array_rcj(points, points, exclude_same_oid=True)
+        return _dedupe_symmetric(pairs)
 
     if tree is None:
         tree = bulk_load(points, name="T_self")

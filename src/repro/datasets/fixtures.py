@@ -1,0 +1,105 @@
+"""Seeded dataset families shared by the test suite and the benchmarks.
+
+One home for the random-dataset construction that used to be repeated
+across ``tests/conftest.py`` and the benchmark harness: deterministic,
+seed-addressed pointset pairs covering both well-behaved and degenerate
+geometry.  The equivalence suite runs every join engine over
+:func:`equivalence_families`; benchmarks draw sized workloads from
+:func:`uniform_pair` / :func:`clustered_pair`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datasets.synthetic import DOMAIN, gaussian_clusters, uniform
+from repro.geometry.point import Point
+
+
+def make_points(
+    coords: Iterable[Sequence[float]], start_oid: int = 0
+) -> list[Point]:
+    """Materialise coordinate pairs as points with sequential oids."""
+    return [Point(x, y, start_oid + i) for i, (x, y) in enumerate(coords)]
+
+
+def uniform_pair(
+    n_p: int, n_q: int, seed: int = 0
+) -> tuple[list[Point], list[Point]]:
+    """Two disjoint-oid uniform datasets over the paper's domain."""
+    return (
+        uniform(n_p, seed=seed),
+        uniform(n_q, seed=seed + 1, start_oid=n_p),
+    )
+
+
+def clustered_pair(
+    n_p: int, n_q: int, seed: int = 0, w: int = 4
+) -> tuple[list[Point], list[Point]]:
+    """Two Gaussian-cluster datasets with independent cluster centres."""
+    return (
+        gaussian_clusters(n_p, w=w, seed=seed),
+        gaussian_clusters(n_q, w=w, seed=seed + 1, start_oid=n_p),
+    )
+
+
+def collinear_pair(
+    n_p: int, n_q: int, seed: int = 0
+) -> tuple[list[Point], list[Point]]:
+    """Interleaved points on one horizontal line (degenerate geometry).
+
+    Collinear inputs break Delaunay-based shortcuts and stress the
+    strict boundary conventions: every point lies on the boundary of
+    its neighbours' rings.
+    """
+    y = DOMAIN[1] / 2.0
+    step = DOMAIN[1] / (n_p + n_q + 1.0)
+    points_p = [Point((2 * i + 1) * step, y, i) for i in range(n_p)]
+    points_q = [
+        Point((2 * i + 2) * step + seed % 7, y, n_p + i) for i in range(n_q)
+    ]
+    return points_p, points_q
+
+
+def duplicate_pair(
+    n_p: int, n_q: int, seed: int = 0, lattice: int = 6
+) -> tuple[list[Point], list[Point]]:
+    """Small-lattice datasets riddled with duplicate and cocircular
+    locations, within and across the two sides."""
+    import random
+
+    rng = random.Random(seed)
+    points_p = [
+        Point(rng.randint(0, lattice), rng.randint(0, lattice), i)
+        for i in range(n_p)
+    ]
+    points_q = [
+        Point(rng.randint(0, lattice), rng.randint(0, lattice), n_p + i)
+        for i in range(n_q)
+    ]
+    return points_p, points_q
+
+
+def single_point_pair(seed: int = 0) -> tuple[list[Point], list[Point]]:
+    """A one-point dataset against a small uniform one."""
+    points_q = uniform(12, seed=seed + 1, start_oid=1)
+    return [uniform(1, seed=seed)[0]], points_q
+
+
+def equivalence_families(
+    seed: int = 0, n_p: int = 60, n_q: int = 75
+) -> dict[str, tuple[list[Point], list[Point]]]:
+    """Named dataset families every RCJ engine must agree on.
+
+    Keys: ``uniform``, ``clustered``, ``collinear``, ``duplicates``,
+    ``single_point``.
+    """
+    return {
+        "uniform": uniform_pair(n_p, n_q, seed=seed),
+        "clustered": clustered_pair(n_p, n_q, seed=seed + 10),
+        "collinear": collinear_pair(max(3, n_p // 3), max(3, n_q // 3), seed),
+        "duplicates": duplicate_pair(
+            max(4, n_p // 2), max(4, n_q // 2), seed=seed + 20
+        ),
+        "single_point": single_point_pair(seed=seed + 30),
+    }

@@ -1,0 +1,27 @@
+"""Vectorized batch execution engine for the RCJ.
+
+The engine subsystem is the columnar counterpart of the object-at-a-time
+algorithms in :mod:`repro.core`:
+
+- :mod:`repro.engine.arrays` — :class:`PointArray`, a numpy columnar
+  representation of a pointset with converters to and from
+  :class:`~repro.geometry.point.Point` lists;
+- :mod:`repro.engine.kernels` — the vectorized batch kernels of the RCJ
+  hot path (KD-tree candidate generation, blocked Ψ−half-plane pruning,
+  batch ring-emptiness verification);
+- :mod:`repro.engine.planner` — :func:`run_join`, the unified planner
+  entry point dispatching across every join implementation (``inj``,
+  ``bij``, ``obj``, ``brute``, ``gabriel`` and the vectorized
+  ``array`` engine) and returning the ordinary
+  :class:`~repro.core.pairs.JoinReport`.
+
+The ``array`` engine produces results identical to the pointwise
+algorithms (the kernels evaluate the exact same IEEE dot-product
+predicates), so all accounting, evaluation and resemblance tooling keeps
+working unchanged on its reports.
+"""
+
+from repro.engine.arrays import PointArray
+from repro.engine.planner import ALGORITHM_NAMES, array_rcj, run_join
+
+__all__ = ["ALGORITHM_NAMES", "PointArray", "array_rcj", "run_join"]

@@ -1,0 +1,189 @@
+"""The unified join planner.
+
+:func:`run_join` is the single entry point every caller (CLI, bench
+harness, tests, applications) can dispatch through: it takes the two
+pointsets, an algorithm name and an execution backend, runs the join and
+returns the ordinary :class:`~repro.core.pairs.JoinReport` — so
+accounting, evaluation and resemblance tooling work identically whether
+the join ran on the paper's R-tree algorithms, the main-memory
+comparators, or the vectorized array engine.
+
+Algorithms and their backends:
+
+========== ==================== ==========================================
+algorithm  backend              implementation
+========== ==================== ==========================================
+``inj``    ``rtree``            :func:`repro.core.inj.inj`
+``bij``    ``rtree``            :func:`repro.core.bij.bij`
+``obj``    ``rtree``            :func:`repro.core.bij.bij` (symmetric)
+``brute``  ``memory``           :func:`repro.core.brute.brute_force_rcj`
+``gabriel`` ``memory``          :func:`repro.core.gabriel.gabriel_rcj`
+``array``  ``memory``           :func:`array_rcj` (vectorized kernels)
+========== ==================== ==========================================
+
+``backend="auto"`` (the default) infers the backend from the algorithm;
+passing an explicit backend that the algorithm cannot run on raises
+``ValueError`` rather than silently substituting an implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.bij import bij
+from repro.core.brute import brute_candidate_count, brute_force_rcj
+from repro.core.gabriel import gabriel_rcj
+from repro.core.inj import inj
+from repro.core.pairs import JoinReport, RCJPair
+from repro.engine.arrays import PointArray
+from repro.engine.kernels import rcj_pair_indices
+from repro.geometry.point import Point
+from repro.storage.stats import CostModel
+
+#: Every algorithm :func:`run_join` can dispatch.
+ALGORITHM_NAMES = ("inj", "bij", "obj", "brute", "gabriel", "array")
+
+#: Backend implied by each algorithm.
+_ALGORITHM_BACKEND = {
+    "inj": "rtree",
+    "bij": "rtree",
+    "obj": "rtree",
+    "brute": "memory",
+    "gabriel": "memory",
+    "array": "memory",
+}
+
+
+def array_rcj(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    exclude_same_oid: bool = False,
+    k0: int = 16,
+) -> tuple[list[RCJPair], int]:
+    """Compute the RCJ with the vectorized array engine.
+
+    Converts both pointsets to :class:`PointArray`, runs the batch
+    kernels, and materialises result pairs over the *original*
+    :class:`Point` objects (identity is preserved, not reconstructed).
+
+    Returns ``(pairs, candidate_count)``.
+    """
+    parr = PointArray.from_points(points_p)
+    qarr = PointArray.from_points(points_q)
+    p_idx, q_idx, candidate_count = rcj_pair_indices(
+        parr, qarr, k0=k0, exclude_same_oid=exclude_same_oid
+    )
+    points_p = list(points_p)
+    points_q = list(points_q)
+    pairs = [
+        RCJPair(points_p[pi], points_q[qi])
+        for pi, qi in zip(p_idx.tolist(), q_idx.tolist())
+    ]
+    return pairs, candidate_count
+
+
+def run_join(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    algorithm: str = "obj",
+    backend: str = "auto",
+    *,
+    exclude_same_oid: bool = False,
+    buffer_fraction: float | None = None,
+    cost_model: CostModel | None = None,
+    workload=None,
+    **algorithm_kwargs,
+) -> JoinReport:
+    """Run one RCJ algorithm end to end and return its report.
+
+    Parameters
+    ----------
+    points_p, points_q:
+        The inner and outer datasets (``points_q`` drives the probe
+        loop of the R-tree algorithms, matching
+        :func:`repro.ring_constrained_join`).
+    algorithm:
+        One of :data:`ALGORITHM_NAMES` (case-insensitive).
+    backend:
+        ``"auto"`` (infer), ``"rtree"`` (simulated-disk R-trees with
+        full cost accounting) or ``"memory"`` (main-memory engines; the
+        report carries measured CPU time but no I/O model).
+    exclude_same_oid:
+        Self-join mode — a point never pairs with itself.
+    buffer_fraction:
+        LRU buffer sizing for the R-tree backend (paper default 1 %).
+    cost_model:
+        I/O and CPU charging model for the R-tree backend.
+    workload:
+        Optional prebuilt :class:`repro.bench.runner.Workload` to reuse
+        existing indexes (R-tree backend only); its counters are reset.
+    algorithm_kwargs:
+        Passed through to the underlying algorithm (e.g. ``verify``,
+        ``search_order`` for INJ, ``k0`` for the array engine).
+    """
+    name = algorithm.lower()
+    if name not in _ALGORITHM_BACKEND:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_NAMES}"
+        )
+    implied = _ALGORITHM_BACKEND[name]
+    if backend == "auto":
+        backend = implied
+    if backend != implied:
+        raise ValueError(
+            f"algorithm {name!r} runs on the {implied!r} backend, not {backend!r}"
+        )
+
+    if backend == "rtree":
+        # Imported lazily: repro.bench.runner dispatches back into this
+        # planner for the array engine.
+        from repro.bench.runner import DEFAULT_BUFFER_FRACTION, build_workload
+
+        if workload is None:
+            workload = build_workload(
+                points_q,
+                points_p,
+                buffer_fraction=(
+                    DEFAULT_BUFFER_FRACTION
+                    if buffer_fraction is None
+                    else buffer_fraction
+                ),
+            )
+        else:
+            workload.reset()
+        common = dict(
+            exclude_same_oid=exclude_same_oid,
+            cost_model=cost_model,
+            **algorithm_kwargs,
+        )
+        if name == "inj":
+            return inj(workload.tree_q, workload.tree_p, **common)
+        if name == "bij":
+            return bij(workload.tree_q, workload.tree_p, symmetric=False, **common)
+        return bij(workload.tree_q, workload.tree_p, symmetric=True, **common)
+
+    # -- main-memory backends ------------------------------------------
+    report = JoinReport(name.upper())
+    t0 = time.perf_counter()
+    if name == "brute":
+        report.pairs = brute_force_rcj(
+            points_p, points_q, exclude_same_oid=exclude_same_oid
+        )
+        report.candidate_count = brute_candidate_count(
+            len(points_p), len(points_q)
+        )
+    elif name == "gabriel":
+        report.pairs = gabriel_rcj(
+            points_p, points_q, exclude_same_oid=exclude_same_oid
+        )
+        report.candidate_count = len(report.pairs)
+    else:  # array
+        report.pairs, report.candidate_count = array_rcj(
+            points_p,
+            points_q,
+            exclude_same_oid=exclude_same_oid,
+            **algorithm_kwargs,
+        )
+    report.cpu_seconds = time.perf_counter() - t0
+    return report

@@ -74,10 +74,14 @@ class GridIndex:
 
         Used for metric-ball emptiness checks: ``rect`` is the ball's
         bounding rectangle and ``predicate`` the strict ball containment.
+        Points outside ``rect`` never count, even when they share a
+        bucket with the queried region.
         """
         for cell in self._cells_overlapping(rect):
             bucket = self._buckets.get(cell)
-            if bucket and any(predicate(p) for p in bucket):
+            if bucket and any(
+                rect.contains_point(p.x, p.y) and predicate(p) for p in bucket
+            ):
                 return True
         return False
 

@@ -1,4 +1,9 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Dataset construction lives in :mod:`repro.datasets.fixtures` (shared
+with the benchmark harness); this file only binds it to pytest and
+declares the hypothesis strategies.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +12,8 @@ import random
 import pytest
 from hypothesis import HealthCheck, settings, strategies as st
 
-from repro.geometry.point import Point
+from repro.datasets.fixtures import make_points  # noqa: F401  (re-export)
+from repro.datasets.synthetic import uniform
 
 # ----------------------------------------------------------------------
 # hypothesis profiles
@@ -59,11 +65,6 @@ def continuous_pointset(min_size: int = 0, max_size: int = 60):
     )
 
 
-def make_points(coords, start_oid: int = 0) -> list[Point]:
-    """Materialise coordinate pairs as points with sequential oids."""
-    return [Point(x, y, start_oid + i) for i, (x, y) in enumerate(coords)]
-
-
 # ----------------------------------------------------------------------
 # fixtures
 # ----------------------------------------------------------------------
@@ -74,8 +75,6 @@ def rng() -> random.Random:
 
 
 @pytest.fixture
-def uniform_points(rng) -> list[Point]:
-    """300 uniform points over the paper's domain."""
-    return [
-        Point(rng.uniform(0, 10000), rng.uniform(0, 10000), i) for i in range(300)
-    ]
+def uniform_points() -> list:
+    """300 uniform points over the paper's domain (seed 1234)."""
+    return uniform(300, seed=1234)

@@ -1,0 +1,151 @@
+"""Cross-algorithm equivalence: every engine, identical result sets.
+
+The property the whole system hangs on: INJ, BIJ, OBJ (R-tree backend),
+the brute-force oracle, the Gabriel comparator and the vectorized array
+engine all compute the *same* RCJ — on well-behaved data and on every
+degenerate family (clustered, collinear, duplicate-riddled,
+single-point).  All engines run through the unified planner so the
+dispatch layer is exercised too.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+import repro.engine.kernels as kernels
+from repro.core.selfjoin import self_rcj
+from repro.datasets.fixtures import equivalence_families, make_points
+from repro.engine import run_join
+from tests.conftest import continuous_pointset, lattice_pointset
+
+ENGINES = ("inj", "bij", "obj", "brute", "gabriel", "array")
+
+#: (family, seed) grid: every dataset family under a few seeds.
+FAMILY_CASES = [
+    (family, seed)
+    for family in ("uniform", "clustered", "collinear", "duplicates", "single_point")
+    for seed in (0, 1, 2)
+]
+
+
+def _keys(points_p, points_q, algorithm, **kwargs):
+    return run_join(points_p, points_q, algorithm=algorithm, **kwargs).pair_keys()
+
+
+class TestFamilyEquivalence:
+    @pytest.mark.parametrize("family,seed", FAMILY_CASES)
+    def test_all_engines_agree(self, family, seed):
+        points_p, points_q = equivalence_families(seed=seed)[family]
+        reference = _keys(points_p, points_q, "brute")
+        for engine in ENGINES:
+            assert _keys(points_p, points_q, engine) == reference, (
+                f"{engine} diverges from brute on {family!r} seed {seed}"
+            )
+
+    @pytest.mark.parametrize("family,seed", FAMILY_CASES)
+    def test_array_engine_selfjoin_agrees(self, family, seed):
+        points_p, _ = equivalence_families(seed=seed)[family]
+        reference = {p.key() for p in self_rcj(points_p, algorithm="brute")}
+        got = {p.key() for p in self_rcj(points_p, algorithm="array")}
+        assert got == reference, f"self-join diverges on {family!r} seed {seed}"
+
+
+class TestEscalationPaths:
+    """Force the array engine's rarely-taken stage-3 paths."""
+
+    @pytest.mark.parametrize("family,seed", FAMILY_CASES)
+    def test_delaunay_backstop_agrees(self, family, seed, monkeypatch):
+        # Work limit 0 routes every escalated probe through the
+        # Delaunay candidate backstop instead of the exact scan.
+        monkeypatch.setattr(kernels, "_SCAN_WORK_LIMIT", 0)
+        points_p, points_q = equivalence_families(seed=seed)[family]
+        assert _keys(points_p, points_q, "array") == _keys(
+            points_p, points_q, "brute"
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tiny_windows_escalate_correctly(self, seed):
+        # k0=1 maximises escalation through stages 2 and 3.
+        points_p, points_q = equivalence_families(seed=seed)["uniform"]
+        assert _keys(points_p, points_q, "array", k0=1) == _keys(
+            points_p, points_q, "brute"
+        )
+
+    def test_coincident_cluster_larger_than_any_window(self):
+        # Regression: more coincident P points than the widened window
+        # leaves the probe with zero valid coverage arcs; the scan stage
+        # must not treat the placeholder arcs as certificates (it once
+        # dropped the beyond-window duplicates' pairs).
+        from repro.geometry.point import Point
+
+        n = kernels._WIDE_K + 2
+        points_p = [Point(100.0, 0.0, i) for i in range(n)]
+        points_q = [Point(0.0, 0.0, n)]
+        assert _keys(points_p, points_q, "array") == _keys(
+            points_p, points_q, "brute"
+        )
+
+    def test_coincident_cluster_through_delaunay_backstop(self, monkeypatch):
+        from repro.geometry.point import Point
+
+        monkeypatch.setattr(kernels, "_SCAN_WORK_LIMIT", 0)
+        n = kernels._WIDE_K + 2
+        points_p = [Point(100.0, 0.0, i) for i in range(n)] + [
+            Point(50.0, 3.0, n),
+            Point(-40.0, -7.0, n + 1),
+        ]
+        points_q = [Point(0.0, 0.0, 500), Point(90.0, 1.0, 501)]
+        assert _keys(points_p, points_q, "array") == _keys(
+            points_p, points_q, "brute"
+        )
+
+
+class TestPropertyEquivalence:
+    @given(lattice_pointset(min_size=1, max_size=30),
+           lattice_pointset(min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_array_matches_brute_on_lattice(self, coords_p, coords_q):
+        points_p = make_points(coords_p)
+        points_q = make_points(coords_q, start_oid=len(points_p))
+        assert _keys(points_p, points_q, "array") == _keys(
+            points_p, points_q, "brute"
+        )
+
+    @given(continuous_pointset(min_size=1, max_size=40),
+           continuous_pointset(min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_array_matches_brute_on_continuous(self, coords_p, coords_q):
+        points_p = make_points(coords_p)
+        points_q = make_points(coords_q, start_oid=len(points_p))
+        assert _keys(points_p, points_q, "array") == _keys(
+            points_p, points_q, "brute"
+        )
+
+
+class TestPlannerDispatch:
+    def test_unknown_algorithm(self):
+        points_p, points_q = equivalence_families()["single_point"]
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_join(points_p, points_q, algorithm="quantum")
+
+    def test_backend_mismatch(self):
+        points_p, points_q = equivalence_families()["single_point"]
+        with pytest.raises(ValueError, match="backend"):
+            run_join(points_p, points_q, algorithm="array", backend="rtree")
+        with pytest.raises(ValueError, match="backend"):
+            run_join(points_p, points_q, algorithm="inj", backend="memory")
+
+    def test_empty_inputs(self):
+        points_p, points_q = equivalence_families()["uniform"]
+        for engine in ("brute", "array"):
+            assert run_join([], points_q, algorithm=engine).pairs == []
+            assert run_join(points_p, [], algorithm=engine).pairs == []
+
+    def test_reports_carry_algorithm_and_counts(self):
+        points_p, points_q = equivalence_families()["uniform"]
+        report = run_join(points_p, points_q, algorithm="array")
+        assert report.algorithm == "ARRAY"
+        assert report.candidate_count >= report.result_count > 0
+        assert report.cpu_seconds > 0.0
+        assert report.node_accesses == 0  # no R-tree was touched

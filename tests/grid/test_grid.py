@@ -79,5 +79,58 @@ class TestPredicateSearch:
             Rect(0, 0, 10, 10), lambda p: p.oid == 1
         )
 
+    def test_predicate_never_sees_points_outside_rect(self):
+        # Points sharing a bucket with the queried region but lying
+        # outside the rect must not satisfy the search.
+        pts = [Point(0, 0, 0), Point(9, 9, 1)]
+        grid = GridIndex(pts, cells_per_axis=1)  # one bucket holds both
+        assert not grid.any_point_where(Rect(0, 0, 1, 1), lambda p: p.oid == 1)
+        assert grid.any_point_where(Rect(0, 0, 1, 1), lambda p: p.oid == 0)
+
     def test_len(self, uniform_points):
         assert len(GridIndex(uniform_points)) == len(uniform_points)
+
+
+class TestBoundaryAssignment:
+    """Bucket assignment at the extremes of the indexed extent."""
+
+    def test_max_extent_points_clamped_into_last_cell(self):
+        pts = [Point(0, 0, 0), Point(10, 0, 1), Point(0, 10, 2), Point(10, 10, 3)]
+        grid = GridIndex(pts, cells_per_axis=4)
+        last = grid.cells_per_axis - 1
+        assert grid._cell_of(10.0, 10.0) == (last, last)
+        # A query hugging the max corner finds the corner point.
+        assert [p.oid for p in grid.points_in_rect(Rect(10, 10, 10, 10))] == [3]
+
+    def test_max_extent_found_with_fractional_cell_widths(self):
+        # Widths that don't divide the extent exactly: the division for
+        # x == xmax can land exactly on cells_per_axis and must clamp.
+        pts = [Point(i * 0.7, i * 0.3, i) for i in range(30)]
+        grid = GridIndex(pts, cells_per_axis=7)
+        xmax = max(p.x for p in pts)
+        ymax = max(p.y for p in pts)
+        got = grid.points_in_rect(Rect(xmax, ymax, xmax, ymax))
+        assert [p.oid for p in got] == [29]
+
+    def test_queries_beyond_bounds_clamp(self):
+        pts = [Point(5, 5, 0), Point(6, 6, 1)]
+        grid = GridIndex(pts, cells_per_axis=3)
+        assert sorted(
+            p.oid for p in grid.points_in_rect(Rect(-100, -100, 100, 100))
+        ) == [0, 1]
+        assert grid.points_in_rect(Rect(50, 50, 60, 60)) == []
+
+    def test_degenerate_extent_single_column(self):
+        pts = [Point(5, y, i) for i, y in enumerate((0, 2, 7, 10))]
+        grid = GridIndex(pts, cells_per_axis=3)
+        assert sorted(
+            p.oid for p in grid.points_in_rect(Rect(5, 0, 5, 10))
+        ) == [0, 1, 2, 3]
+        assert sorted(
+            p.oid for p in grid.points_in_rect(Rect(5, 10, 5, 10))
+        ) == [3]
+
+    def test_all_points_coincident(self):
+        pts = [Point(3, 3, i) for i in range(5)]
+        grid = GridIndex(pts, cells_per_axis=2)
+        assert len(grid.points_in_rect(Rect(3, 3, 3, 3))) == 5
