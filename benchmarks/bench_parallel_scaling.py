@@ -1,0 +1,119 @@
+"""Scalability bench — the sharded parallel engine across worker counts.
+
+Not a figure from the paper: this bench motivates the
+:mod:`repro.parallel` subsystem by running the same self-join-style
+workload (paper-class 50k–200k uniform points, scaled by
+``REPRO_SCALE``; run with ``REPRO_BENCH_N=100000`` for the full-size
+measurement) through the vectorized engine with 1, 2 and 4 worker
+processes.
+
+Assertions: every worker count returns the serial engine's *identical*
+pair arrays (byte-for-byte — determinism is a correctness property
+here, not a nicety), and — on machines with at least 4 physical cores
+at full-size runs — 4 workers deliver at least a 2.5x strong-scaling
+speedup.  Results are emitted both as the usual text table and as
+``benchmarks/results/BENCH_parallel.json`` so CI archives the scaling
+series.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.engine.arrays import PointArray
+from repro.engine.kernels import rcj_pair_indices
+from repro.evaluation.report import format_table
+from repro.evaluation.scaling import (
+    ScalePoint,
+    scaling_summary,
+    speedup_rows,
+    write_json,
+)
+from repro.parallel.pool import parallel_rcj_pair_indices
+
+from benchmarks.conftest import RESULTS_DIR, emit
+
+#: Paper-style cardinalities, divided by REPRO_SCALE.
+SIZES = (50_000, 100_000, 200_000)
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: The acceptance floor: >= 2.5x at 4 workers...
+MIN_SPEEDUP_AT_4 = 2.5
+
+#: ...asserted only where it can physically hold: a full-size run on a
+#: machine actually owning 4+ cores (scaled-down smoke runs measure
+#: pool fixed costs, and a 1-core CI box cannot speed anything up).
+ASSERT_ABOVE_N = 50_000
+
+
+def _measure(datasets, sizes) -> tuple[list[ScalePoint], bool]:
+    import time
+
+    points: list[ScalePoint] = []
+    identical = True
+    for n in sizes:
+        points_p, points_q = datasets.uniform_pair(n, n, seed=210)
+        parr = PointArray.from_points(points_p)
+        qarr = PointArray.from_points(points_q)
+        ref_p, ref_q, _ = rcj_pair_indices(parr, qarr, exclude_same_oid=True)
+        # Shard floor low enough that even scaled-down runs exercise a
+        # real multi-shard pool rather than the in-process fallback.
+        min_shard = max(64, n // 64)
+        for workers in WORKER_COUNTS:
+            t0 = time.perf_counter()
+            p_idx, q_idx, _ = parallel_rcj_pair_indices(
+                parr,
+                qarr,
+                workers=workers,
+                exclude_same_oid=True,
+                min_shard=min_shard,
+            )
+            wall = time.perf_counter() - t0
+            identical &= bool(
+                np.array_equal(ref_p, p_idx) and np.array_equal(ref_q, q_idx)
+            )
+            points.append(ScalePoint(n, workers, wall, int(len(p_idx))))
+    return points, identical
+
+
+def test_parallel_scaling(benchmark, scale, datasets):
+    sizes = sorted({scale.synthetic_n(n) for n in SIZES})
+    points, identical = benchmark.pedantic(
+        lambda: _measure(datasets, sizes), rounds=1, iterations=1
+    )
+    cpus = os.cpu_count() or 1
+
+    table = format_table(
+        ["n", "workers", "pairs", "wall(s)", "speedup", "efficiency"],
+        speedup_rows(points),
+        title=(
+            f"Parallel engine strong scaling (|P| = |Q| = n, self-join "
+            f"mode, {cpus} cores)"
+        ),
+    )
+    emit("parallel_scaling", table)
+    write_json(
+        os.path.join(RESULTS_DIR, "BENCH_parallel.json"),
+        scaling_summary(points, cpus, identical),
+    )
+
+    # Identical result arrays at every worker count, always.
+    assert identical, "parallel pair arrays diverged from the serial engine"
+
+    # The speedup floor, only where it is physically meaningful.
+    if cpus >= 4:
+        for p in points:
+            if p.workers == 4 and p.n >= ASSERT_ABOVE_N:
+                base = next(
+                    s.wall_seconds
+                    for s in points
+                    if s.n == p.n and s.workers == 1
+                )
+                speedup = base / max(p.wall_seconds, 1e-9)
+                assert speedup >= MIN_SPEEDUP_AT_4, (
+                    f"only {speedup:.2f}x at 4 workers for n={p.n} "
+                    f"(floor {MIN_SPEEDUP_AT_4}x)"
+                )

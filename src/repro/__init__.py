@@ -30,7 +30,7 @@ from repro.core.bij import bij
 from repro.core.brute import brute_force_rcj
 from repro.core.gabriel import gabriel_rcj
 from repro.core.inj import inj
-from repro.engine import PointArray, array_rcj, run_join
+from repro.engine import PointArray, array_parallel_rcj, array_rcj, run_join
 from repro.core.metric_rcj import metric_rcj
 from repro.core.obj import obj
 from repro.core.pairs import JoinReport, RCJPair
@@ -57,7 +57,9 @@ from repro.bench.runner import Workload, build_workload, run_algorithm
 
 __version__ = "1.1.0"
 
-Method = Literal["obj", "bij", "inj", "gabriel", "brute", "array"]
+Method = Literal[
+    "obj", "bij", "inj", "gabriel", "brute", "array", "array-parallel", "auto"
+]
 
 
 def ring_constrained_join(
@@ -65,6 +67,7 @@ def ring_constrained_join(
     points_q: Sequence[Point],
     method: Method = "obj",
     buffer_fraction: float = 0.01,
+    workers: int | None = None,
 ) -> list[RCJPair]:
     """Compute the ring-constrained join of two pointsets.
 
@@ -80,17 +83,26 @@ def ring_constrained_join(
     method:
         ``"obj"`` (paper's best; default), ``"bij"``, ``"inj"``,
         ``"gabriel"`` (main-memory Delaunay-based), ``"brute"``
-        (quadratic oracle) or ``"array"`` (vectorized batch engine).
+        (quadratic oracle), ``"array"`` (vectorized batch engine),
+        ``"array-parallel"`` (sharded worker pool over all cores) or
+        ``"auto"`` (cost-based planner picks among the above).
     buffer_fraction:
         LRU buffer size as a fraction of the summed index sizes (R-tree
         methods only).
+    workers:
+        Worker budget for ``"array-parallel"`` / ``"auto"`` (``None`` =
+        all cores).
 
     Returns
     -------
     The RCJ result pairs (order unspecified).
     """
     return run_join(
-        points_p, points_q, algorithm=method, buffer_fraction=buffer_fraction
+        points_p,
+        points_q,
+        algorithm=method,
+        buffer_fraction=buffer_fraction,
+        workers=workers,
     ).pairs
 
 
@@ -103,6 +115,7 @@ __all__ = [
     "RTree",
     "Rect",
     "Workload",
+    "array_parallel_rcj",
     "array_rcj",
     "bij",
     "brute_force_rcj",

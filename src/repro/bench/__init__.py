@@ -2,18 +2,22 @@
 
 from repro.bench.runner import (
     ALGORITHMS,
+    ENGINE_ROWS,
     BenchScale,
     Workload,
     build_workload,
     run_algorithm,
     run_all_algorithms,
+    smoke,
 )
 
 __all__ = [
     "ALGORITHMS",
+    "ENGINE_ROWS",
     "BenchScale",
     "Workload",
     "build_workload",
     "run_algorithm",
     "run_all_algorithms",
+    "smoke",
 ]

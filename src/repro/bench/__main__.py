@@ -1,0 +1,12 @@
+"""``python -m repro.bench`` — the benchmark runner's CLI entry.
+
+Delegates to :func:`repro.bench.runner.main`; invoking the package (not
+the already-imported ``runner`` submodule) keeps runpy from re-executing
+a loaded module.
+"""
+
+import sys
+
+from repro.bench.runner import main
+
+sys.exit(main())

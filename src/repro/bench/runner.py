@@ -92,29 +92,47 @@ def build_workload(
     return Workload(list(points_q), list(points_p), tree_q, tree_p, buffer)
 
 
+#: Engine rows dispatched through the unified planner rather than the
+#: R-tree ALGORITHMS table: bench label -> run_join algorithm name.
+ENGINE_ROWS = {
+    "ARRAY": "array",
+    "PARALLEL": "array-parallel",
+    "AUTO": "auto",
+}
+
+
 def run_algorithm(workload: Workload, name: str, **kwargs) -> JoinReport:
     """Run one algorithm with fresh counters.
 
     ``INJ``/``BIJ``/``OBJ`` execute over the workload's R-trees;
-    ``ARRAY`` dispatches the workload's pointsets through the
-    vectorized engine (:mod:`repro.engine`) — its report carries no
-    I/O-model figures but the same result pairs.
+    ``ARRAY`` (vectorized engine), ``PARALLEL`` (sharded worker pool;
+    pass ``workers=``) and ``AUTO`` (cost-based planner) dispatch the
+    workload's pointsets through :func:`repro.engine.run_join` — their
+    reports carry no I/O-model figures but the same result pairs.
     """
-    if name == "ARRAY":
+    if name in ENGINE_ROWS:
         # Imported lazily: the planner itself builds Workloads through
         # this module for the R-tree backend.
         from repro.engine.planner import run_join
 
         workload.reset()
+        # The workload rides along so an AUTO plan that lands on the
+        # R-tree backend measures against the bench's own trees and
+        # buffer instead of silently rebuilding them; memory engines
+        # ignore it.
         return run_join(
-            workload.points_p, workload.points_q, algorithm="array", **kwargs
+            workload.points_p,
+            workload.points_q,
+            algorithm=ENGINE_ROWS[name],
+            workload=workload,
+            **kwargs,
         )
     try:
         algo = ALGORITHMS[name]
     except KeyError:
         raise ValueError(
             f"unknown algorithm {name!r}; expected one of "
-            f"{sorted(ALGORITHMS) + ['ARRAY']}"
+            f"{sorted(ALGORITHMS) + sorted(ENGINE_ROWS)}"
         ) from None
     workload.reset()
     return algo(workload.tree_q, workload.tree_p, **kwargs)
@@ -123,3 +141,80 @@ def run_algorithm(workload: Workload, name: str, **kwargs) -> JoinReport:
 def run_all_algorithms(workload: Workload, **kwargs) -> dict[str, JoinReport]:
     """Run INJ, BIJ and OBJ on the same workload."""
     return {name: run_algorithm(workload, name, **kwargs) for name in ALGORITHMS}
+
+
+# ----------------------------------------------------------------------
+# smoke entry point (CI canary)
+# ----------------------------------------------------------------------
+
+def smoke(n: int = 4000, workers: int = 2) -> int:
+    """Cross-engine smoke run: OBJ vs ARRAY vs PARALLEL vs AUTO.
+
+    A bounded-size canary for CI: builds one uniform workload, runs the
+    R-tree reference and every planner-dispatched engine (the parallel
+    row through a real worker pool), and fails on any pair-set
+    divergence.  Catches parallel-path regressions and pool deadlocks
+    (CI wraps the invocation in a timeout) in well under a minute.
+
+    Returns a process exit code (0 = all engines agree).
+    """
+    from repro.datasets.fixtures import uniform_pair
+    from repro.parallel.shards import DEFAULT_MIN_SHARD
+
+    points_p, points_q = uniform_pair(n, n + n // 4, seed=11)
+    workload = build_workload(points_q, points_p)
+    # A shard floor below |Q|/workers forces a real multi-shard pool
+    # even at smoke sizes.
+    min_shard = max(64, min(DEFAULT_MIN_SHARD, len(points_q) // (2 * workers)))
+    reports = {
+        "OBJ": run_algorithm(workload, "OBJ"),
+        "ARRAY": run_algorithm(workload, "ARRAY"),
+        "PARALLEL": run_algorithm(
+            workload, "PARALLEL", workers=workers, min_shard=min_shard
+        ),
+        "AUTO": run_algorithm(workload, "AUTO", workers=workers),
+    }
+    reference = reports["OBJ"].pair_keys()
+    failed = False
+    for name, report in reports.items():
+        agree = report.pair_keys() == reference
+        failed |= not agree
+        plan = getattr(report, "plan", None)
+        chosen = f" -> {plan.engine}x{plan.workers}" if plan else ""
+        print(
+            f"{name:>8}{chosen}: {report.result_count} pairs, "
+            f"{report.cpu_seconds:.3f}s wall "
+            f"[{'ok' if agree else 'DIVERGED'}]"
+        )
+    print(f"smoke: |P|={n} |Q|={n + n // 4} workers={workers} "
+          f"{'FAILED' if failed else 'passed'}")
+    return 1 if failed else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.bench.runner`` — currently the smoke canary."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.runner",
+        description="benchmark workload runner (CI smoke entry point)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the cross-engine smoke canary and exit",
+    )
+    parser.add_argument("--n", type=int, default=4000,
+                        help="smoke |P| (|Q| is 1.25x)")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke(n=args.n, workers=args.workers)
+    parser.error("nothing to do: pass --smoke")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

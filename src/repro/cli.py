@@ -6,6 +6,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro generate --kind gaussian -n 1000 -w 8 --seed 2 -o q.txt
     python -m repro join p.txt q.txt --method obj -o pairs.txt
     python -m repro join p.txt q.txt --engine array -o pairs.txt
+    python -m repro join p.txt q.txt --engine auto --workers 4 --explain
     python -m repro selfjoin p.txt -o postboxes.txt
     python -m repro topk p.txt q.txt -k 10
     python -m repro resemblance p.txt q.txt --join eps --param 50
@@ -21,10 +22,19 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import ring_constrained_join
 from repro.core.selfjoin import self_rcj
 from repro.datasets.io import load_points, save_points
 from repro.datasets.synthetic import gaussian_clusters, uniform
+from repro.engine import ENGINE_NAMES, run_join
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
 
 
 def _write_pairs(pairs, out) -> None:
@@ -48,22 +58,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _method_for(args: argparse.Namespace) -> str:
-    """The effective algorithm: ``--engine array`` overrides ``--method``."""
-    return "array" if args.engine == "array" else args.method
+    """The effective algorithm: a non-pointwise ``--engine`` overrides
+    ``--method``."""
+    return args.method if args.engine == "pointwise" else args.engine
+
+
+def _explain_hypothetical(points_p, points_q, args) -> None:
+    """Print what ``--engine auto`` *would* have picked.
+
+    Used only for non-auto engine choices, where no plan runs; an auto
+    run prints ``report.plan`` — the plan that actually executed —
+    instead of planning a second time.
+    """
+    from repro.parallel.costmodel import choose_plan
+
+    plan = choose_plan(points_p, points_q, workers=args.workers)
+    print(plan.describe(), file=sys.stderr)
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
     points_p = load_points(args.pointset_p)
     points_q = load_points(args.pointset_q)
     method = _method_for(args)
-    pairs = ring_constrained_join(points_p, points_q, method=method)
+    if args.explain and method != "auto":
+        _explain_hypothetical(points_p, points_q, args)
+    report = run_join(
+        points_p, points_q, algorithm=method, workers=args.workers
+    )
+    if args.explain and report.plan is not None:
+        print(report.plan.describe(), file=sys.stderr)
+    pairs = report.pairs
     if args.output:
         with open(args.output, "w") as f:
             _write_pairs(pairs, f)
     else:
         _write_pairs(pairs, sys.stdout)
+    ran = report.algorithm.lower() if method == "auto" else method
     print(
-        f"RCJ({args.pointset_p} x {args.pointset_q}) via {method}: "
+        f"RCJ({args.pointset_p} x {args.pointset_q}) via {ran}: "
         f"{len(pairs)} pairs",
         file=sys.stderr,
     )
@@ -73,7 +105,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
 def _cmd_selfjoin(args: argparse.Namespace) -> int:
     points = load_points(args.pointset)
     method = _method_for(args)
-    pairs = self_rcj(points, algorithm=method)
+    if args.explain:
+        # The selfjoin helper returns deduplicated pairs, not a report,
+        # so the plan is always computed here — for "auto" it is the
+        # exact plan the run will use (the planner is deterministic and
+        # self_rcj forwards the same workers value).
+        _explain_hypothetical(points, points, args)
+    pairs = self_rcj(points, algorithm=method, workers=args.workers)
     if args.output:
         with open(args.output, "w") as f:
             _write_pairs(pairs, f)
@@ -169,39 +207,46 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--output", required=True)
     gen.set_defaults(func=_cmd_generate)
 
+    def add_engine_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--method",
+            choices=("obj", "bij", "inj", "gabriel", "brute"),
+            default="obj",
+        )
+        cmd.add_argument(
+            "--engine",
+            choices=ENGINE_NAMES,
+            default="pointwise",
+            help="execution engine: the pointwise algorithm selected by "
+            "--method, the vectorized batch engine, the sharded "
+            "multi-process engine, or cost-based auto-selection "
+            "(everything but 'pointwise' overrides --method)",
+        )
+        cmd.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=None,
+            metavar="N",
+            help="worker processes for array-parallel/auto "
+            "(default: all cores)",
+        )
+        cmd.add_argument(
+            "--explain",
+            action="store_true",
+            help="print the cost-based planner's decision and estimates "
+            "to stderr before running",
+        )
+        cmd.add_argument("-o", "--output", default=None)
+
     join = sub.add_parser("join", help="ring-constrained join of two pointset files")
     join.add_argument("pointset_p")
     join.add_argument("pointset_q")
-    join.add_argument(
-        "--method",
-        choices=("obj", "bij", "inj", "gabriel", "brute"),
-        default="obj",
-    )
-    join.add_argument(
-        "--engine",
-        choices=("pointwise", "array"),
-        default="pointwise",
-        help="execution engine: the pointwise algorithm selected by "
-        "--method, or the vectorized batch engine (overrides --method)",
-    )
-    join.add_argument("-o", "--output", default=None)
+    add_engine_args(join)
     join.set_defaults(func=_cmd_join)
 
     selfjoin = sub.add_parser("selfjoin", help="self-RCJ of one pointset file")
     selfjoin.add_argument("pointset")
-    selfjoin.add_argument(
-        "--method",
-        choices=("obj", "bij", "inj", "gabriel", "brute"),
-        default="obj",
-    )
-    selfjoin.add_argument(
-        "--engine",
-        choices=("pointwise", "array"),
-        default="pointwise",
-        help="execution engine: the pointwise algorithm selected by "
-        "--method, or the vectorized batch engine (overrides --method)",
-    )
-    selfjoin.add_argument("-o", "--output", default=None)
+    add_engine_args(selfjoin)
     selfjoin.set_defaults(func=_cmd_selfjoin)
 
     topk = sub.add_parser(

@@ -102,6 +102,10 @@ class JoinReport:
     cpu_seconds: float = 0.0
     io_seconds: float = 0.0
     modeled_cpu_seconds: float = 0.0
+    #: The cost-based planner's decision record
+    #: (:class:`repro.parallel.costmodel.ExecutionPlan`) when the join
+    #: ran through ``engine="auto"``; None for explicit dispatch.
+    plan: object | None = None
 
     @property
     def result_count(self) -> int:

@@ -19,7 +19,9 @@ from repro.geometry.point import Point
 from repro.rtree.bulk import bulk_load
 from repro.rtree.tree import RTree
 
-SelfAlgorithm = Literal["inj", "bij", "obj", "brute", "gabriel", "array"]
+SelfAlgorithm = Literal[
+    "inj", "bij", "obj", "brute", "gabriel", "array", "array-parallel", "auto"
+]
 
 
 def _dedupe_symmetric(pairs: Sequence[RCJPair]) -> list[RCJPair]:
@@ -40,6 +42,7 @@ def self_rcj(
     points: Sequence[Point],
     algorithm: SelfAlgorithm = "obj",
     tree: RTree | None = None,
+    workers: int | None = None,
 ) -> list[RCJPair]:
     """Compute the self-RCJ of a pointset.
 
@@ -50,10 +53,15 @@ def self_rcj(
         endpoints of each reported pair).
     algorithm:
         One of ``"inj"``, ``"bij"``, ``"obj"`` (R-tree based),
-        ``"brute"``, ``"gabriel"`` or ``"array"`` (main memory).
+        ``"brute"``, ``"gabriel"``, ``"array"`` (main memory),
+        ``"array-parallel"`` (sharded worker pool) or ``"auto"``
+        (cost-based planner).
     tree:
         Optional pre-built index over ``points``; built with STR bulk
         loading when omitted (only used by the R-tree algorithms).
+    workers:
+        Worker budget for ``"array-parallel"`` and ``"auto"`` (``None``
+        = all cores).
 
     Returns
     -------
@@ -72,13 +80,19 @@ def self_rcj(
         return _dedupe_symmetric(
             gabriel_rcj(points, points, exclude_same_oid=True)
         )
-    if algorithm == "array":
+    if algorithm in ("array", "array-parallel", "auto"):
         # Imported lazily to keep the core layer import-light; the
         # engine subsystem pulls in numpy/scipy machinery.
-        from repro.engine.planner import array_rcj
+        from repro.engine.planner import run_join
 
-        pairs, _candidates = array_rcj(points, points, exclude_same_oid=True)
-        return _dedupe_symmetric(pairs)
+        report = run_join(
+            points,
+            points,
+            algorithm=algorithm,
+            workers=workers,
+            exclude_same_oid=True,
+        )
+        return _dedupe_symmetric(report.pairs)
 
     if tree is None:
         tree = bulk_load(points, name="T_self")

@@ -22,6 +22,19 @@ working unchanged on its reports.
 """
 
 from repro.engine.arrays import PointArray
-from repro.engine.planner import ALGORITHM_NAMES, array_rcj, run_join
+from repro.engine.planner import (
+    ALGORITHM_NAMES,
+    ENGINE_NAMES,
+    array_parallel_rcj,
+    array_rcj,
+    run_join,
+)
 
-__all__ = ["ALGORITHM_NAMES", "PointArray", "array_rcj", "run_join"]
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ENGINE_NAMES",
+    "PointArray",
+    "array_parallel_rcj",
+    "array_rcj",
+    "run_join",
+]

@@ -680,6 +680,19 @@ def verify_rings_batch(
     return alive
 
 
+def canonical_pair_order(p_idx: np.ndarray, q_idx: np.ndarray) -> np.ndarray:
+    """Sort permutation of the canonical result-pair order.
+
+    The canonical order of an index pair set is ascending ``q_index``
+    with ties broken by ascending ``p_index``.  Both the serial pipeline
+    and the sharded parallel engine (:mod:`repro.parallel`) emit their
+    results in this order, which is what makes parallel output
+    byte-identical across worker counts: shard boundaries change which
+    worker finds a pair, never where the pair sorts.
+    """
+    return np.lexsort((p_idx, q_idx))
+
+
 def rcj_pair_indices(
     parr: PointArray,
     qarr: PointArray,
@@ -689,9 +702,10 @@ def rcj_pair_indices(
     """The full vectorized RCJ pipeline over columnar inputs.
 
     Returns ``(p_index, q_index, candidate_count)``: aligned index
-    arrays of the result pairs into ``parr``/``qarr``, plus the number
-    of candidate pairs that entered verification (the engine's
-    ``candidate_count`` accounting figure).
+    arrays of the result pairs into ``parr``/``qarr`` in canonical
+    order (:func:`canonical_pair_order`), plus the number of candidate
+    pairs that entered verification (the engine's ``candidate_count``
+    accounting figure).
     """
     if len(parr) == 0 or len(qarr) == 0:
         return (np.empty(0, np.int64), np.empty(0, np.int64), 0)
@@ -716,4 +730,9 @@ def rcj_pair_indices(
         ux,
         uy,
     )
-    return (p_idx[alive], q_idx[alive], candidate_count)
+    p_idx, q_idx = p_idx[alive], q_idx[alive]
+    # The dedup above already left the pairs keyed by (q, p); the
+    # explicit canonical sort makes the ordering a contract rather than
+    # an accident of np.unique.
+    order = canonical_pair_order(p_idx, q_idx)
+    return (p_idx[order], q_idx[order], candidate_count)

@@ -10,20 +10,31 @@ comparators, or the vectorized array engine.
 
 Algorithms and their backends:
 
-========== ==================== ==========================================
-algorithm  backend              implementation
-========== ==================== ==========================================
-``inj``    ``rtree``            :func:`repro.core.inj.inj`
-``bij``    ``rtree``            :func:`repro.core.bij.bij`
-``obj``    ``rtree``            :func:`repro.core.bij.bij` (symmetric)
-``brute``  ``memory``           :func:`repro.core.brute.brute_force_rcj`
-``gabriel`` ``memory``          :func:`repro.core.gabriel.gabriel_rcj`
-``array``  ``memory``           :func:`array_rcj` (vectorized kernels)
-========== ==================== ==========================================
+================== ========== ==========================================
+algorithm          backend    implementation
+================== ========== ==========================================
+``inj``            ``rtree``  :func:`repro.core.inj.inj`
+``bij``            ``rtree``  :func:`repro.core.bij.bij`
+``obj``            ``rtree``  :func:`repro.core.bij.bij` (symmetric)
+``brute``          ``memory`` :func:`repro.core.brute.brute_force_rcj`
+``gabriel``        ``memory`` :func:`repro.core.gabriel.gabriel_rcj`
+``array``          ``memory`` :func:`array_rcj` (vectorized kernels)
+``array-parallel`` ``memory`` :func:`array_parallel_rcj`
+                              (sharded worker pool, :mod:`repro.parallel`)
+``auto``           (planned)  cost-based choice among ``array-parallel``,
+                              ``array`` and ``obj``
+================== ========== ==========================================
 
 ``backend="auto"`` (the default) infers the backend from the algorithm;
 passing an explicit backend that the algorithm cannot run on raises
 ``ValueError`` rather than silently substituting an implementation.
+
+``algorithm="auto"`` (equivalently ``engine="auto"``) consults the
+cost-based planner (:mod:`repro.parallel.costmodel`): dataset sizes, a
+density sample and the memory budget pick the engine and worker count,
+and the decision — an
+:class:`~repro.parallel.costmodel.ExecutionPlan` — is attached to the
+returned report as ``report.plan`` (the CLI's ``--explain``).
 """
 
 from __future__ import annotations
@@ -42,7 +53,16 @@ from repro.geometry.point import Point
 from repro.storage.stats import CostModel
 
 #: Every algorithm :func:`run_join` can dispatch.
-ALGORITHM_NAMES = ("inj", "bij", "obj", "brute", "gabriel", "array")
+ALGORITHM_NAMES = (
+    "inj",
+    "bij",
+    "obj",
+    "brute",
+    "gabriel",
+    "array",
+    "array-parallel",
+    "auto",
+)
 
 #: Backend implied by each algorithm.
 _ALGORITHM_BACKEND = {
@@ -52,7 +72,12 @@ _ALGORITHM_BACKEND = {
     "brute": "memory",
     "gabriel": "memory",
     "array": "memory",
+    "array-parallel": "memory",
 }
+
+#: ``engine=`` values accepted as an execution-strategy override of
+#: ``algorithm`` (``"pointwise"`` keeps the algorithm as given).
+ENGINE_NAMES = ("pointwise", "array", "array-parallel", "auto")
 
 
 def array_rcj(
@@ -83,12 +108,56 @@ def array_rcj(
     return pairs, candidate_count
 
 
+def array_parallel_rcj(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    exclude_same_oid: bool = False,
+    k0: int = 16,
+    workers: int | None = None,
+    min_shard: int | None = None,
+) -> tuple[list[RCJPair], int]:
+    """Compute the RCJ with the sharded multi-process engine.
+
+    Same contract as :func:`array_rcj` — identical pair sets, original
+    :class:`Point` identity preserved — with the probe pipeline fanned
+    over a worker pool (:func:`repro.parallel.parallel_rcj_pair_indices`).
+    ``workers=None`` uses all cores; small inputs fall back to the
+    serial kernels in-process.
+
+    Returns ``(pairs, candidate_count)``.
+    """
+    # Imported lazily: repro.parallel builds on the engine's kernels.
+    from repro.parallel.pool import parallel_rcj_pair_indices
+
+    parr = PointArray.from_points(points_p)
+    qarr = PointArray.from_points(points_q)
+    kwargs = {} if min_shard is None else {"min_shard": min_shard}
+    p_idx, q_idx, candidate_count = parallel_rcj_pair_indices(
+        parr,
+        qarr,
+        workers=workers,
+        k0=k0,
+        exclude_same_oid=exclude_same_oid,
+        **kwargs,
+    )
+    points_p = list(points_p)
+    points_q = list(points_q)
+    pairs = [
+        RCJPair(points_p[pi], points_q[qi])
+        for pi, qi in zip(p_idx.tolist(), q_idx.tolist())
+    ]
+    return pairs, candidate_count
+
+
 def run_join(
     points_p: Sequence[Point],
     points_q: Sequence[Point],
     algorithm: str = "obj",
     backend: str = "auto",
     *,
+    engine: str | None = None,
+    workers: int | None = None,
+    buffer_budget_bytes: int | None = None,
     exclude_same_oid: bool = False,
     buffer_fraction: float | None = None,
     cost_model: CostModel | None = None,
@@ -105,10 +174,22 @@ def run_join(
         :func:`repro.ring_constrained_join`).
     algorithm:
         One of :data:`ALGORITHM_NAMES` (case-insensitive).
+        ``"auto"`` defers the choice to the cost-based planner.
     backend:
         ``"auto"`` (infer), ``"rtree"`` (simulated-disk R-trees with
         full cost accounting) or ``"memory"`` (main-memory engines; the
         report carries measured CPU time but no I/O model).
+    engine:
+        Execution-strategy override of ``algorithm``: ``"array"``,
+        ``"array-parallel"``, ``"auto"`` (cost-based planning) or
+        ``"pointwise"`` (keep ``algorithm`` as given).  Mirrors the
+        CLI's ``--engine`` flag.
+    workers:
+        Worker-process budget for the parallel engine and the planner
+        (``None`` = all cores; ignored by serial engines).
+    buffer_budget_bytes:
+        Memory budget consulted by ``"auto"`` planning (default
+        :func:`repro.parallel.costmodel.memory_budget_bytes`).
     exclude_same_oid:
         Self-join mode — a point never pairs with itself.
     buffer_fraction:
@@ -123,6 +204,39 @@ def run_join(
         ``search_order`` for INJ, ``k0`` for the array engine).
     """
     name = algorithm.lower()
+    if engine is not None:
+        if engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        if engine != "pointwise":
+            name = engine
+
+    plan = None
+    if name == "auto":
+        if backend != "auto":
+            raise ValueError(
+                "engine='auto' plans its own backend; "
+                f"cannot force backend={backend!r}"
+            )
+        # Imported lazily: repro.parallel builds on the engine package.
+        from repro.parallel.costmodel import choose_plan
+
+        plan = choose_plan(
+            points_p,
+            points_q,
+            workers=workers,
+            budget_bytes=buffer_budget_bytes,
+        )
+        name = plan.engine
+        workers = plan.workers
+        if name == "obj":
+            # Array-engine tuning hints are meaningless on the planned
+            # R-tree path; under auto they are hints, not commands, so
+            # they are dropped rather than crashing the fallback.
+            for hint in ("k0", "min_shard"):
+                algorithm_kwargs.pop(hint, None)
+
     if name not in _ALGORITHM_BACKEND:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_NAMES}"
@@ -158,13 +272,21 @@ def run_join(
             **algorithm_kwargs,
         )
         if name == "inj":
-            return inj(workload.tree_q, workload.tree_p, **common)
-        if name == "bij":
-            return bij(workload.tree_q, workload.tree_p, symmetric=False, **common)
-        return bij(workload.tree_q, workload.tree_p, symmetric=True, **common)
+            report = inj(workload.tree_q, workload.tree_p, **common)
+        elif name == "bij":
+            report = bij(
+                workload.tree_q, workload.tree_p, symmetric=False, **common
+            )
+        else:
+            report = bij(
+                workload.tree_q, workload.tree_p, symmetric=True, **common
+            )
+        report.plan = plan
+        return report
 
     # -- main-memory backends ------------------------------------------
     report = JoinReport(name.upper())
+    report.plan = plan
     t0 = time.perf_counter()
     if name == "brute":
         report.pairs = brute_force_rcj(
@@ -178,6 +300,14 @@ def run_join(
             points_p, points_q, exclude_same_oid=exclude_same_oid
         )
         report.candidate_count = len(report.pairs)
+    elif name == "array-parallel":
+        report.pairs, report.candidate_count = array_parallel_rcj(
+            points_p,
+            points_q,
+            exclude_same_oid=exclude_same_oid,
+            workers=workers,
+            **algorithm_kwargs,
+        )
     else:  # array
         report.pairs, report.candidate_count = array_rcj(
             points_p,

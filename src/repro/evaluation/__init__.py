@@ -3,14 +3,22 @@
 Precision/recall resemblance of a distance-based join against the RCJ
 result (Section 5.1) and tabular report formatting for the benchmark
 harness; a Figure-1-style SVG join map; LaTeX table emission for
-write-ups.
+write-ups; strong-scaling series evaluation for the parallel engine
+(:mod:`repro.evaluation.scaling`).
 """
 
 from repro.evaluation.joinmap import draw_join_map
 from repro.evaluation.resemblance import precision, precision_recall, recall
 from repro.evaluation.report import format_latex_table, format_series, format_table
+from repro.evaluation.scaling import (
+    ScalePoint,
+    scaling_summary,
+    speedup_rows,
+    write_json,
+)
 
 __all__ = [
+    "ScalePoint",
     "draw_join_map",
     "format_latex_table",
     "format_series",
@@ -18,4 +26,7 @@ __all__ = [
     "precision",
     "precision_recall",
     "recall",
+    "scaling_summary",
+    "speedup_rows",
+    "write_json",
 ]

@@ -1,0 +1,93 @@
+"""Scalability-series evaluation for the parallel engine.
+
+Turns raw ``(workers, wall-seconds)`` measurements of the same join
+into the standard strong-scaling figures — speedup over the one-worker
+run and parallel efficiency — plus a JSON-ready summary document
+(``BENCH_parallel.json``) that CI archives so scaling regressions show
+up as data, not anecdotes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One measured configuration of the scaling sweep."""
+
+    n: int  #: dataset cardinality (|P|; the sweep fixes the |Q| ratio)
+    workers: int
+    wall_seconds: float
+    pairs: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.n, self.workers)
+
+
+def speedup_rows(points: list[ScalePoint]) -> list[list]:
+    """Strong-scaling table rows: one per measurement, with speedup and
+    efficiency relative to the same-``n`` one-worker baseline.
+
+    Raises ``ValueError`` when a size has no one-worker baseline — a
+    speedup against nothing is not a number worth printing.
+    """
+    base: dict[int, float] = {
+        p.n: p.wall_seconds for p in points if p.workers == 1
+    }
+    rows = []
+    for p in sorted(points, key=lambda p: p.key):
+        if p.n not in base:
+            raise ValueError(f"no workers=1 baseline for n={p.n}")
+        speedup = base[p.n] / max(p.wall_seconds, 1e-9)
+        rows.append(
+            [
+                p.n,
+                p.workers,
+                p.pairs,
+                f"{p.wall_seconds:.3f}",
+                f"{speedup:.2f}x",
+                f"{100.0 * speedup / p.workers:.0f}%",
+            ]
+        )
+    return rows
+
+
+def scaling_summary(
+    points: list[ScalePoint], cpu_count: int, identical_pairs: bool
+) -> dict:
+    """JSON-ready document of one scaling sweep.
+
+    ``identical_pairs`` records the sweep's correctness verdict (every
+    worker count returned the serial engine's exact pair set) alongside
+    the numbers, so an archived run is self-describing.
+    """
+    base = {p.n: p.wall_seconds for p in points if p.workers == 1}
+    series = [
+        {
+            "n": p.n,
+            "workers": p.workers,
+            "wall_seconds": round(p.wall_seconds, 6),
+            "pairs": p.pairs,
+            "speedup": round(base[p.n] / max(p.wall_seconds, 1e-9), 3)
+            if p.n in base
+            else None,
+        }
+        for p in sorted(points, key=lambda p: p.key)
+    ]
+    return {
+        "benchmark": "parallel_scaling",
+        "cpu_count": cpu_count,
+        "identical_pairs": identical_pairs,
+        "series": series,
+    }
+
+
+def write_json(path: str, summary: dict) -> None:
+    """Persist a summary document (stable key order, trailing
+    newline)."""
+    with open(path, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
@@ -56,6 +58,40 @@ def xy_to_d(order: int, x: int, y: int) -> int:
         ry = 1 if (y & s) > 0 else 0
         d += s * s * ((3 * rx) ^ ry)
         x, y = _rotate(s, x, y, rx, ry)
+        s >>= 1
+    return d
+
+
+def xy_to_d_batch(order: int, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`xy_to_d` over integer cell-coordinate arrays.
+
+    Runs the same quadrant-rotation recurrence as the scalar transform,
+    but over whole numpy arrays — ``order`` passes over the input
+    instead of a Python loop per cell — so spatially sorting a 100k+
+    pointset by Hilbert key (the shard layer of :mod:`repro.parallel`)
+    costs milliseconds rather than seconds.  Exactly equal to the scalar
+    function on every cell; the equivalence is pinned by the tests.
+    """
+    x = np.asarray(x, dtype=np.int64).copy()
+    y = np.asarray(y, dtype=np.int64).copy()
+    side = np.int64(1) << order
+    if x.size and (
+        x.min() < 0 or y.min() < 0 or x.max() >= side or y.max() >= side
+    ):
+        raise ValueError(f"cell coordinates outside a {side}x{side} grid")
+    d = np.zeros(x.shape, dtype=np.int64)
+    s = side >> 1
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # The vectorized body of _rotate: swap applies where ry == 0,
+        # the flip additionally where rx == 1.
+        flip = (ry == 0) & (rx == 1)
+        x = np.where(flip, s - 1 - x, x)
+        y = np.where(flip, s - 1 - y, y)
+        swap = ry == 0
+        x, y = np.where(swap, y, x), np.where(swap, x, y)
         s >>= 1
     return d
 
@@ -136,6 +172,20 @@ class HilbertMapper:
     def key_of_point(self, point: Point) -> int:
         """Hilbert sort key of a :class:`Point`."""
         return self.key(point.x, point.y)
+
+    def keys_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Hilbert sort keys of coordinate arrays (vectorized
+        :meth:`key`; same clamped-cell convention, pinned equal by the
+        tests)."""
+        cx = ((np.asarray(x, np.float64) - self.bounds.xmin) * self._sx).astype(
+            np.int64
+        )
+        cy = ((np.asarray(y, np.float64) - self.bounds.ymin) * self._sy).astype(
+            np.int64
+        )
+        np.clip(cx, 0, self._side - 1, out=cx)
+        np.clip(cy, 0, self._side - 1, out=cy)
+        return xy_to_d_batch(self.order, cx, cy)
 
     def key_of_rect(self, rect: Rect) -> int:
         """Hilbert sort key of a rectangle (its centre's key)."""

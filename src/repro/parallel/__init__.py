@@ -1,0 +1,45 @@
+"""Sharded parallel execution subsystem for the RCJ.
+
+The vectorized array engine (:mod:`repro.engine`) made the join fast on
+one core; this package makes it use all of them, and picks the right
+engine automatically:
+
+- :mod:`repro.parallel.shards` — Hilbert-order spatial shards of the
+  probe set (deterministic, spatially coherent ranges);
+- :mod:`repro.parallel.sharedmem` — one shared-memory block carrying
+  the join columns to every worker, exception-safe cleanup included;
+- :mod:`repro.parallel.pool` — the persistent worker pool running the
+  per-shard candidate → prune → verify pipeline and the canonical
+  merge (:func:`parallel_rcj_pair_indices`);
+- :mod:`repro.parallel.costmodel` — the cost-based planner behind
+  ``run_join(..., engine="auto")``: chooses ``array-parallel`` /
+  ``array`` / ``obj`` from dataset sizes, a density sample and the
+  memory budget, and explains itself (:class:`ExecutionPlan`).
+
+The parallel engine's pair output is byte-identical to the serial
+engines for every worker count — the cross-engine equivalence suite
+pins it.
+"""
+
+from repro.parallel.costmodel import (
+    ExecutionPlan,
+    choose_plan,
+    memory_budget_bytes,
+    sample_density_factor,
+)
+from repro.parallel.pool import default_workers, parallel_rcj_pair_indices
+from repro.parallel.shards import ShardPlan, hilbert_shard_keys, plan_shards
+from repro.parallel.sharedmem import SharedArrays
+
+__all__ = [
+    "ExecutionPlan",
+    "SharedArrays",
+    "ShardPlan",
+    "choose_plan",
+    "default_workers",
+    "hilbert_shard_keys",
+    "memory_budget_bytes",
+    "parallel_rcj_pair_indices",
+    "plan_shards",
+    "sample_density_factor",
+]

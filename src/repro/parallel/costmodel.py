@@ -1,0 +1,273 @@
+"""Cost-based execution planning for :func:`repro.engine.run_join`.
+
+``engine="auto"`` asks the planner to pick the execution strategy the
+way a database optimizer would — from data statistics and a resource
+budget, not from a caller-supplied flag:
+
+- ``array-parallel`` — the sharded multi-process engine
+  (:mod:`repro.parallel.pool`), when the estimated probe volume is
+  large enough to amortize pool startup and more than one core is
+  available;
+- ``array`` — the serial vectorized engine, when the join is too small
+  for process fan-out but fits in memory;
+- ``obj`` — the paper's best R-tree algorithm over the simulated
+  disk/buffer stack, when the estimated in-memory working set exceeds
+  the memory budget (the EMBANKS-style regime: stream through a
+  bounded buffer rather than materialize columns and KD-trees).
+
+Estimates are first-order by design (this is plan *selection*, not
+performance prediction): dataset sizes are exact, the candidate volume
+is extrapolated from a deterministic KD-tree **density sample** (local
+point density at sampled probe locations relative to a uniform spread —
+clustered data escalates more and verifies bigger ball queries), and
+memory is a per-structure byte model.  Every decision is recorded in
+:attr:`ExecutionPlan.reasons`, surfaced by ``--explain`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+# The planner's serial floor IS the pool's in-process fallback
+# threshold — one source of truth, so the two layers cannot drift.
+from repro.parallel.pool import MIN_PARALLEL_PROBES, default_workers
+
+#: Default in-memory working-set budget when neither the caller nor the
+#: ``REPRO_MEMORY_BUDGET_MB`` environment variable says otherwise.
+DEFAULT_BUDGET_BYTES = 1 << 30
+
+#: Estimated candidate volume below which a process pool costs more
+#: than it saves.
+MIN_PARALLEL_CANDIDATES = 64_000
+
+#: P points retained for the density-sample KD-tree.
+_SAMPLE_P = 2048
+
+#: Q probes sampled against it.
+_SAMPLE_Q = 256
+
+#: Neighbours per sampled probe.
+_SAMPLE_K = 8
+
+#: Clamp on the density factor's influence over the candidate estimate:
+#: beyond ~4x the escalation stages saturate (windows widen, the
+#: Delaunay backstop takes over).
+_DENSITY_CLAMP = 4.0
+
+
+def memory_budget_bytes() -> int:
+    """The configured working-set budget (``REPRO_MEMORY_BUDGET_MB``
+    overrides the 1 GiB default)."""
+    override = os.environ.get("REPRO_MEMORY_BUDGET_MB")
+    if override:
+        return int(float(override) * (1 << 20))
+    return DEFAULT_BUDGET_BYTES
+
+
+def _sampled_coords(points, cap: int) -> tuple[int, np.ndarray, np.ndarray]:
+    """``(n, xs, ys)`` with at most ``cap`` evenly strided samples.
+
+    Accepts a :class:`~repro.engine.arrays.PointArray` (column
+    attributes) or any sequence of objects with ``.x``/``.y``.
+    """
+    n = len(points)
+    if n == 0:
+        return 0, np.empty(0), np.empty(0)
+    idx = np.unique(np.linspace(0, n - 1, min(cap, n)).astype(np.int64))
+    if hasattr(points, "x"):  # PointArray: sample the columns directly
+        return n, np.asarray(points.x)[idx], np.asarray(points.y)[idx]
+    xs = np.fromiter((points[i].x for i in idx), np.float64, count=len(idx))
+    ys = np.fromiter((points[i].y for i in idx), np.float64, count=len(idx))
+    return n, xs, ys
+
+
+def sample_density_factor(points_p, points_q) -> float:
+    """Mean local ``P`` density at sampled ``Q`` probes, relative to a
+    uniform spread of the same sample over its bounding box.
+
+    ``1.0`` means the probes see uniform-like spacing; values above it
+    mean probes sit in denser-than-uniform regions (clustered data),
+    which inflates candidate windows, escalation rates and verification
+    ball volumes.  Deterministic: samples are evenly strided, never
+    random.
+    """
+    from scipy.spatial import cKDTree
+
+    n_p, px, py = _sampled_coords(points_p, _SAMPLE_P)
+    n_q, qx, qy = _sampled_coords(points_q, _SAMPLE_Q)
+    if n_p == 0 or n_q == 0 or len(px) < 2:
+        return 1.0
+    area = (float(px.max()) - float(px.min())) * (
+        float(py.max()) - float(py.min())
+    )
+    if not (area > 0.0 and np.isfinite(area)):
+        return 1.0  # degenerate extent: no areal density to compare
+    k = min(_SAMPLE_K, len(px))
+    dist, _ = cKDTree(np.column_stack((px, py))).query(
+        np.column_stack((qx, qy)), k=k
+    )
+    r_k = float(np.mean(dist if k == 1 else dist[:, -1]))
+    # Uniform expectation of the k-th NN distance at density n/area.
+    r_uniform = float(np.sqrt(k * area / (np.pi * len(px))))
+    if r_k <= 0.0:  # duplicate-riddled probes: maximally dense
+        return _DENSITY_CLAMP
+    factor = (r_uniform / r_k) ** 2
+    return float(np.clip(factor, 1.0 / _DENSITY_CLAMP, _DENSITY_CLAMP))
+
+
+def estimate_candidates(
+    n_p: int, n_q: int, density_factor: float, k0: int = 16
+) -> int:
+    """First-order candidate volume: one neighbour window per probe,
+    scaled by how much denser than uniform the probes' surroundings
+    are."""
+    per_probe = min(k0, n_p) * min(max(density_factor, 1.0), _DENSITY_CLAMP)
+    return int(n_q * per_probe)
+
+
+def estimate_bytes(
+    n_p: int, n_q: int, workers: int, est_candidates: int
+) -> int:
+    """Working-set model of the array engines.
+
+    Shared columns (three 8-byte columns per side), per-worker KD-trees
+    (~48 bytes/point for the tree over ``P`` plus the union tree and
+    its coordinate copies), and the candidate index/verification
+    buffers (three 8-byte arrays).  First-order, like every figure in
+    this module.
+    """
+    columns = 24 * (n_p + n_q)
+    per_worker = 48 * n_p + 64 * (n_p + n_q)
+    return columns + max(workers, 1) * per_worker + 24 * est_candidates
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The planner's decision plus everything it was based on."""
+
+    engine: str  #: ``"array-parallel"`` | ``"array"`` | ``"obj"``
+    workers: int  #: processes the engine will use (1 for serial plans)
+    n_p: int
+    n_q: int
+    density_factor: float
+    est_candidates: int
+    est_bytes: int
+    budget_bytes: int
+    reasons: tuple[str, ...]
+
+    def describe(self) -> str:
+        """Human-readable explain block (the CLI's ``--explain``)."""
+        lines = [
+            f"plan: engine={self.engine} workers={self.workers}",
+            f"  |P| = {self.n_p}, |Q| = {self.n_q}",
+            f"  density factor   {self.density_factor:.2f}"
+            " (local probe density vs uniform)",
+            f"  est. candidates  {self.est_candidates}",
+            f"  est. working set {self.est_bytes / (1 << 20):.1f} MiB"
+            f" (budget {self.budget_bytes / (1 << 20):.1f} MiB)",
+        ]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+def choose_plan(
+    points_p,
+    points_q,
+    workers: int | None = None,
+    budget_bytes: int | None = None,
+    k0: int = 16,
+) -> ExecutionPlan:
+    """Pick the execution engine for one join from data statistics.
+
+    Parameters
+    ----------
+    points_p, points_q:
+        The join inputs — :class:`~repro.engine.arrays.PointArray` or
+        point sequences; only sizes and a strided coordinate sample are
+        read.
+    workers:
+        The caller's worker budget; ``None`` means "up to the machine's
+        cores".  A value of 1 forbids the parallel plan.
+    budget_bytes:
+        In-memory working-set budget; exceeding it selects the
+        disk/buffer R-tree plan.  Defaults to
+        :func:`memory_budget_bytes`.
+    """
+    n_p, n_q = len(points_p), len(points_q)
+    budget = memory_budget_bytes() if budget_bytes is None else budget_bytes
+    requested = default_workers() if workers is None else workers
+    if requested < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    reasons: list[str] = []
+
+    if n_p == 0 or n_q == 0:
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, 1.0, 0, 0, budget,
+            ("empty input: nothing to plan",),
+        )
+
+    density = sample_density_factor(points_p, points_q)
+    est_cand = estimate_candidates(n_p, n_q, density, k0=k0)
+    serial_mem = estimate_bytes(n_p, n_q, 1, est_cand)
+
+    if serial_mem > budget:
+        reasons.append(
+            f"estimated working set {serial_mem} B exceeds the "
+            f"{budget} B budget even single-process: stream through "
+            "the R-tree/LRU-buffer backend"
+        )
+        return ExecutionPlan(
+            "obj", 1, n_p, n_q, density, est_cand, serial_mem, budget,
+            tuple(reasons),
+        )
+
+    if requested == 1:
+        reasons.append("one worker requested: serial vectorized engine")
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
+            tuple(reasons),
+        )
+    if n_q < MIN_PARALLEL_PROBES or est_cand < MIN_PARALLEL_CANDIDATES:
+        reasons.append(
+            f"probe volume too small to amortize a process pool "
+            f"(|Q| = {n_q}, est. candidates {est_cand})"
+        )
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
+            tuple(reasons),
+        )
+
+    # Scale workers to the work: no point holding 16 processes on a
+    # join whose candidate volume keeps two busy.
+    by_work = max(2, est_cand // MIN_PARALLEL_CANDIDATES)
+    chosen = min(requested, by_work)
+    reasons.append(
+        f"candidate volume supports {by_work} workers; "
+        f"using {chosen} of {requested} requested"
+    )
+    # Per-worker structures cost memory: shed workers (never below 2)
+    # until the working set fits the budget rather than abandoning
+    # parallelism outright.
+    while chosen > 2 and estimate_bytes(n_p, n_q, chosen, est_cand) > budget:
+        chosen -= 1
+    est_mem = estimate_bytes(n_p, n_q, chosen, est_cand)
+    if est_mem > budget:
+        reasons.append(
+            f"even a 2-worker working set ({est_mem} B) exceeds the "
+            f"{budget} B budget; serial fits"
+        )
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
+            tuple(reasons),
+        )
+    if chosen < min(requested, by_work):
+        reasons.append(
+            f"shed workers to {chosen} to fit the {budget} B memory budget"
+        )
+    return ExecutionPlan(
+        "array-parallel", chosen, n_p, n_q, density, est_cand, est_mem,
+        budget, tuple(reasons),
+    )

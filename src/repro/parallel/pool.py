@@ -1,0 +1,243 @@
+"""The sharded worker pool: fan the RCJ pipeline over processes.
+
+Execution shape
+---------------
+The parent serializes both join columns (and the shard permutation)
+into one shared-memory block (:mod:`repro.parallel.sharedmem`), then
+starts a **persistent** pool: each worker attaches the block and builds
+its read-only query structures — the ``P`` KD-tree and the union
+verification KD-tree — exactly once in its initializer, after which
+every shard task is just two integers (a range of the Hilbert-ordered
+probe permutation, :mod:`repro.parallel.shards`).  A worker runs the
+full per-shard pipeline from :mod:`repro.engine.kernels` — candidate
+generation, Ψ− pruning, cone-cover certificates, batch ring
+verification — and ships back only the surviving pair indices.
+
+Shards outnumber workers (:data:`SHARDS_PER_WORKER`) so a dense patch
+of the plane cannot serialize the join behind one straggler.
+
+Determinism
+-----------
+Shard probe sets are disjoint, the kernels are exact (every shard
+returns precisely its probes' true pairs), and the merged result is
+re-ordered by the canonical pair order
+(:func:`repro.engine.kernels.canonical_pair_order`) — so the output is
+byte-identical for every worker count, every shard granularity and
+every task completion order.  ``candidate_count`` is summed over shards
+deterministically, but (like the serial engine's) its value reflects
+how the escalation heuristics partitioned the work, so it may differ
+*between* worker counts while pairs never do.
+
+Cleanup
+-------
+The shared block is unlinked in a ``finally`` even when the pool dies
+mid-join (worker crash, interrupt), so failed runs cannot leak
+``/dev/shm`` segments.  Workers only close their mappings.  All worker
+entry points are module-level functions: the pool works under both
+``fork`` (Linux default) and ``spawn`` (macOS/Windows) start methods.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.engine.arrays import PointArray
+from repro.engine.kernels import (
+    DEFAULT_K0,
+    canonical_pair_order,
+    knn_candidate_blocks,
+    rcj_pair_indices,
+    verify_rings_batch,
+)
+from repro.parallel.sharedmem import SharedArrays, Spec
+from repro.parallel.shards import DEFAULT_MIN_SHARD, plan_shards
+
+#: Shards per worker: enough slack for load balancing across uneven
+#: spatial density without drowning in per-task fixed costs.
+SHARDS_PER_WORKER = 4
+
+def serial_fallback_threshold(min_shard: int) -> int:
+    """Probe count below which the join runs in-process: fewer than two
+    useful shards means pool startup costs more than it can save.  The
+    threshold scales with the ``min_shard`` override so tests can
+    exercise real pools on small datasets."""
+    return 2 * min_shard
+
+
+#: The in-process fallback threshold at the default shard granularity —
+#: the figure the cost-based planner must agree with
+#: (:mod:`repro.parallel.costmodel` imports it).
+MIN_PARALLEL_PROBES = serial_fallback_threshold(DEFAULT_MIN_SHARD)
+
+
+def default_workers() -> int:
+    """Worker count used when the caller does not pin one."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class _WorkerState:
+    """Per-process structures built once in the pool initializer."""
+
+    shared: SharedArrays
+    parr: PointArray
+    qarr: PointArray
+    order: np.ndarray
+    tree_p: cKDTree
+    union_tree: cKDTree
+    ux: np.ndarray
+    uy: np.ndarray
+    k0: int
+    exclude_same_oid: bool
+
+
+_STATE: _WorkerState | None = None
+
+
+def _init_worker(spec: Spec, k0: int, exclude_same_oid: bool) -> None:
+    """Pool initializer: attach shared columns, build query structures."""
+    global _STATE
+    shared = SharedArrays.attach(spec)
+    parr = PointArray._wrap(shared["px"], shared["py"], shared["poid"])
+    qarr = PointArray._wrap(shared["qx"], shared["qy"], shared["qoid"])
+    tree_p = cKDTree(np.column_stack((parr.x, parr.y)))
+    ux = np.concatenate((parr.x, qarr.x))
+    uy = np.concatenate((parr.y, qarr.y))
+    union_tree = cKDTree(np.column_stack((ux, uy)))
+    _STATE = _WorkerState(
+        shared,
+        parr,
+        qarr,
+        shared["order"],
+        tree_p,
+        union_tree,
+        ux,
+        uy,
+        k0,
+        exclude_same_oid,
+    )
+
+
+def _run_shard(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """One shard: candidates → prune → verify for probes
+    ``order[lo:hi]``.  Returns ``(p_idx, q_idx, candidate_count)``."""
+    st = _STATE
+    assert st is not None, "worker used before initialization"
+    probes = st.order[lo:hi]
+    empty = np.empty(0, dtype=np.int64)
+    if probes.size == 0:  # zero-point shard: nothing to do
+        return empty, empty, 0
+    qsub = PointArray(
+        st.qarr.x[probes], st.qarr.y[probes], st.qarr.oid[probes]
+    )
+    q_local, p_idx = knn_candidate_blocks(
+        st.parr, qsub, k0=st.k0, tree_p=st.tree_p
+    )
+    q_idx = probes[q_local]
+    if st.exclude_same_oid:
+        keep = st.parr.oid[p_idx] != st.qarr.oid[q_idx]
+        p_idx, q_idx = p_idx[keep], q_idx[keep]
+    candidate_count = int(len(q_idx))
+    if candidate_count:
+        alive = verify_rings_batch(
+            st.parr.x[p_idx],
+            st.parr.y[p_idx],
+            st.qarr.x[q_idx],
+            st.qarr.y[q_idx],
+            st.union_tree,
+            st.ux,
+            st.uy,
+        )
+        p_idx, q_idx = p_idx[alive], q_idx[alive]
+    return p_idx, q_idx, candidate_count
+
+
+def _make_executor(
+    workers: int, spec: Spec, k0: int, exclude_same_oid: bool
+) -> ProcessPoolExecutor:
+    """Pool construction seam (monkeypatched by the crash-safety
+    tests)."""
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(spec, k0, exclude_same_oid),
+    )
+
+
+def parallel_rcj_pair_indices(
+    parr: PointArray,
+    qarr: PointArray,
+    workers: int | None = None,
+    k0: int = DEFAULT_K0,
+    exclude_same_oid: bool = False,
+    min_shard: int = DEFAULT_MIN_SHARD,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """The sharded parallel counterpart of
+    :func:`repro.engine.kernels.rcj_pair_indices`.
+
+    Returns ``(p_index, q_index, candidate_count)`` in canonical pair
+    order; the index arrays are byte-identical to the serial engine's
+    for every worker count.
+
+    Parameters
+    ----------
+    workers:
+        Process count; defaults to the machine's CPU count.  ``1``
+        (or a probe set too small to amortize a pool) runs the serial
+        kernels in-process.
+    min_shard:
+        Smallest useful shard, forwarded to the shard planner (tests
+        lower it to force multi-shard plans on small datasets).
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    n_p, n_q = len(parr), len(qarr)
+    if n_p == 0 or n_q == 0:
+        return (np.empty(0, np.int64), np.empty(0, np.int64), 0)
+    if workers == 1 or n_q < serial_fallback_threshold(min_shard):
+        return rcj_pair_indices(
+            parr, qarr, k0=k0, exclude_same_oid=exclude_same_oid
+        )
+    plan = plan_shards(
+        qarr.x, qarr.y, workers * SHARDS_PER_WORKER, min_shard=min_shard
+    )
+    if len(plan) <= 1:
+        return rcj_pair_indices(
+            parr, qarr, k0=k0, exclude_same_oid=exclude_same_oid
+        )
+
+    shared = SharedArrays.create(
+        {
+            "px": parr.x,
+            "py": parr.y,
+            "poid": parr.oid,
+            "qx": qarr.x,
+            "qy": qarr.y,
+            "qoid": qarr.oid,
+            "order": plan.order,
+        }
+    )
+    try:
+        workers = min(workers, len(plan))
+        with _make_executor(
+            workers, shared.spec(), k0, exclude_same_oid
+        ) as pool:
+            futures = [
+                pool.submit(_run_shard, lo, hi) for lo, hi in plan.ranges()
+            ]
+            parts = [f.result() for f in futures]
+    finally:
+        shared.destroy()
+
+    p_idx = np.concatenate([p for p, _q, _c in parts])
+    q_idx = np.concatenate([q for _p, q, _c in parts])
+    candidate_count = sum(c for _p, _q, c in parts)
+    merged = canonical_pair_order(p_idx, q_idx)
+    return p_idx[merged], q_idx[merged], candidate_count

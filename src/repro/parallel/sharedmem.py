@@ -1,0 +1,164 @@
+"""Shared-memory column transport for the parallel engine.
+
+A :class:`SharedArrays` packs a named set of numpy arrays into **one**
+``multiprocessing.shared_memory`` block so worker processes can map the
+join's columns (:class:`~repro.engine.arrays.PointArray` components,
+the shard permutation) without copying them per worker or pushing
+megabytes through the task pickle stream.
+
+Lifecycle discipline — the part that keeps ``/dev/shm`` clean:
+
+- the *owner* (the process that called :meth:`create`) is the only one
+  allowed to unlink; :meth:`destroy` is idempotent and swallows
+  already-gone errors, so ``finally``-cleanup after a crashed pool can
+  never raise over the original exception;
+- *attachers* (workers) map the block read-only by :meth:`attach` from
+  the picklable :meth:`spec` and only ever :meth:`close` their view;
+- both sides work under ``fork`` and ``spawn`` start methods: the spec
+  carries the block name plus per-array (offset, dtype, shape) layout,
+  nothing process-specific.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Byte alignment of each array inside the block (numpy requires only
+#: itemsize alignment; 16 keeps every float64/int64 view aligned and is
+#: future-proof for wider dtypes).
+_ALIGN = 16
+
+#: Picklable layout description: (block name, [(key, offset, dtype str,
+#: shape), ...]).
+Spec = tuple[str, list[tuple[str, int, str, tuple[int, ...]]]]
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrays:
+    """A named set of numpy arrays backed by one shared-memory block."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        views: dict[str, np.ndarray],
+        layout: list[tuple[str, int, str, tuple[int, ...]]],
+        owner: bool,
+    ):
+        self._shm = shm
+        self._views = views
+        self._layout = layout
+        self._owner = owner
+        self._released = False
+        self._unlinked = not owner
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrays":
+        """Copy ``arrays`` into a fresh shared block (this process owns
+        it and must eventually :meth:`destroy` it)."""
+        layout: list[tuple[str, int, str, tuple[int, ...]]] = []
+        offset = 0
+        prepared: dict[str, np.ndarray] = {}
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            prepared[key] = arr
+            layout.append((key, offset, arr.dtype.str, arr.shape))
+            offset = _aligned(offset + arr.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        views: dict[str, np.ndarray] = {}
+        try:
+            for (key, off, dtype, shape), arr in zip(layout, prepared.values()):
+                view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+                view[...] = arr
+                views[key] = view
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return cls(shm, views, layout, owner=True)
+
+    @classmethod
+    def attach(cls, spec: Spec) -> "SharedArrays":
+        """Map an existing block (read-only views) from its spec."""
+        name, layout = spec
+        shm = shared_memory.SharedMemory(name=name)
+        views: dict[str, np.ndarray] = {}
+        for key, off, dtype, shape in layout:
+            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+            view.setflags(write=False)
+            views[key] = view
+        return cls(shm, views, layout, owner=False)
+
+    def spec(self) -> Spec:
+        """The picklable layout handed to worker initializers."""
+        return (self._shm.name, list(self._layout))
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._views[key]
+
+    def keys(self):
+        return self._views.keys()
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (leaves the block alive for
+        others).  Idempotent."""
+        if self._released:
+            return
+        self._released = True
+        # Views hold buffer references into shm.buf; they must go first
+        # or SharedMemory.close() raises BufferError on the exported
+        # memoryview.
+        self._views = {}
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            pass
+
+    def destroy(self) -> None:
+        """Close and — when this process owns the block — unlink it.
+
+        Safe to call from ``finally`` blocks and repeatedly: a block
+        already unlinked (e.g. by a concurrent cleanup after a crashed
+        run) is not an error.
+        """
+        self.close()
+        if not self._unlinked:
+            self._unlinked = True
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy() if self._owner else self.close()
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "view"
+        return (
+            f"SharedArrays({self.name!r}, {sorted(self._views)}, {role}, "
+            f"{self.nbytes} bytes)"
+        )

@@ -4,10 +4,12 @@ import pytest
 
 from repro.bench.runner import (
     ALGORITHMS,
+    ENGINE_ROWS,
     BenchScale,
     build_workload,
     run_algorithm,
     run_all_algorithms,
+    smoke,
 )
 from repro.datasets.synthetic import uniform
 
@@ -63,6 +65,31 @@ class TestRunAlgorithm:
         second = run_algorithm(workload, "OBJ")
         # Counter deltas are per-run, not cumulative.
         assert second.node_accesses == pytest.approx(first.node_accesses, rel=0.01)
+
+    def test_engine_rows_registered(self):
+        assert set(ENGINE_ROWS) == {"ARRAY", "PARALLEL", "AUTO"}
+
+    def test_parallel_row_agrees_with_obj(self, workload):
+        obj = run_algorithm(workload, "OBJ")
+        par = run_algorithm(workload, "PARALLEL", workers=2, min_shard=32)
+        assert par.pair_keys() == obj.pair_keys()
+        assert par.algorithm == "ARRAY-PARALLEL"
+        assert par.node_accesses == 0  # memory backend: no R-tree touched
+
+    def test_auto_row_agrees_and_carries_plan(self, workload):
+        obj = run_algorithm(workload, "OBJ")
+        auto = run_algorithm(workload, "AUTO", workers=2)
+        assert auto.pair_keys() == obj.pair_keys()
+        assert auto.plan is not None
+
+
+class TestSmoke:
+    def test_smoke_passes_at_small_n(self, capsys):
+        assert smoke(n=300, workers=2) == 0
+        out = capsys.readouterr().out
+        assert "passed" in out
+        for name in ("OBJ", "ARRAY", "PARALLEL", "AUTO"):
+            assert name in out
 
 
 class TestBenchScale:

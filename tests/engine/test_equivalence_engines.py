@@ -19,7 +19,11 @@ from repro.datasets.fixtures import equivalence_families, make_points
 from repro.engine import run_join
 from tests.conftest import continuous_pointset, lattice_pointset
 
-ENGINES = ("inj", "bij", "obj", "brute", "gabriel", "array")
+#: ``auto`` rides along: on suite-sized data the planner resolves it to
+#: the serial array engine, pinning the planning dispatch itself; the
+#: parallel engine and the planner's other branches get their own
+#: coverage in test_parallel_equivalence.py.
+ENGINES = ("inj", "bij", "obj", "brute", "gabriel", "array", "auto")
 
 #: (family, seed) grid: every dataset family under a few seeds.
 FAMILY_CASES = [

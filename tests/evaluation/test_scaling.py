@@ -1,0 +1,64 @@
+"""Unit tests for the strong-scaling series evaluation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.evaluation.scaling import (
+    ScalePoint,
+    scaling_summary,
+    speedup_rows,
+    write_json,
+)
+
+POINTS = [
+    ScalePoint(n=1000, workers=1, wall_seconds=4.0, pairs=500),
+    ScalePoint(n=1000, workers=2, wall_seconds=2.0, pairs=500),
+    ScalePoint(n=1000, workers=4, wall_seconds=1.0, pairs=500),
+    ScalePoint(n=2000, workers=1, wall_seconds=10.0, pairs=990),
+    ScalePoint(n=2000, workers=4, wall_seconds=4.0, pairs=990),
+]
+
+
+class TestSpeedupRows:
+    def test_speedup_and_efficiency(self):
+        rows = speedup_rows(POINTS)
+        by_key = {(r[0], r[1]): r for r in rows}
+        assert by_key[(1000, 4)][4] == "4.00x"
+        assert by_key[(1000, 4)][5] == "100%"
+        assert by_key[(2000, 4)][4] == "2.50x"
+        assert by_key[(2000, 4)][5] == "62%"
+
+    def test_rows_sorted_by_n_then_workers(self):
+        rows = speedup_rows(POINTS)
+        assert [(r[0], r[1]) for r in rows] == sorted(
+            (p.n, p.workers) for p in POINTS
+        )
+
+    def test_missing_baseline_rejected(self):
+        orphan = [ScalePoint(n=500, workers=4, wall_seconds=1.0, pairs=1)]
+        with pytest.raises(ValueError, match="baseline"):
+            speedup_rows(orphan)
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        summary = scaling_summary(POINTS, cpu_count=4, identical_pairs=True)
+        assert summary["benchmark"] == "parallel_scaling"
+        assert summary["cpu_count"] == 4
+        assert summary["identical_pairs"] is True
+        assert len(summary["series"]) == len(POINTS)
+        four = next(
+            s
+            for s in summary["series"]
+            if s["n"] == 2000 and s["workers"] == 4
+        )
+        assert four["speedup"] == 2.5
+
+    def test_write_json_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_parallel.json"
+        summary = scaling_summary(POINTS, cpu_count=2, identical_pairs=True)
+        write_json(str(path), summary)
+        assert json.loads(path.read_text()) == summary

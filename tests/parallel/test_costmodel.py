@@ -1,0 +1,182 @@
+"""Unit tests for the cost-based execution planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.fixtures import clustered_pair, uniform_pair
+from repro.engine.arrays import PointArray
+from repro.parallel.costmodel import (
+    ExecutionPlan,
+    choose_plan,
+    estimate_bytes,
+    estimate_candidates,
+    memory_budget_bytes,
+    sample_density_factor,
+)
+
+BIG = 1 << 40  # effectively unlimited budget
+
+
+def _fake_big(points, factor):
+    """A column object impersonating a ``factor``-times-bigger dataset
+    (plan selection only reads sizes and a strided coordinate sample,
+    so tiled columns are indistinguishable from the real thing and far
+    cheaper than generating it)."""
+    arr = PointArray.from_points(points)
+    n = len(arr) * factor
+
+    class Inflated:
+        x = np.resize(arr.x, n)
+        y = np.resize(arr.y, n)
+
+        def __len__(self):
+            return n
+
+    return Inflated()
+
+
+class TestPlanSelection:
+    def test_small_input_stays_serial(self):
+        points_p, points_q = uniform_pair(300, 300, seed=1)
+        plan = choose_plan(points_p, points_q, workers=4, budget_bytes=BIG)
+        assert plan.engine == "array"
+        assert plan.workers == 1
+
+    def test_large_input_goes_parallel(self):
+        points_p, points_q = uniform_pair(400, 400, seed=2)
+        plan = choose_plan(
+            _fake_big(points_p, 500),
+            _fake_big(points_q, 500),
+            workers=4,
+            budget_bytes=BIG,
+        )
+        assert plan.engine == "array-parallel"
+        assert plan.workers == 4
+
+    def test_one_worker_forbids_parallel(self):
+        points_p, points_q = uniform_pair(400, 400, seed=2)
+        plan = choose_plan(
+            _fake_big(points_p, 500), _fake_big(points_q, 500),
+            workers=1, budget_bytes=BIG,
+        )
+        assert plan.engine == "array"
+
+    def test_budget_overflow_selects_rtree_backend(self):
+        points_p, points_q = uniform_pair(500, 500, seed=3)
+        plan = choose_plan(points_p, points_q, workers=4, budget_bytes=1)
+        assert plan.engine == "obj"
+        assert plan.workers == 1
+
+    def test_tight_budget_sheds_workers_before_abandoning_parallelism(self):
+        # A budget that fits a few workers but not the full request must
+        # shrink the pool, not fall back to serial.
+        points_p, points_q = uniform_pair(400, 400, seed=3)
+        big_p, big_q = _fake_big(points_p, 500), _fake_big(points_q, 500)
+        wide = choose_plan(big_p, big_q, workers=16, budget_bytes=BIG)
+        assert wide.engine == "array-parallel" and wide.workers == 16
+        budget = estimate_bytes(
+            len(big_p), len(big_q), 4, wide.est_candidates
+        )
+        shed = choose_plan(big_p, big_q, workers=16, budget_bytes=budget)
+        assert shed.engine == "array-parallel"
+        assert 2 <= shed.workers <= 4
+        assert any("shed" in r for r in shed.reasons)
+
+    def test_worker_budget_scales_with_work(self):
+        # Moderately sized input: parallel, but not worth 64 processes.
+        points_p, points_q = uniform_pair(400, 400, seed=4)
+        plan = choose_plan(
+            _fake_big(points_p, 20), _fake_big(points_q, 20),
+            workers=64, budget_bytes=BIG,
+        )
+        assert plan.engine == "array-parallel"
+        assert 2 <= plan.workers < 64
+
+    def test_empty_input(self):
+        points_p, _ = uniform_pair(50, 50, seed=5)
+        plan = choose_plan(points_p, [], workers=4)
+        assert plan.engine == "array"
+        assert plan.est_candidates == 0
+
+    def test_invalid_workers_rejected(self):
+        points_p, points_q = uniform_pair(50, 50, seed=6)
+        with pytest.raises(ValueError, match="workers"):
+            choose_plan(points_p, points_q, workers=0)
+
+    def test_deterministic(self):
+        points_p, points_q = clustered_pair(600, 600, seed=7)
+        assert choose_plan(points_p, points_q, workers=4) == choose_plan(
+            points_p, points_q, workers=4
+        )
+
+
+class TestDensitySample:
+    def test_uniform_data_near_one(self):
+        points_p, points_q = uniform_pair(2000, 2000, seed=8)
+        factor = sample_density_factor(points_p, points_q)
+        assert 0.5 <= factor <= 2.0
+
+    def test_clustered_selfjoin_denser_than_uniform(self):
+        # Self-join shape: probes drawn from the same clusters as the
+        # data sit in locally dense regions, so the factor must exceed
+        # the uniform baseline.
+        uni_p, _ = uniform_pair(2000, 2000, seed=9)
+        clu_p, _ = clustered_pair(2000, 2000, seed=9, w=3)
+        assert sample_density_factor(clu_p, clu_p) > sample_density_factor(
+            uni_p, uni_p
+        )
+
+    def test_disjoint_clusters_sparser_than_uniform(self):
+        # clustered_pair draws P and Q around *independent* centres:
+        # probes mostly sit where P is sparse, and the factor says so.
+        clu_p, clu_q = clustered_pair(2000, 2000, seed=9, w=3)
+        assert sample_density_factor(clu_p, clu_q) < 1.0
+
+    def test_skew_inflates_candidate_estimate(self):
+        uni = estimate_candidates(10_000, 10_000, 1.0)
+        skewed = estimate_candidates(10_000, 10_000, 3.0)
+        assert skewed == 3 * uni
+
+    def test_degenerate_extent_defaults_to_one(self):
+        from repro.geometry.point import Point
+
+        line = [Point(5.0, float(i), i) for i in range(100)]
+        assert sample_density_factor(line, line) == 1.0
+
+    def test_accepts_point_arrays(self):
+        points_p, points_q = uniform_pair(500, 500, seed=10)
+        via_points = sample_density_factor(points_p, points_q)
+        via_arrays = sample_density_factor(
+            PointArray.from_points(points_p), PointArray.from_points(points_q)
+        )
+        assert via_points == pytest.approx(via_arrays)
+
+
+class TestEstimatesAndExplain:
+    def test_bytes_monotone_in_everything(self):
+        base = estimate_bytes(1000, 1000, 1, 10_000)
+        assert estimate_bytes(2000, 1000, 1, 10_000) > base
+        assert estimate_bytes(1000, 1000, 4, 10_000) > base
+        assert estimate_bytes(1000, 1000, 1, 90_000) > base
+
+    def test_describe_mentions_decision_and_inputs(self):
+        points_p, points_q = uniform_pair(200, 250, seed=11)
+        plan = choose_plan(points_p, points_q, workers=2)
+        text = plan.describe()
+        assert "engine=array" in text
+        assert "|P| = 200" in text and "|Q| = 250" in text
+        assert "budget" in text
+        assert plan.reasons  # every decision carries its why
+
+    def test_budget_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET_MB", "2.5")
+        assert memory_budget_bytes() == int(2.5 * (1 << 20))
+
+    def test_plan_is_frozen(self):
+        points_p, points_q = uniform_pair(60, 60, seed=12)
+        plan = choose_plan(points_p, points_q)
+        assert isinstance(plan, ExecutionPlan)
+        with pytest.raises(Exception):
+            plan.engine = "brute"

@@ -1,0 +1,106 @@
+"""Unit tests for Hilbert shard planning (and the vectorized curve)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.hilbert import (
+    DEFAULT_ORDER,
+    HilbertMapper,
+    xy_to_d,
+    xy_to_d_batch,
+)
+from repro.geometry.point import Point
+from repro.parallel.shards import hilbert_shard_keys, plan_shards
+
+
+class TestVectorizedCurve:
+    @pytest.mark.parametrize("order", [1, 3, 8, 16])
+    def test_matches_scalar_transform(self, order):
+        rng = np.random.default_rng(order)
+        side = 1 << order
+        xs = rng.integers(0, side, size=300)
+        ys = rng.integers(0, side, size=300)
+        batch = xy_to_d_batch(order, xs, ys)
+        assert batch.tolist() == [
+            xy_to_d(order, int(x), int(y)) for x, y in zip(xs, ys)
+        ]
+
+    def test_exhaustive_small_grid(self):
+        order, side = 3, 8
+        gx, gy = np.meshgrid(np.arange(side), np.arange(side))
+        batch = xy_to_d_batch(order, gx.ravel(), gy.ravel())
+        # A Hilbert curve visits every cell exactly once.
+        assert sorted(batch.tolist()) == list(range(side * side))
+
+    def test_out_of_range_cells_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            xy_to_d_batch(2, np.array([4]), np.array([0]))
+
+    def test_mapper_batch_matches_scalar_keys(self):
+        rng = np.random.default_rng(7)
+        pts = [
+            Point(x, y, i)
+            for i, (x, y) in enumerate(rng.uniform(0, 10000, size=(100, 2)))
+        ]
+        mapper = HilbertMapper.for_points(pts, order=DEFAULT_ORDER)
+        xs = np.array([p.x for p in pts])
+        ys = np.array([p.y for p in pts])
+        assert mapper.keys_batch(xs, ys).tolist() == [
+            mapper.key_of_point(p) for p in pts
+        ]
+
+
+class TestShardPlanning:
+    def test_plan_is_a_partition(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.uniform(0, 100, 500), rng.uniform(0, 100, 500)
+        plan = plan_shards(x, y, 8, min_shard=16)
+        assert len(plan) == 8
+        seen = np.concatenate([plan.shard(i) for i in range(len(plan))])
+        assert sorted(seen.tolist()) == list(range(500))
+        assert all(hi > lo for lo, hi in plan.ranges())  # no empty shard
+
+    def test_order_sorted_by_hilbert_key(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.uniform(0, 1, 200), rng.uniform(0, 1, 200)
+        plan = plan_shards(x, y, 4, min_shard=8)
+        keys = hilbert_shard_keys(x, y)
+        assert np.all(np.diff(keys[plan.order]) >= 0)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.uniform(0, 9, 300), rng.uniform(0, 9, 300)
+        a = plan_shards(x, y, 6, min_shard=10)
+        b = plan_shards(x, y, 6, min_shard=10)
+        assert np.array_equal(a.order, b.order)
+        assert np.array_equal(a.bounds, b.bounds)
+
+    def test_shard_count_clamped_by_min_shard(self):
+        x = np.arange(100, dtype=float)
+        plan = plan_shards(x, x, 64, min_shard=30)
+        assert len(plan) == 3  # 100 // 30
+
+    def test_tiny_input_gets_one_shard(self):
+        x = np.arange(5, dtype=float)
+        plan = plan_shards(x, x, 8, min_shard=1024)
+        assert len(plan) == 1
+        assert plan.shard(0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_zero_points_zero_shards(self):
+        plan = plan_shards(np.empty(0), np.empty(0), 4)
+        assert len(plan) == 0
+        assert plan.ranges() == []
+
+    def test_degenerate_extent_handled(self):
+        # All probes on one vertical line: the x axis collapses.
+        y = np.linspace(0, 50, 128)
+        plan = plan_shards(np.full(128, 7.0), y, 4, min_shard=8)
+        assert len(plan) == 4
+        seen = np.concatenate([plan.shard(i) for i in range(4)])
+        assert sorted(seen.tolist()) == list(range(128))
+
+    def test_invalid_shard_request_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            plan_shards(np.ones(4), np.ones(4), 0)

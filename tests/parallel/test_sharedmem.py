@@ -1,0 +1,94 @@
+"""Unit tests for the shared-memory column transport."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.parallel.sharedmem import SharedArrays
+
+
+def _gone(name: str) -> bool:
+    try:
+        block = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    block.close()
+    return False
+
+
+@pytest.fixture
+def arrays():
+    return {
+        "x": np.arange(10, dtype=np.float64),
+        "y": np.linspace(-1.0, 1.0, 7),
+        "oid": np.arange(5, dtype=np.int64),
+    }
+
+
+class TestRoundtrip:
+    def test_attach_sees_created_values(self, arrays):
+        with SharedArrays.create(arrays) as owner:
+            view = SharedArrays.attach(owner.spec())
+            try:
+                for key, arr in arrays.items():
+                    np.testing.assert_array_equal(view[key], arr)
+                    assert view[key].dtype == arr.dtype
+            finally:
+                view.close()
+
+    def test_attached_views_are_read_only(self, arrays):
+        with SharedArrays.create(arrays) as owner:
+            view = SharedArrays.attach(owner.spec())
+            try:
+                with pytest.raises(ValueError):
+                    view["x"][0] = 99.0
+            finally:
+                view.close()
+
+    def test_spec_is_picklable(self, arrays):
+        import pickle
+
+        with SharedArrays.create(arrays) as owner:
+            spec = pickle.loads(pickle.dumps(owner.spec()))
+            assert spec == owner.spec()
+
+    def test_empty_arrays_supported(self):
+        with SharedArrays.create({"x": np.empty(0)}) as owner:
+            assert len(owner["x"]) == 0
+
+
+class TestLifecycle:
+    def test_destroy_unlinks(self, arrays):
+        owner = SharedArrays.create(arrays)
+        name = owner.name
+        owner.destroy()
+        assert _gone(name)
+
+    def test_destroy_is_idempotent(self, arrays):
+        owner = SharedArrays.create(arrays)
+        owner.destroy()
+        owner.destroy()  # must not raise
+
+    def test_close_then_destroy_still_unlinks(self, arrays):
+        owner = SharedArrays.create(arrays)
+        name = owner.name
+        owner.close()
+        owner.destroy()
+        assert _gone(name)
+
+    def test_context_manager_cleans_up_on_exception(self, arrays):
+        name = None
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedArrays.create(arrays) as owner:
+                name = owner.name
+                raise RuntimeError("boom")
+        assert _gone(name)
+
+    def test_attacher_close_leaves_block_alive(self, arrays):
+        with SharedArrays.create(arrays) as owner:
+            view = SharedArrays.attach(owner.spec())
+            view.close()
+            assert not _gone(owner.name)
