@@ -30,12 +30,20 @@ from repro.core.bij import bij
 from repro.core.brute import brute_force_rcj
 from repro.core.gabriel import gabriel_rcj
 from repro.core.inj import inj
-from repro.engine import PointArray, array_parallel_rcj, array_rcj, run_join
+from repro.engine import (
+    DynamicArrayRCJ,
+    PointArray,
+    array_parallel_rcj,
+    array_rcj,
+    make_dynamic,
+    run_join,
+    run_topk,
+)
 from repro.core.metric_rcj import metric_rcj
 from repro.core.obj import obj
 from repro.core.pairs import JoinReport, RCJPair
 from repro.core.selfjoin import self_rcj
-from repro.core.dynamic import DynamicRCJ
+from repro.core.dynamic import DynamicBackend, DynamicRCJ
 from repro.core.topk import incremental_rcj, top_k_rcj
 from repro.datasets.real import join_combination, locales, populated_places, schools
 from repro.datasets.synthetic import gaussian_clusters, uniform
@@ -108,6 +116,9 @@ def ring_constrained_join(
 
 __all__ = [
     "Circle",
+    "DynamicArrayRCJ",
+    "DynamicBackend",
+    "DynamicRCJ",
     "JoinReport",
     "Point",
     "PointArray",
@@ -127,12 +138,14 @@ __all__ = [
     "inj",
     "join_combination",
     "locales",
+    "make_dynamic",
     "metric_rcj",
     "obj",
     "populated_places",
     "ring_constrained_join",
     "run_algorithm",
     "run_join",
+    "run_topk",
     "schools",
     "self_rcj",
     "top_k_rcj",

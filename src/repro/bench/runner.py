@@ -100,6 +100,13 @@ ENGINE_ROWS = {
     "AUTO": "auto",
 }
 
+#: Ordered-browsing rows (pass ``k=``): bench label -> run_topk engine.
+TOPK_ROWS = {
+    "TOPK-ARRAY": "array",
+    "TOPK-OBJ": "obj",
+    "TOPK-AUTO": "auto",
+}
+
 
 def run_algorithm(workload: Workload, name: str, **kwargs) -> JoinReport:
     """Run one algorithm with fresh counters.
@@ -109,7 +116,21 @@ def run_algorithm(workload: Workload, name: str, **kwargs) -> JoinReport:
     pass ``workers=``) and ``AUTO`` (cost-based planner) dispatch the
     workload's pointsets through :func:`repro.engine.run_join` — their
     reports carry no I/O-model figures but the same result pairs.
+    ``TOPK-ARRAY``/``TOPK-OBJ``/``TOPK-AUTO`` (pass ``k=``) dispatch
+    through :func:`repro.engine.run_topk`; the OBJ route runs over the
+    workload's own trees and buffer.
     """
+    if name in TOPK_ROWS:
+        from repro.engine.planner import run_topk
+
+        workload.reset()
+        return run_topk(
+            workload.points_p,
+            workload.points_q,
+            engine=TOPK_ROWS[name],
+            workload=workload,
+            **kwargs,
+        )
     if name in ENGINE_ROWS:
         # Imported lazily: the planner itself builds Workloads through
         # this module for the R-tree backend.
@@ -132,7 +153,7 @@ def run_algorithm(workload: Workload, name: str, **kwargs) -> JoinReport:
     except KeyError:
         raise ValueError(
             f"unknown algorithm {name!r}; expected one of "
-            f"{sorted(ALGORITHMS) + sorted(ENGINE_ROWS)}"
+            f"{sorted(ALGORITHMS) + sorted(ENGINE_ROWS) + sorted(TOPK_ROWS)}"
         ) from None
     workload.reset()
     return algo(workload.tree_q, workload.tree_p, **kwargs)
@@ -147,7 +168,7 @@ def run_all_algorithms(workload: Workload, **kwargs) -> dict[str, JoinReport]:
 # smoke entry point (CI canary)
 # ----------------------------------------------------------------------
 
-def smoke(n: int = 4000, workers: int = 2) -> int:
+def smoke(n: int = 4000, workers: int = 2, topk: bool = False) -> int:
     """Cross-engine smoke run: OBJ vs ARRAY vs PARALLEL vs AUTO.
 
     A bounded-size canary for CI: builds one uniform workload, runs the
@@ -155,6 +176,10 @@ def smoke(n: int = 4000, workers: int = 2) -> int:
     row through a real worker pool), and fails on any pair-set
     divergence.  Catches parallel-path regressions and pool deadlocks
     (CI wraps the invocation in a timeout) in well under a minute.
+
+    ``topk=True`` additionally runs the ordered-browsing canary: every
+    ``run_topk`` engine's first-k prefix must equal the canonically
+    sorted full join, key for key.
 
     Returns a process exit code (0 = all engines agree).
     """
@@ -186,9 +211,37 @@ def smoke(n: int = 4000, workers: int = 2) -> int:
             f"{report.cpu_seconds:.3f}s wall "
             f"[{'ok' if agree else 'DIVERGED'}]"
         )
+    if topk:
+        failed |= _smoke_topk(workload, reports["ARRAY"], k=50)
     print(f"smoke: |P|={n} |Q|={n + n // 4} workers={workers} "
           f"{'FAILED' if failed else 'passed'}")
     return 1 if failed else 0
+
+
+def _smoke_topk(workload: Workload, full: JoinReport, k: int) -> bool:
+    """Top-k canary: each engine's prefix vs the sorted full join.
+
+    Returns True on divergence (the caller's failure flag convention).
+    """
+    from repro.engine.streaming import pair_order_key, sort_pairs_by_diameter
+
+    want = [
+        pair_order_key(p) for p in sort_pairs_by_diameter(full.pairs)[:k]
+    ]
+    failed = False
+    for name in TOPK_ROWS:
+        report = run_algorithm(workload, name, k=k)
+        got = [pair_order_key(p) for p in report.pairs]
+        agree = got == want
+        failed |= not agree
+        plan = getattr(report, "plan", None)
+        chosen = f" -> {plan.engine}" if plan else ""
+        print(
+            f"{name:>10}{chosen}: k={k}, {report.result_count} pairs, "
+            f"{report.cpu_seconds:.3f}s wall "
+            f"[{'ok' if agree else 'DIVERGED'}]"
+        )
+    return failed
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -204,12 +257,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="run the cross-engine smoke canary and exit",
     )
+    parser.add_argument(
+        "--topk",
+        action="store_true",
+        help="also run the ordered-browsing (top-k) canary",
+    )
     parser.add_argument("--n", type=int, default=4000,
                         help="smoke |P| (|Q| is 1.25x)")
     parser.add_argument("--workers", type=int, default=2)
     args = parser.parse_args(argv)
     if args.smoke:
-        return smoke(n=args.n, workers=args.workers)
+        return smoke(n=args.n, workers=args.workers, topk=args.topk)
     parser.error("nothing to do: pass --smoke")
     return 2  # pragma: no cover
 

@@ -7,8 +7,9 @@ Usage (installed as ``python -m repro``)::
     python -m repro join p.txt q.txt --method obj -o pairs.txt
     python -m repro join p.txt q.txt --engine array -o pairs.txt
     python -m repro join p.txt q.txt --engine auto --workers 4 --explain
+    python -m repro join p.txt q.txt --mode topk --top-k 10
     python -m repro selfjoin p.txt -o postboxes.txt
-    python -m repro topk p.txt q.txt -k 10
+    python -m repro topk p.txt q.txt -k 10 --engine array
     python -m repro resemblance p.txt q.txt --join eps --param 50
 
 Pointset files are plain text (``oid x y`` per line, see
@@ -80,11 +81,28 @@ def _cmd_join(args: argparse.Namespace) -> int:
     points_p = load_points(args.pointset_p)
     points_q = load_points(args.pointset_q)
     method = _method_for(args)
-    if args.explain and method != "auto":
-        _explain_hypothetical(points_p, points_q, args)
-    report = run_join(
-        points_p, points_q, algorithm=method, workers=args.workers
-    )
+    mode = args.mode if args.top_k is None else "topk"
+    if mode == "topk":
+        if args.top_k is None:
+            print("--mode topk requires --top-k K", file=sys.stderr)
+            return 2
+        # The pointwise top-k algorithm is the R-tree incremental
+        # distance join, whatever --method says about the bulk join.
+        engine = method if method in ("array", "array-parallel", "auto") else "obj"
+        report = run_join(
+            points_p,
+            points_q,
+            algorithm=engine,
+            mode="topk",
+            k=args.top_k,
+            workers=args.workers,
+        )
+    else:
+        if args.explain and method != "auto":
+            _explain_hypothetical(points_p, points_q, args)
+        report = run_join(
+            points_p, points_q, algorithm=method, workers=args.workers
+        )
     if args.explain and report.plan is not None:
         print(report.plan.describe(), file=sys.stderr)
     pairs = report.pairs
@@ -93,9 +111,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
             _write_pairs(pairs, f)
     else:
         _write_pairs(pairs, sys.stdout)
-    ran = report.algorithm.lower() if method == "auto" else method
+    ran = report.algorithm.lower()
+    what = f"top-{args.top_k} RCJ" if mode == "topk" else "RCJ"
     print(
-        f"RCJ({args.pointset_p} x {args.pointset_q}) via {ran}: "
+        f"{what}({args.pointset_p} x {args.pointset_q}) via {ran}: "
         f"{len(pairs)} pairs",
         file=sys.stderr,
     )
@@ -125,21 +144,24 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
-    from repro.core.topk import top_k_rcj
-    from repro.rtree.bulk import bulk_load
+    from repro.engine import run_topk
 
     points_p = load_points(args.pointset_p)
     points_q = load_points(args.pointset_q)
-    tree_p = bulk_load(points_p, name="TP")
-    tree_q = bulk_load(points_q, name="TQ")
-    pairs = top_k_rcj(tree_p, tree_q, args.k)
+    report = run_topk(
+        points_p, points_q, args.k, engine=args.engine, workers=args.workers
+    )
+    if args.explain and report.plan is not None:
+        print(report.plan.describe(), file=sys.stderr)
+    pairs = report.pairs
     if args.output:
         with open(args.output, "w") as f:
             _write_pairs(pairs, f)
     else:
         _write_pairs(pairs, sys.stdout)
     print(
-        f"top-{args.k} RCJ pairs by ring diameter: {len(pairs)} reported",
+        f"top-{args.k} RCJ pairs by ring diameter via "
+        f"{report.algorithm.lower()}: {len(pairs)} reported",
         file=sys.stderr,
     )
     return 0
@@ -242,6 +264,20 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("pointset_p")
     join.add_argument("pointset_q")
     add_engine_args(join)
+    join.add_argument(
+        "--mode",
+        choices=("join", "topk"),
+        default="join",
+        help="full join (default) or the --top-k smallest-diameter "
+        "pairs in ascending order",
+    )
+    join.add_argument(
+        "--top-k",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="result bound for --mode topk (giving it implies the mode)",
+    )
     join.set_defaults(func=_cmd_join)
 
     selfjoin = sub.add_parser("selfjoin", help="self-RCJ of one pointset file")
@@ -255,6 +291,25 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("pointset_p")
     topk.add_argument("pointset_q")
     topk.add_argument("-k", type=int, required=True)
+    topk.add_argument(
+        "--engine",
+        choices=("auto", "array", "obj", "pointwise"),
+        default="auto",
+        help="streamed array enumeration, the R-tree incremental "
+        "distance join, or cost-based auto-selection (default)",
+    )
+    topk.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker budget forwarded to the planner",
+    )
+    topk.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the top-k planner's decision to stderr",
+    )
     topk.add_argument("-o", "--output", default=None)
     topk.set_defaults(func=_cmd_topk)
 

@@ -37,7 +37,14 @@ view — exactly what a decision-support deployment would keep.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, Literal, Sequence
+from typing import (
+    Iterable,
+    Iterator,
+    Literal,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.core.filtering import filter_candidates
 from repro.core.gabriel import gabriel_rcj
@@ -51,6 +58,33 @@ from repro.rtree.tree import RTree
 from repro.storage.disk import DEFAULT_PAGE_SIZE
 
 Side = Literal["P", "Q"]
+
+
+@runtime_checkable
+class DynamicBackend(Protocol):
+    """The contract every dynamic-RCJ implementation satisfies.
+
+    Two backends exist: :class:`DynamicRCJ` (this module — pointwise
+    updates over disk-resident R*-trees) and
+    :class:`repro.engine.streaming.DynamicArrayRCJ` (batched kernels
+    over resident columns).  Both maintain the invariant that after any
+    update sequence the pair set equals the from-scratch join of the
+    current populations, so callers pick a backend — directly or via
+    :func:`repro.engine.planner.make_dynamic` — on cost, never on
+    semantics.
+    """
+
+    def insert(self, point: Point, side: Side) -> None: ...
+
+    def delete(self, point: Point, side: Side) -> bool: ...
+
+    @property
+    def pairs(self) -> list[RCJPair]: ...
+
+    def pair_keys(self) -> set[tuple[int, int]]: ...
+
+    def __len__(self) -> int: ...
+
 
 #: Grid resolution of the pair-circle index.
 _GRID_CELLS = 64

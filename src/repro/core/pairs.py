@@ -104,8 +104,16 @@ class JoinReport:
     modeled_cpu_seconds: float = 0.0
     #: The cost-based planner's decision record
     #: (:class:`repro.parallel.costmodel.ExecutionPlan`) when the join
-    #: ran through ``engine="auto"``; None for explicit dispatch.
+    #: ran through ``engine="auto"``; None for explicit dispatch.  Auto
+    #: runs of the memory engines carry the measured per-stage wall
+    #: times on the plan itself (``plan.measured``), pairing the
+    #: planner's estimates with what actually happened.
     plan: object | None = None
+    #: Measured per-stage wall seconds of the memory engines
+    #: (``candidate`` / ``prune`` / ``verify``), recorded for explicit
+    #: and planned dispatch alike; empty for the R-tree backend, whose
+    #: cost accounting is the paper's node/fault model instead.
+    stage_seconds: dict = field(default_factory=dict)
 
     @property
     def result_count(self) -> int:

@@ -49,12 +49,23 @@ def top_k_rcj(
     exclude_same_oid: bool = False,
 ) -> list[RCJPair]:
     """The ``k`` smallest-diameter RCJ pairs (fewer if the join is
-    smaller than ``k``)."""
+    smaller than ``k``).
+
+    Drives the candidate stream directly and closes it the moment the
+    ``k``-th pair verifies: not a single candidate is pulled (nor a
+    node expanded) past the last yield, which keeps the node-access
+    cost exactly proportional to the answer's neighbourhood.
+    """
     if k <= 0:
         return []
     out: list[RCJPair] = []
-    for pair in incremental_rcj(tree_p, tree_q, exclude_same_oid):
+    stream = incremental_rcj(tree_p, tree_q, exclude_same_oid)
+    for pair in stream:
         out.append(pair)
         if len(out) == k:
+            # GeneratorExit propagates into the inner distance-join
+            # generator immediately — its heap is finalized here, not
+            # whenever garbage collection gets around to it.
+            stream.close()
             break
     return out

@@ -13,7 +13,13 @@ algorithms in :mod:`repro.core`:
   entry point dispatching across every join implementation (``inj``,
   ``bij``, ``obj``, ``brute``, ``gabriel`` and the vectorized
   ``array`` engine) and returning the ordinary
-  :class:`~repro.core.pairs.JoinReport`.
+  :class:`~repro.core.pairs.JoinReport`; :func:`run_topk` (ordered
+  browsing, ``run_join(mode="topk")``) and :func:`make_dynamic` (the
+  shared dynamic-backend factory) ride the same planner;
+- :mod:`repro.engine.streaming` — the columnar streaming layer:
+  :func:`stream_pairs_by_diameter` (lazy ascending-diameter
+  enumeration behind top-k) and :class:`DynamicArrayRCJ` (incremental
+  maintenance with batched kernels).
 
 The ``array`` engine produces results identical to the pointwise
 algorithms (the kernels evaluate the exact same IEEE dot-product
@@ -25,16 +31,30 @@ from repro.engine.arrays import PointArray
 from repro.engine.planner import (
     ALGORITHM_NAMES,
     ENGINE_NAMES,
+    TOPK_ENGINE_NAMES,
     array_parallel_rcj,
     array_rcj,
+    make_dynamic,
     run_join,
+    run_topk,
+)
+from repro.engine.streaming import (
+    DynamicArrayRCJ,
+    sort_pairs_by_diameter,
+    stream_pairs_by_diameter,
 )
 
 __all__ = [
     "ALGORITHM_NAMES",
     "ENGINE_NAMES",
+    "TOPK_ENGINE_NAMES",
+    "DynamicArrayRCJ",
     "PointArray",
     "array_parallel_rcj",
     "array_rcj",
+    "make_dynamic",
     "run_join",
+    "run_topk",
+    "sort_pairs_by_diameter",
+    "stream_pairs_by_diameter",
 ]

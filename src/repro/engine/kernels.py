@@ -55,6 +55,9 @@ discards.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+
 import numpy as np
 from scipy.spatial import Delaunay, QhullError, cKDTree
 
@@ -91,6 +94,26 @@ _SCAN_WORK_LIMIT = 4_000_000
 #: rounding of midpoint/radius while the exact dot predicate keeps the
 #: final say (same convention as :func:`repro.core.gabriel.gabriel_rcj`).
 _BALL_INFLATION = 1e-7
+
+
+@contextmanager
+def stage_timer(acc: dict | None, key: str):
+    """Accumulate the wall time of a ``with`` block into ``acc[key]``.
+
+    The accumulator is the per-stage measurement record the planner
+    attaches to :attr:`JoinReport.stage_seconds` (and, for auto plans,
+    to ``ExecutionPlan.measured``) so the cost model's first-order
+    constants can be calibrated against real runs.  ``acc=None``
+    disables timing with no overhead beyond the generator frame.
+    """
+    if acc is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        acc[key] = acc.get(key, 0.0) + time.perf_counter() - t0
 
 
 def halfplane_prune_window(
@@ -263,17 +286,20 @@ def _emit_window(
     r_floor: float,
     out_q: list[np.ndarray],
     out_p: list[np.ndarray],
+    stage_seconds: dict | None = None,
 ) -> np.ndarray:
     """Prune one window batch, emit its candidates, return uncovered probes."""
     nx = parr.x[nidx]
     ny = parr.y[nidx]
-    pruned = halfplane_prune_window(qx, qy, nx, ny)
+    with stage_timer(stage_seconds, "prune"):
+        pruned = halfplane_prune_window(qx, qy, nx, ny)
     rows, cols = np.nonzero(~pruned)
     out_q.append(probes[rows])
     out_p.append(nidx[rows, cols].astype(np.int64))
     if nidx.shape[1] >= len(parr):
         return probes[:0]  # the window is all of P; nothing lies beyond
-    covered = cone_cover(qx, qy, nx, ny, ndist, r_floor)
+    with stage_timer(stage_seconds, "prune"):
+        covered = cone_cover(qx, qy, nx, ny, ndist, r_floor)
     return probes[~covered]
 
 
@@ -292,6 +318,7 @@ def knn_candidate_blocks(
     qarr: PointArray,
     k0: int = DEFAULT_K0,
     tree_p: cKDTree | None = None,
+    stage_seconds: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Candidate generation: ``(q_index, p_index)`` candidate pair arrays.
 
@@ -315,12 +342,16 @@ def knn_candidate_blocks(
         First-stage neighbour window width (clamped to ``len(parr)``).
     tree_p:
         Optional prebuilt KD-tree over ``parr``'s coordinates.
+    stage_seconds:
+        Optional accumulator for measured ``candidate``/``prune`` wall
+        times (see :func:`stage_timer`).
     """
     n_p, n_q = len(parr), len(qarr)
     if n_p == 0 or n_q == 0:
         return (np.empty(0, np.int64), np.empty(0, np.int64))
     if tree_p is None:
-        tree_p = cKDTree(parr.coords())
+        with stage_timer(stage_seconds, "candidate"):
+            tree_p = cKDTree(parr.coords())
 
     scale = 1.0
     for arr in (parr.x, parr.y, qarr.x, qarr.y):
@@ -337,9 +368,13 @@ def knn_candidate_blocks(
     for bstart in range(0, n_q, _Q_BLOCK):
         probes = np.arange(bstart, min(bstart + _Q_BLOCK, n_q), dtype=np.int64)
         qx, qy = qarr.x[probes], qarr.y[probes]
-        ndist, nidx = _query_window(tree_p, qx, qy, k1)
+        with stage_timer(stage_seconds, "candidate"):
+            ndist, nidx = _query_window(tree_p, qx, qy, k1)
         open_probes.append(
-            _emit_window(qx, qy, ndist, nidx, parr, probes, r_floor, out_q, out_p)
+            _emit_window(
+                qx, qy, ndist, nidx, parr, probes, r_floor, out_q, out_p,
+                stage_seconds,
+            )
         )
     uncovered = np.concatenate(open_probes)
 
@@ -350,26 +385,31 @@ def knn_candidate_blocks(
         for bstart in range(0, uncovered.size, _WIDE_BLOCK):
             probes = uncovered[bstart : bstart + _WIDE_BLOCK]
             qx, qy = qarr.x[probes], qarr.y[probes]
-            ndist, nidx = _query_window(tree_p, qx, qy, k2)
+            with stage_timer(stage_seconds, "candidate"):
+                ndist, nidx = _query_window(tree_p, qx, qy, k2)
             open_probes.append(
                 _emit_window(
-                    qx, qy, ndist, nidx, parr, probes, r_floor, out_q, out_p
+                    qx, qy, ndist, nidx, parr, probes, r_floor, out_q, out_p,
+                    stage_seconds,
                 )
             )
         uncovered = np.concatenate(open_probes)
 
     # -- stage 3: the remainder (hull probes, degenerate inputs) -------
+    # Charged wholesale to "candidate": the escalation stages interleave
+    # their own pruning with enumeration too finely to split honestly.
     if uncovered.size and k2 < n_p:
-        emitted = None
-        if uncovered.size * n_p > _SCAN_WORK_LIMIT:
-            emitted = _delaunay_candidates(parr, qarr, uncovered)
-        if emitted is not None:
-            out_q.append(emitted[0])
-            out_p.append(emitted[1])
-        else:
-            _scan_candidates(
-                parr, qarr, uncovered, tree_p, k2, r_floor, out_q, out_p
-            )
+        with stage_timer(stage_seconds, "candidate"):
+            emitted = None
+            if uncovered.size * n_p > _SCAN_WORK_LIMIT:
+                emitted = _delaunay_candidates(parr, qarr, uncovered)
+            if emitted is not None:
+                out_q.append(emitted[0])
+                out_p.append(emitted[1])
+            else:
+                _scan_candidates(
+                    parr, qarr, uncovered, tree_p, k2, r_floor, out_q, out_p
+                )
 
     q_idx = np.concatenate(out_q)
     p_idx = np.concatenate(out_p)
@@ -698,6 +738,7 @@ def rcj_pair_indices(
     qarr: PointArray,
     k0: int = DEFAULT_K0,
     exclude_same_oid: bool = False,
+    stage_seconds: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """The full vectorized RCJ pipeline over columnar inputs.
 
@@ -710,7 +751,9 @@ def rcj_pair_indices(
     if len(parr) == 0 or len(qarr) == 0:
         return (np.empty(0, np.int64), np.empty(0, np.int64), 0)
 
-    q_idx, p_idx = knn_candidate_blocks(parr, qarr, k0=k0)
+    q_idx, p_idx = knn_candidate_blocks(
+        parr, qarr, k0=k0, stage_seconds=stage_seconds
+    )
     if exclude_same_oid:
         keep = parr.oid[p_idx] != qarr.oid[q_idx]
         q_idx, p_idx = q_idx[keep], p_idx[keep]
@@ -718,18 +761,19 @@ def rcj_pair_indices(
     if candidate_count == 0:
         return (p_idx, q_idx, 0)
 
-    ux = np.concatenate((parr.x, qarr.x))
-    uy = np.concatenate((parr.y, qarr.y))
-    union_tree = cKDTree(np.column_stack((ux, uy)))
-    alive = verify_rings_batch(
-        parr.x[p_idx],
-        parr.y[p_idx],
-        qarr.x[q_idx],
-        qarr.y[q_idx],
-        union_tree,
-        ux,
-        uy,
-    )
+    with stage_timer(stage_seconds, "verify"):
+        ux = np.concatenate((parr.x, qarr.x))
+        uy = np.concatenate((parr.y, qarr.y))
+        union_tree = cKDTree(np.column_stack((ux, uy)))
+        alive = verify_rings_batch(
+            parr.x[p_idx],
+            parr.y[p_idx],
+            qarr.x[q_idx],
+            qarr.y[q_idx],
+            union_tree,
+            ux,
+            uy,
+        )
     p_idx, q_idx = p_idx[alive], q_idx[alive]
     # The dedup above already left the pairs keyed by (q, p); the
     # explicit canonical sort makes the ordering a contract rather than

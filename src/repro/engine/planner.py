@@ -35,6 +35,17 @@ density sample and the memory budget pick the engine and worker count,
 and the decision — an
 :class:`~repro.parallel.costmodel.ExecutionPlan` — is attached to the
 returned report as ``report.plan`` (the CLI's ``--explain``).
+
+Beyond the bulk join, the planner fronts the other two workloads of the
+paper's applications: :func:`run_topk` (ordered browsing — also
+reachable as ``run_join(mode="topk", k=...)``) dispatches between the
+streamed array enumeration and the R-tree incremental distance join,
+and :func:`make_dynamic` builds an incremental-maintenance backend
+(columnar or R*-tree) behind the shared
+:class:`~repro.core.dynamic.DynamicBackend` protocol.  Memory-engine
+executions record measured per-stage wall times on
+``report.stage_seconds`` (and on ``report.plan.measured`` for planned
+runs) for later cost-model calibration.
 """
 
 from __future__ import annotations
@@ -85,19 +96,26 @@ def array_rcj(
     points_q: Sequence[Point],
     exclude_same_oid: bool = False,
     k0: int = 16,
+    stage_seconds: dict | None = None,
 ) -> tuple[list[RCJPair], int]:
     """Compute the RCJ with the vectorized array engine.
 
     Converts both pointsets to :class:`PointArray`, runs the batch
     kernels, and materialises result pairs over the *original*
     :class:`Point` objects (identity is preserved, not reconstructed).
+    ``stage_seconds`` (when given) accumulates the measured
+    candidate/prune/verify wall times.
 
     Returns ``(pairs, candidate_count)``.
     """
     parr = PointArray.from_points(points_p)
     qarr = PointArray.from_points(points_q)
     p_idx, q_idx, candidate_count = rcj_pair_indices(
-        parr, qarr, k0=k0, exclude_same_oid=exclude_same_oid
+        parr,
+        qarr,
+        k0=k0,
+        exclude_same_oid=exclude_same_oid,
+        stage_seconds=stage_seconds,
     )
     points_p = list(points_p)
     points_q = list(points_q)
@@ -156,6 +174,8 @@ def run_join(
     backend: str = "auto",
     *,
     engine: str | None = None,
+    mode: str = "join",
+    k: int | None = None,
     workers: int | None = None,
     buffer_budget_bytes: int | None = None,
     exclude_same_oid: bool = False,
@@ -184,6 +204,14 @@ def run_join(
         ``"array-parallel"``, ``"auto"`` (cost-based planning) or
         ``"pointwise"`` (keep ``algorithm`` as given).  Mirrors the
         CLI's ``--engine`` flag.
+    mode:
+        ``"join"`` (the full result; default) or ``"topk"`` (the ``k``
+        smallest-diameter pairs in ascending order — the CLI's
+        ``--mode topk``); top-k requests delegate to :func:`run_topk`
+        with the same engine selection.
+    k:
+        Result-size bound for ``mode="topk"`` (required there, ignored
+        otherwise).
     workers:
         Worker-process budget for the parallel engine and the planner
         (``None`` = all cores; ignored by serial engines).
@@ -211,6 +239,23 @@ def run_join(
             )
         if engine != "pointwise":
             name = engine
+
+    if mode not in ("join", "topk"):
+        raise ValueError(f"unknown mode {mode!r}; expected 'join' or 'topk'")
+    if mode == "topk":
+        if k is None:
+            raise ValueError("mode='topk' requires k")
+        return run_topk(
+            points_p,
+            points_q,
+            k,
+            engine=name,
+            exclude_same_oid=exclude_same_oid,
+            workers=workers,
+            buffer_budget_bytes=buffer_budget_bytes,
+            workload=workload,
+            **algorithm_kwargs,
+        )
 
     plan = None
     if name == "auto":
@@ -287,6 +332,7 @@ def run_join(
     # -- main-memory backends ------------------------------------------
     report = JoinReport(name.upper())
     report.plan = plan
+    stages: dict = {}
     t0 = time.perf_counter()
     if name == "brute":
         report.pairs = brute_force_rcj(
@@ -313,7 +359,166 @@ def run_join(
             points_p,
             points_q,
             exclude_same_oid=exclude_same_oid,
+            stage_seconds=stages,
             **algorithm_kwargs,
         )
     report.cpu_seconds = time.perf_counter() - t0
+    _attach_measurements(report, stages)
     return report
+
+
+def _attach_measurements(report: JoinReport, stages: dict) -> None:
+    """Record measured per-stage wall times on the report (and, for
+    planned runs, on the plan itself — estimates next to measurements
+    is what later cost-model calibration consumes)."""
+    if not stages:
+        return
+    report.stage_seconds = dict(stages)
+    if report.plan is not None:
+        report.plan = report.plan.with_measured(stages)
+
+
+#: ``engine=`` values :func:`run_topk` accepts.  ``"pointwise"`` and
+#: ``"obj"`` are the lazy R-tree route; ``"array-parallel"`` coerces to
+#: the (serial) streamed array route — the stream's bands are too small
+#: to amortize a process pool.
+TOPK_ENGINE_NAMES = ("auto", "array", "array-parallel", "obj", "pointwise")
+
+
+def run_topk(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    k: int,
+    engine: str = "auto",
+    *,
+    exclude_same_oid: bool = False,
+    workers: int | None = None,
+    buffer_budget_bytes: int | None = None,
+    workload=None,
+) -> JoinReport:
+    """The ``k`` smallest-diameter RCJ pairs, through the planner.
+
+    The ordered-browsing entry point (the paper's tourist
+    recommendation): returns a :class:`JoinReport` whose ``pairs`` are
+    the first ``k`` entries of the canonically sorted join result
+    (ascending ring diameter, ties by ``(p.oid, q.oid)``), computed
+    lazily — neither route materialises the full join for small ``k``.
+
+    Engines
+    -------
+    ``"array"``
+        The streamed columnar enumerator
+        (:func:`repro.engine.streaming.stream_pairs_by_diameter`):
+        expanding-radius candidate bands with a resume cursor, Ψ−
+        pruning, batch ring verification.
+    ``"obj"`` / ``"pointwise"``
+        The R-tree incremental distance join
+        (:func:`repro.core.topk.top_k_rcj`) — work proportional to the
+        answer's neighbourhood; reuses ``workload``'s indexes when
+        given.  Note the heap's tie order is arrival order, so on
+        datasets with exactly tied pair distances the tail of a tied
+        run may differ from the canonical order (the array route sorts
+        ties canonically).
+    ``"auto"``
+        :func:`repro.parallel.costmodel.choose_topk_plan` picks from
+        ``k``, the sizes and the density sample; the decision rides on
+        ``report.plan``.
+    """
+    from repro.engine.streaming import topk_array
+
+    if engine not in TOPK_ENGINE_NAMES:
+        raise ValueError(
+            f"unknown top-k engine {engine!r}; "
+            f"expected one of {TOPK_ENGINE_NAMES}"
+        )
+    name = {"pointwise": "obj", "array-parallel": "array"}.get(engine, engine)
+
+    plan = None
+    if name == "auto":
+        from repro.parallel.costmodel import choose_topk_plan
+
+        plan = choose_topk_plan(
+            points_p,
+            points_q,
+            k,
+            workers=workers,
+            budget_bytes=buffer_budget_bytes,
+            trees_prebuilt=workload is not None,
+        )
+        name = plan.engine
+
+    report = JoinReport(f"TOPK-{name.upper()}")
+    report.plan = plan
+    stages: dict = {}
+    t0 = time.perf_counter()
+    if name == "array":
+        report.pairs, report.candidate_count = topk_array(
+            points_p,
+            points_q,
+            k,
+            exclude_same_oid=exclude_same_oid,
+            stage_seconds=stages,
+        )
+    else:  # obj: the R-tree incremental route
+        from repro.bench.runner import build_workload
+        from repro.core.topk import top_k_rcj
+
+        if workload is None:
+            workload = build_workload(points_q, points_p)
+        else:
+            workload.reset()
+        report.pairs = top_k_rcj(
+            workload.tree_p,
+            workload.tree_q,
+            k,
+            exclude_same_oid=exclude_same_oid,
+        )
+        report.candidate_count = len(report.pairs)
+        report.node_accesses = (
+            workload.tree_p.node_accesses + workload.tree_q.node_accesses
+        )
+        report.page_faults = workload.buffer.stats.page_faults
+        report.buffer_hits = workload.buffer.stats.buffer_hits
+    report.cpu_seconds = time.perf_counter() - t0
+    _attach_measurements(report, stages)
+    return report
+
+
+def make_dynamic(
+    points_p: Sequence[Point] = (),
+    points_q: Sequence[Point] = (),
+    backend: str = "auto",
+    **backend_kwargs,
+):
+    """Build a dynamic RCJ maintainer behind the shared protocol.
+
+    Returns a :class:`repro.core.dynamic.DynamicBackend`: the columnar
+    :class:`repro.engine.streaming.DynamicArrayRCJ` (``"array"``), the
+    R*-tree :class:`repro.core.dynamic.DynamicRCJ` (``"obj"``), or the
+    cost model's choice (``"auto"`` —
+    :func:`repro.parallel.costmodel.choose_dynamic_backend`: columnar
+    while the resident working set fits the memory budget, disk-backed
+    beyond it).  Both backends maintain identical pair sets, so the
+    choice is purely an execution-cost decision.
+
+    ``backend_kwargs`` pass through to the chosen class (``bounds``
+    for either; ``page_size`` for the R*-tree backend).
+    """
+    from repro.engine.streaming import DynamicArrayRCJ
+
+    if backend == "auto":
+        from repro.parallel.costmodel import choose_dynamic_backend
+
+        backend, _reason = choose_dynamic_backend(
+            len(points_p), len(points_q)
+        )
+    if backend == "array":
+        return DynamicArrayRCJ(points_p, points_q, **backend_kwargs)
+    if backend == "obj":
+        from repro.core.dynamic import DynamicRCJ
+
+        return DynamicRCJ(points_p, points_q, **backend_kwargs)
+    raise ValueError(
+        f"unknown dynamic backend {backend!r}; "
+        "expected 'auto', 'array' or 'obj'"
+    )

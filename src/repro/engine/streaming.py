@@ -1,0 +1,766 @@
+"""Columnar streaming layer: ordered browsing and dynamic RCJ over
+:class:`~repro.engine.arrays.PointArray`.
+
+The paper's two headline applications beyond the one-shot join are
+*ordered browsing* of RCJ results (top-k by ring diameter) and
+*decision support over changing data* (insertions and deletions).  This
+module gives both an array-engine execution path so they dispatch
+through the unified planner like the bulk join does:
+
+:func:`stream_pairs_by_diameter`
+    A lazy generator of **verified** RCJ pairs in ascending
+    ring-diameter order.  Candidates are enumerated in blocked radius
+    bands — one KD-tree ball query per probe block, with a *resume
+    cursor* on the squared pair distance so each band picks up exactly
+    where the previous one stopped — then Ψ−-pruned against each
+    probe's nearest neighbours and batch-verified against the union
+    KD-tree (:func:`~repro.engine.kernels.verify_rings_batch`).  All
+    pairs of a band are sorted before emission and every pair with a
+    smaller distance lives in the current or an earlier band, so the
+    output order is globally correct without materializing the join.
+    When a band would enumerate more candidates than the full
+    vectorized join costs, the stream falls back to the full pipeline
+    (Ψ−-prune, cone-cover certificates, Delaunay backstop and all) and
+    emits the sorted tail — enumeration by radius is a small-k tool,
+    and the fallback caps its worst case near one bulk join.
+
+:class:`DynamicArrayRCJ`
+    The columnar twin of :class:`repro.core.dynamic.DynamicRCJ`: the
+    same insert/delete contract (the shared
+    :class:`~repro.core.dynamic.DynamicBackend` protocol), with
+    kill-sets computed by one vectorized evaluation of the exact ring
+    predicate over endpoint columns (:class:`_RingColumns`, the
+    columnar twin of the pair-circle grid), insertion partners from the
+    batch candidate kernels, and all verification through
+    :func:`~repro.engine.kernels.verify_rings_batch`.
+
+Exactness
+---------
+Both paths keep the engine's contract: *filter conservative, verify
+exact*.  The streamed candidates are a superset of the true pairs per
+band (a ball query can only over-enumerate), Ψ− pruning evaluates the
+oracle's own blocker predicate, and every emitted pair passed the exact
+batch ring verification against the full union — so the stream's k-pair
+prefix equals the first k entries of the sorted bulk-join result, and
+the dynamic backend's state equals the from-scratch join after every
+update.  Ordering uses the *squared* pair distance ``dx*dx + dy*dy``
+(the same IEEE expression the R-tree distance-join heap orders by), so
+the two top-k routes agree bit-for-bit about which pair is smaller;
+ties are broken canonically by ``(p.oid, q.oid)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.core.dynamic import Side
+from repro.core.pairs import RCJPair
+from repro.engine.arrays import PointArray
+from repro.engine.kernels import (
+    halfplane_prune_pairs,
+    knn_candidate_blocks,
+    rcj_pair_indices,
+    stage_timer,
+    verify_rings_batch,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import box_polygon, clip_halfplane
+from repro.geometry.rect import Rect
+
+#: Probe points per ball-query block of the band enumerator.
+_STREAM_Q_BLOCK = 8192
+
+#: Ψ− pruners per candidate in the streamed bands (the probe's nearest
+#: ``P`` neighbours).
+_STREAM_PRUNERS = 8
+
+#: Growth factor of the expanding radius.
+_RADIUS_GROWTH = 2.0
+
+#: When the pairs enumerated by the next band would exceed this many
+#: beyond what previous bands already covered, enumeration-by-radius
+#: has lost to the full vectorized join: fall back to it for the tail.
+_FALLBACK_BAND_PAIRS = 262_144
+
+#: Relative inflation of the ball-query radius; band membership is
+#: decided by the exact squared-distance cursor, the query only has to
+#: never *miss* a band member to rounding.
+_BAND_INFLATION = 1e-9
+
+
+def pair_order_key(pair: RCJPair) -> tuple[float, int, int]:
+    """The canonical ascending-diameter sort key of a result pair.
+
+    ``dx*dx + dy*dy`` is the exact expression both the R-tree
+    distance-join heap and the streamed bands order by (squared
+    distance is monotone in diameter, with no square root to round),
+    and ``(p.oid, q.oid)`` breaks exact ties deterministically.  Every
+    top-k route sorts by this one key, which is what makes their
+    prefixes comparable byte for byte.
+    """
+    dx = pair.p.x - pair.q.x
+    dy = pair.p.y - pair.q.y
+    return (dx * dx + dy * dy, pair.p.oid, pair.q.oid)
+
+
+def sort_pairs_by_diameter(pairs: list[RCJPair]) -> list[RCJPair]:
+    """Result pairs in canonical ascending-diameter order."""
+    return sorted(pairs, key=pair_order_key)
+
+
+# ----------------------------------------------------------------------
+# streamed ordered enumeration (top-k)
+# ----------------------------------------------------------------------
+
+def _flatten_ball_lists(lists, count: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-flatten ``query_ball_point`` output: ``(flat, counts)``."""
+    counts = np.fromiter((len(lst) for lst in lists), np.int64, count=count)
+    total = int(counts.sum())
+    flat = np.empty(total, dtype=np.int64)
+    pos = 0
+    for lst in lists:
+        n = len(lst)
+        if n:
+            flat[pos : pos + n] = lst
+            pos += n
+    return flat, counts
+
+
+def stream_pairs_by_diameter(
+    parr: PointArray,
+    qarr: PointArray,
+    k_hint: int = 1,
+    exclude_same_oid: bool = False,
+    stage_seconds: dict | None = None,
+    counters: dict | None = None,
+):
+    """Yield verified ``(d_sq, p_index, q_index)`` in ascending order.
+
+    ``k_hint`` sizes the first radius band (the distance within which at
+    least ``min(k_hint, |Q|)`` candidate pairs are guaranteed); the
+    stream itself is unbounded — consume as much of it as needed and
+    drop it.  ``counters`` (when given) accumulates ``"candidates"``,
+    the number of pairs that entered batch verification, and
+    ``"bands"`` / ``"fallback"`` describing how the enumeration went.
+    """
+    n_p, n_q = len(parr), len(qarr)
+    if n_p == 0 or n_q == 0:
+        return
+    if counters is None:
+        counters = {}
+
+    with stage_timer(stage_seconds, "candidate"):
+        tree_p = cKDTree(parr.coords())
+        tree_q = cKDTree(qarr.coords())
+        # First band: the min(k, |Q|)-th smallest 1-NN distance — at
+        # least that many candidate pairs land inside it.
+        d1, _ = tree_p.query(qarr.coords(), k=1)
+        take = min(max(k_hint, 1), n_q) - 1
+        r = float(np.partition(d1, take)[take])
+    scale = 1.0
+    for arr in (parr.x, parr.y, qarr.x, qarr.y):
+        if len(arr):
+            scale = max(scale, float(np.abs(arr).max()))
+    if r <= 0.0:
+        r = 1e-9 * scale  # duplicate-riddled probes: start tiny, grow
+    # No pair is farther apart than the union bounding-box diagonal.
+    span_x = max(float(parr.x.max()), float(qarr.x.max())) - min(
+        float(parr.x.min()), float(qarr.x.min())
+    )
+    span_y = max(float(parr.y.max()), float(qarr.y.max())) - min(
+        float(parr.y.min()), float(qarr.y.min())
+    )
+    diag = float(np.hypot(span_x, span_y)) * (1.0 + 1e-9) + 1e-9 * scale
+
+    with stage_timer(stage_seconds, "verify"):
+        ux = np.concatenate((parr.x, qarr.x))
+        uy = np.concatenate((parr.y, qarr.y))
+        union_tree = cKDTree(np.column_stack((ux, uy)))
+
+    cursor_sq = -np.inf  # resume cursor: pairs at or below it are done
+    pairs_done = 0  # |pairs| (KD metric) inside the cursor radius
+    while True:
+        r = min(r, diag)
+        with stage_timer(stage_seconds, "candidate"):
+            within = int(tree_p.count_neighbors(tree_q, r))
+        if within - pairs_done > _FALLBACK_BAND_PAIRS:
+            # The band is denser than a whole vectorized join: run the
+            # full pipeline once and emit the not-yet-streamed tail.
+            counters["fallback"] = True
+            p_idx, q_idx, cand = rcj_pair_indices(
+                parr,
+                qarr,
+                exclude_same_oid=exclude_same_oid,
+                stage_seconds=stage_seconds,
+            )
+            counters["candidates"] = counters.get("candidates", 0) + cand
+            dx = parr.x[p_idx] - qarr.x[q_idx]
+            dy = parr.y[p_idx] - qarr.y[q_idx]
+            d_sq = dx * dx + dy * dy
+            fresh = d_sq > cursor_sq
+            p_idx, q_idx, d_sq = p_idx[fresh], q_idx[fresh], d_sq[fresh]
+            order = np.lexsort((qarr.oid[q_idx], parr.oid[p_idx], d_sq))
+            for j in order:
+                yield float(d_sq[j]), int(p_idx[j]), int(q_idx[j])
+            return
+
+        counters["bands"] = counters.get("bands", 0) + 1
+        r_sq = r * r
+        band_p: list[np.ndarray] = []
+        band_q: list[np.ndarray] = []
+        band_d: list[np.ndarray] = []
+        with stage_timer(stage_seconds, "candidate"):
+            r_query = r * (1.0 + _BAND_INFLATION)
+            for bstart in range(0, n_q, _STREAM_Q_BLOCK):
+                bend = min(bstart + _STREAM_Q_BLOCK, n_q)
+                lists = tree_p.query_ball_point(
+                    np.column_stack(
+                        (qarr.x[bstart:bend], qarr.y[bstart:bend])
+                    ),
+                    r_query,
+                    return_sorted=False,
+                )
+                flat, cnt = _flatten_ball_lists(lists, bend - bstart)
+                if not flat.size:
+                    continue
+                rows = np.repeat(
+                    np.arange(bstart, bend, dtype=np.int64), cnt
+                )
+                dx = parr.x[flat] - qarr.x[rows]
+                dy = parr.y[flat] - qarr.y[rows]
+                d_sq = dx * dx + dy * dy
+                # The resume cursor: strictly new, within this band.
+                mask = (d_sq > cursor_sq) & (d_sq <= r_sq)
+                if exclude_same_oid:
+                    mask &= parr.oid[flat] != qarr.oid[rows]
+                band_p.append(flat[mask])
+                band_q.append(rows[mask])
+                band_d.append(d_sq[mask])
+
+        if band_p:
+            p_idx = np.concatenate(band_p)
+            q_idx = np.concatenate(band_q)
+            d_sq = np.concatenate(band_d)
+        else:
+            p_idx = np.empty(0, np.int64)
+            q_idx = np.empty(0, np.int64)
+            d_sq = np.empty(0, np.float64)
+
+        if p_idx.size:
+            with stage_timer(stage_seconds, "prune"):
+                # Ψ− against each probe's nearest P neighbours — the
+                # oracle's own blocker predicate, so a pruned pair is
+                # certainly dead; survivors go to exact verification.
+                k_pr = min(_STREAM_PRUNERS, n_p)
+                probes = np.unique(q_idx)
+                nd, ni = tree_p.query(
+                    np.column_stack((qarr.x[probes], qarr.y[probes])),
+                    k=k_pr,
+                )
+                if k_pr == 1:
+                    ni = ni[:, None]
+                pos = np.searchsorted(probes, q_idx)
+                pruned = halfplane_prune_pairs(
+                    parr.x[p_idx],
+                    parr.y[p_idx],
+                    parr.x[ni[pos]],
+                    parr.y[ni[pos]],
+                    qarr.x[q_idx],
+                    qarr.y[q_idx],
+                )
+                keep = ~pruned
+                p_idx, q_idx, d_sq = p_idx[keep], q_idx[keep], d_sq[keep]
+
+        if p_idx.size:
+            counters["candidates"] = counters.get("candidates", 0) + int(
+                p_idx.size
+            )
+            with stage_timer(stage_seconds, "verify"):
+                alive = verify_rings_batch(
+                    parr.x[p_idx],
+                    parr.y[p_idx],
+                    qarr.x[q_idx],
+                    qarr.y[q_idx],
+                    union_tree,
+                    ux,
+                    uy,
+                )
+            p_idx, q_idx, d_sq = p_idx[alive], q_idx[alive], d_sq[alive]
+            order = np.lexsort((qarr.oid[q_idx], parr.oid[p_idx], d_sq))
+            for j in order:
+                yield float(d_sq[j]), int(p_idx[j]), int(q_idx[j])
+
+        if r >= diag:
+            return  # every pair enumerated
+        cursor_sq = r_sq
+        pairs_done = within
+        r *= _RADIUS_GROWTH
+
+
+def topk_array(
+    points_p,
+    points_q,
+    k: int,
+    exclude_same_oid: bool = False,
+    stage_seconds: dict | None = None,
+) -> tuple[list[RCJPair], int]:
+    """The ``k`` smallest-diameter RCJ pairs via the streamed engine.
+
+    Same contract as :func:`repro.core.topk.top_k_rcj` — at most ``k``
+    pairs, ascending diameter, original :class:`Point` identity
+    preserved — computed by :func:`stream_pairs_by_diameter`.
+
+    Returns ``(pairs, candidate_count)``.
+    """
+    if k <= 0:
+        return [], 0
+    points_p = list(points_p)
+    points_q = list(points_q)
+    parr = PointArray.from_points(points_p)
+    qarr = PointArray.from_points(points_q)
+    counters: dict = {}
+    out: list[RCJPair] = []
+    stream = stream_pairs_by_diameter(
+        parr,
+        qarr,
+        k_hint=k,
+        exclude_same_oid=exclude_same_oid,
+        stage_seconds=stage_seconds,
+        counters=counters,
+    )
+    for _d_sq, pi, qi in stream:
+        out.append(RCJPair(points_p[pi], points_q[qi]))
+        if len(out) == k:
+            stream.close()  # stop enumerating: no band past the k-th
+            break
+    return out, int(counters.get("candidates", 0))
+
+
+# ----------------------------------------------------------------------
+# dynamic maintenance, columnar backend
+# ----------------------------------------------------------------------
+
+class _SideColumns:
+    """One growable side of the dynamic join, columns plus objects.
+
+    Deletions swap-remove so the columns stay dense; the compacted
+    :class:`PointArray` and its KD-tree are cached and rebuilt lazily
+    after mutations.
+    """
+
+    def __init__(self, points):
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+        self._points: list[Point] = []
+        self._row_of: dict[int, int] = {}
+        self._arr: PointArray | None = None
+        self._tree: cKDTree | None = None
+        for point in points:
+            self.insert(point)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def insert(self, point: Point) -> None:
+        if point.oid in self._row_of:
+            raise ValueError(f"duplicate oid {point.oid} on one side")
+        self._row_of[point.oid] = len(self._points)
+        self._xs.append(point.x)
+        self._ys.append(point.y)
+        self._points.append(point)
+        self._arr = self._tree = None
+
+    def pop(self, oid: int) -> Point | None:
+        row = self._row_of.pop(oid, None)
+        if row is None:
+            return None
+        victim = self._points[row]
+        last = len(self._points) - 1
+        if row != last:
+            mover = self._points[last]
+            self._xs[row] = self._xs[last]
+            self._ys[row] = self._ys[last]
+            self._points[row] = mover
+            self._row_of[mover.oid] = row
+        del self._xs[last], self._ys[last], self._points[last]
+        self._arr = self._tree = None
+        return victim
+
+    def point(self, row: int) -> Point:
+        return self._points[row]
+
+    def array(self) -> PointArray:
+        if self._arr is None:
+            n = len(self._points)
+            self._arr = PointArray(
+                np.fromiter(self._xs, np.float64, count=n),
+                np.fromiter(self._ys, np.float64, count=n),
+                np.fromiter(
+                    (p.oid for p in self._points), np.int64, count=n
+                ),
+            )
+        return self._arr
+
+    def tree(self) -> cKDTree | None:
+        if not self._points:
+            return None
+        if self._tree is None:
+            self._tree = cKDTree(self.array().coords())
+        return self._tree
+
+
+class _RingColumns:
+    """Columnar twin of the pair-circle grid: endpoint columns of every
+    live ring, answering "which rings strictly contain ``(x, y)``" with
+    one vectorized evaluation of the **exact** dot predicate
+    ``(x - px)(x - qx) + (y - py)(y - qy) < 0`` — term for term the
+    IEEE expression of :meth:`repro.geometry.ring.Ring.contains_point`,
+    so a containment decision here is the decision the object grid's
+    confirm step would have made.  Where the grid buckets circle
+    bounding boxes and rechecks a candidate superset per cell, the twin
+    scans all live rings in one numpy pass — no superset, no recheck,
+    and column compaction (swap-remove) keeps the scan dense.
+    """
+
+    def __init__(self):
+        self._px: list[float] = []
+        self._py: list[float] = []
+        self._qx: list[float] = []
+        self._qy: list[float] = []
+        self._keys: list[tuple[int, int]] = []
+        self._slot_of: dict[tuple[int, int], int] = {}
+        self._cols: tuple[np.ndarray, ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: tuple[int, int], pair: RCJPair) -> None:
+        self._slot_of[key] = len(self._keys)
+        self._px.append(pair.p.x)
+        self._py.append(pair.p.y)
+        self._qx.append(pair.q.x)
+        self._qy.append(pair.q.y)
+        self._keys.append(key)
+        self._cols = None
+
+    def remove(self, key: tuple[int, int]) -> None:
+        slot = self._slot_of.pop(key, None)
+        if slot is None:
+            return
+        last = len(self._keys) - 1
+        if slot != last:
+            mover = self._keys[last]
+            for col in (self._px, self._py, self._qx, self._qy):
+                col[slot] = col[last]
+            self._keys[slot] = mover
+            self._slot_of[mover] = slot
+        del (
+            self._px[last],
+            self._py[last],
+            self._qx[last],
+            self._qy[last],
+            self._keys[last],
+        )
+        self._cols = None
+
+    def _columns(self) -> tuple[np.ndarray, ...]:
+        if self._cols is None:
+            n = len(self._keys)
+            self._cols = tuple(
+                np.fromiter(col, np.float64, count=n)
+                for col in (self._px, self._py, self._qx, self._qy)
+            )
+        return self._cols
+
+    def keys_containing(self, x: float, y: float) -> list[tuple[int, int]]:
+        """Keys of live rings strictly containing ``(x, y)``."""
+        if not self._keys:
+            return []
+        px, py, qx, qy = self._columns()
+        t = (x - px) * (x - qx) + (y - py) * (y - qy)
+        return [self._keys[i] for i in np.nonzero(t < 0.0)[0]]
+
+    def keys_involving(
+        self, oid: int, side: Side
+    ) -> list[tuple[int, int]]:
+        """Keys of live rings with ``oid`` as their ``side`` endpoint."""
+        slot = 0 if side == "P" else 1
+        return [key for key in self._keys if key[slot] == oid]
+
+
+class DynamicArrayRCJ:
+    """The RCJ result maintained under updates, columnar backend.
+
+    Implements the same contract as
+    :class:`repro.core.dynamic.DynamicRCJ` (the
+    :class:`~repro.core.dynamic.DynamicBackend` protocol) and produces
+    the exact same pair set after every update, but answers each update
+    with batched kernel work over resident columns instead of pointwise
+    R-tree traversals:
+
+    - insertion kill-sets come from one vectorized ring-containment
+      scan (:class:`_RingColumns`);
+    - insertion partners come from the engine's candidate kernels
+      (:func:`~repro.engine.kernels.knn_candidate_blocks` with the new
+      point as the sole probe);
+    - deletion's freed-pair candidates come from the same
+      Voronoi-horizon argument as the object backend — stream union
+      neighbours in ascending distance (batched KD queries with a
+      doubling window) while clipping the departed point's cell; once
+      the next neighbour is beyond twice the farthest cell vertex, no
+      Delaunay neighbour remains — crossed and filtered vectorized;
+    - every candidate batch is settled by
+      :func:`~repro.engine.kernels.verify_rings_batch` against the live
+      union, the engine's exact predicate.
+
+    Parameters mirror :class:`~repro.core.dynamic.DynamicRCJ`
+    (``bounds`` seeds the deletion clip box; points outside remain
+    legal).  ``oid`` values must be unique within each side.
+    """
+
+    def __init__(
+        self,
+        points_p=(),
+        points_q=(),
+        bounds: Rect | None = None,
+    ):
+        self.bounds = bounds if bounds is not None else Rect(0, 0, 10000, 10000)
+        self._p = _SideColumns(points_p)
+        self._q = _SideColumns(points_q)
+        self._pairs: dict[tuple[int, int], RCJPair] = {}
+        self._rings = _RingColumns()
+        if len(self._p) and len(self._q):
+            parr, qarr = self._p.array(), self._q.array()
+            p_idx, q_idx, _ = rcj_pair_indices(parr, qarr)
+            for pi, qi in zip(p_idx.tolist(), q_idx.tolist()):
+                self._store(RCJPair(self._p.point(pi), self._q.point(qi)))
+
+    # ------------------------------------------------------------------
+    # result access (DynamicBackend)
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> list[RCJPair]:
+        """The current RCJ result (unordered)."""
+        return list(self._pairs.values())
+
+    def pair_keys(self) -> set[tuple[int, int]]:
+        """Identity set of the current result."""
+        return set(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    # ------------------------------------------------------------------
+    # updates (DynamicBackend)
+    # ------------------------------------------------------------------
+    def insert(self, point: Point, side: Side) -> None:
+        """Add ``point`` to dataset ``side`` and repair the result."""
+        own, other = self._sides(side)
+        own.insert(point)
+        # (i) Kill every pair whose ring strictly contains the point:
+        # one vectorized exact-predicate scan over the ring columns.
+        for key in self._rings.keys_containing(point.x, point.y):
+            self._drop(key)
+        # (ii) New pairs all involve the new point; partners come from
+        # the batch candidate kernels with the point as the sole probe
+        # (a superset of the true partners — blockers drawn from the
+        # partner side only), verified exactly against the live union.
+        if not len(other):
+            return
+        other_arr = other.array()
+        probe = PointArray(
+            np.array([point.x]), np.array([point.y]), np.array([point.oid])
+        )
+        _q_idx, partner_idx = knn_candidate_blocks(
+            other_arr, probe, tree_p=other.tree()
+        )
+        if not partner_idx.size:
+            return
+        zx = np.full(partner_idx.size, point.x)
+        zy = np.full(partner_idx.size, point.y)
+        ox = other_arr.x[partner_idx]
+        oy = other_arr.y[partner_idx]
+        if side == "P":
+            px, py, qx, qy = zx, zy, ox, oy
+        else:
+            px, py, qx, qy = ox, oy, zx, zy
+        union_tree, ux, uy = self._union()
+        alive = verify_rings_batch(px, py, qx, qy, union_tree, ux, uy)
+        for row in partner_idx[alive].tolist():
+            partner = other.point(row)
+            pair = (
+                RCJPair(point, partner)
+                if side == "P"
+                else RCJPair(partner, point)
+            )
+            self._store(pair)
+
+    def delete(self, point: Point, side: Side) -> bool:
+        """Remove ``point`` from dataset ``side`` and repair the result.
+
+        Returns False (and changes nothing) when the point is absent.
+        """
+        own, _other = self._sides(side)
+        victim = own.pop(point.oid)
+        if victim is None:
+            return False
+        # (i) Pairs involving the departed point die.
+        for key in self._rings.keys_involving(point.oid, side):
+            self._drop(key)
+        if not len(self._p) or not len(self._q):
+            return True
+        # (ii) Pairs freed by the departure: both endpoints are Delaunay
+        # neighbours of the departed point in the remaining union.  One
+        # union tree serves both the horizon stream and verification.
+        union = self._union()
+        neighborhood = self._neighborhood(victim, union)
+        if neighborhood is None:
+            # A coincident twin remains: every ring that contained the
+            # departed point still contains the twin.
+            return True
+        near_p = [z for z, z_side in neighborhood if z_side == "P"]
+        near_q = [z for z, z_side in neighborhood if z_side == "Q"]
+        if not near_p or not near_q:
+            return True
+        px = np.fromiter((z.x for z in near_p), np.float64, count=len(near_p))
+        py = np.fromiter((z.y for z in near_p), np.float64, count=len(near_p))
+        qx = np.fromiter((z.x for z in near_q), np.float64, count=len(near_q))
+        qy = np.fromiter((z.y for z in near_q), np.float64, count=len(near_q))
+        # Cross the two neighbour sets and keep only rings the departed
+        # point blocked — the exact dot predicate, vectorized.
+        n_pn, n_qn = len(near_p), len(near_q)
+        pi = np.repeat(np.arange(n_pn), n_qn)
+        qi = np.tile(np.arange(n_qn), n_pn)
+        cx, cy = px[pi], py[pi]
+        dx, dy = qx[qi], qy[qi]
+        blocked = (victim.x - cx) * (victim.x - dx) + (victim.y - cy) * (
+            victim.y - dy
+        ) < 0.0
+        fresh = np.fromiter(
+            (
+                (near_p[a].oid, near_q[b].oid) not in self._pairs
+                for a, b in zip(pi.tolist(), qi.tolist())
+            ),
+            bool,
+            count=len(pi),
+        )
+        keep = blocked & fresh
+        pi, qi = pi[keep], qi[keep]
+        if not pi.size:
+            return True
+        union_tree, ux, uy = union
+        alive = verify_rings_batch(
+            px[pi], py[pi], qx[qi], qy[qi], union_tree, ux, uy
+        )
+        for a, b in zip(pi[alive].tolist(), qi[alive].tolist()):
+            self._store(RCJPair(near_p[a], near_q[b]))
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _sides(self, side: Side) -> tuple[_SideColumns, _SideColumns]:
+        if side == "P":
+            return self._p, self._q
+        if side == "Q":
+            return self._q, self._p
+        raise ValueError(f"side must be 'P' or 'Q', got {side!r}")
+
+    def _store(self, pair: RCJPair) -> None:
+        key = pair.key()
+        if key in self._pairs:
+            return
+        self._pairs[key] = pair
+        self._rings.add(key, pair)
+
+    def _drop(self, key: tuple[int, int]) -> None:
+        if self._pairs.pop(key, None) is not None:
+            self._rings.remove(key)
+
+    def _union(self) -> tuple[cKDTree, np.ndarray, np.ndarray]:
+        parr, qarr = self._p.array(), self._q.array()
+        ux = np.concatenate((parr.x, qarr.x))
+        uy = np.concatenate((parr.y, qarr.y))
+        return cKDTree(np.column_stack((ux, uy))), ux, uy
+
+    def _neighborhood(
+        self, x: Point, union: tuple[cKDTree, np.ndarray, np.ndarray]
+    ) -> list[tuple[Point, Side]] | None:
+        """Candidate endpoints for pairs freed by deleting ``x``.
+
+        The object backend's Voronoi-horizon stream
+        (:meth:`repro.core.dynamic.DynamicRCJ._neighborhood`) over the
+        columnar union (``union`` is the caller's already-built
+        :meth:`_union` triple): neighbours arrive in ascending distance
+        from batched KD-tree queries with a doubling window instead of
+        the merged R-tree heaps.  Returns None when a remaining point
+        coincides with ``x``.
+        """
+        n_p = len(self._p)
+        union_tree, ux, uy = union
+        n_union = len(ux)
+
+        span = [
+            self.bounds.xmin,
+            self.bounds.ymin,
+            self.bounds.xmax,
+            self.bounds.ymax,
+        ]
+        span[0] = min(span[0], float(ux.min()), x.x)
+        span[1] = min(span[1], float(uy.min()), x.y)
+        span[2] = max(span[2], float(ux.max()), x.x)
+        span[3] = max(span[3], float(uy.max()), x.y)
+        margin = max(span[2] - span[0], span[3] - span[1], 1.0)
+        cell = box_polygon(
+            span[0] - margin, span[1] - margin, span[2] + margin, span[3] + margin
+        )
+
+        def max_vertex_dist() -> float:
+            return max(
+                ((vx - x.x) ** 2 + (vy - x.y) ** 2) ** 0.5 for vx, vy in cell
+            )
+
+        horizon = 2.0 * max_vertex_dist()
+        out: list[tuple[Point, Side]] = []
+        done = 0
+        k = 32
+        while True:
+            kk = min(k, n_union)
+            dist, idx = union_tree.query([x.x, x.y], k=kk)
+            dist = np.atleast_1d(dist)
+            idx = np.atleast_1d(idx)
+            for d, row in zip(dist[done:].tolist(), idx[done:].tolist()):
+                if d > horizon:
+                    return out
+                z_side: Side = "P" if row < n_p else "Q"
+                z = (
+                    self._p.point(row)
+                    if row < n_p
+                    else self._q.point(row - n_p)
+                )
+                if z.x == x.x and z.y == x.y:
+                    return None
+                out.append((z, z_side))
+                clipped = clip_halfplane(
+                    cell,
+                    (x.x + z.x) / 2.0,
+                    (x.y + z.y) / 2.0,
+                    z.x - x.x,
+                    z.y - x.y,
+                )
+                if clipped:
+                    cell = clipped
+                    horizon = 2.0 * max_vertex_dist()
+                # else: the cell collapsed numerically — keep the
+                # previous (larger) horizon and keep streaming.
+            if kk == n_union:
+                return out
+            done = kk
+            k *= 2
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicArrayRCJ(|P|={len(self._p)}, |Q|={len(self._q)}, "
+            f"pairs={len(self._pairs)})"
+        )

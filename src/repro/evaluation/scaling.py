@@ -21,10 +21,14 @@ class ScalePoint:
     workers: int
     wall_seconds: float
     pairs: int
+    #: Which planner entry point produced the measurement: ``"join"``
+    #: (the bulk join) or ``"topk"`` (ordered browsing through
+    #: ``run_topk``) — the sweep machinery is mode-agnostic.
+    mode: str = "join"
 
     @property
-    def key(self) -> tuple[int, int]:
-        return (self.n, self.workers)
+    def key(self) -> tuple[str, int, int]:
+        return (self.mode, self.n, self.workers)
 
 
 def speedup_rows(points: list[ScalePoint]) -> list[list]:
@@ -32,16 +36,20 @@ def speedup_rows(points: list[ScalePoint]) -> list[list]:
     efficiency relative to the same-``n`` one-worker baseline.
 
     Raises ``ValueError`` when a size has no one-worker baseline — a
-    speedup against nothing is not a number worth printing.
+    speedup against nothing is not a number worth printing.  Baselines
+    are per ``(mode, n)``: a top-k sweep never borrows the bulk join's
+    baseline.
     """
-    base: dict[int, float] = {
-        p.n: p.wall_seconds for p in points if p.workers == 1
+    base: dict[tuple[str, int], float] = {
+        (p.mode, p.n): p.wall_seconds for p in points if p.workers == 1
     }
     rows = []
     for p in sorted(points, key=lambda p: p.key):
-        if p.n not in base:
-            raise ValueError(f"no workers=1 baseline for n={p.n}")
-        speedup = base[p.n] / max(p.wall_seconds, 1e-9)
+        if (p.mode, p.n) not in base:
+            raise ValueError(
+                f"no workers=1 baseline for n={p.n} (mode={p.mode})"
+            )
+        speedup = base[(p.mode, p.n)] / max(p.wall_seconds, 1e-9)
         rows.append(
             [
                 p.n,
@@ -56,29 +64,36 @@ def speedup_rows(points: list[ScalePoint]) -> list[list]:
 
 
 def scaling_summary(
-    points: list[ScalePoint], cpu_count: int, identical_pairs: bool
+    points: list[ScalePoint],
+    cpu_count: int,
+    identical_pairs: bool,
+    benchmark: str = "parallel_scaling",
 ) -> dict:
     """JSON-ready document of one scaling sweep.
 
     ``identical_pairs`` records the sweep's correctness verdict (every
     worker count returned the serial engine's exact pair set) alongside
-    the numbers, so an archived run is self-describing.
+    the numbers, so an archived run is self-describing.  ``benchmark``
+    names the sweep (the top-k series archives under its own name).
     """
-    base = {p.n: p.wall_seconds for p in points if p.workers == 1}
+    base = {(p.mode, p.n): p.wall_seconds for p in points if p.workers == 1}
     series = [
         {
+            "mode": p.mode,
             "n": p.n,
             "workers": p.workers,
             "wall_seconds": round(p.wall_seconds, 6),
             "pairs": p.pairs,
-            "speedup": round(base[p.n] / max(p.wall_seconds, 1e-9), 3)
-            if p.n in base
+            "speedup": round(
+                base[(p.mode, p.n)] / max(p.wall_seconds, 1e-9), 3
+            )
+            if (p.mode, p.n) in base
             else None,
         }
         for p in sorted(points, key=lambda p: p.key)
     ]
     return {
-        "benchmark": "parallel_scaling",
+        "benchmark": benchmark,
         "cpu_count": cpu_count,
         "identical_pairs": identical_pairs,
         "series": series,

@@ -27,7 +27,7 @@ memory is a per-structure byte model.  Every decision is recorded in
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -157,6 +157,26 @@ class ExecutionPlan:
     est_bytes: int
     budget_bytes: int
     reasons: tuple[str, ...]
+    #: Measured per-stage wall seconds of the execution this plan drove
+    #: (``(("candidate", s), ("prune", s), ("verify", s))``), attached
+    #: after the run via :meth:`with_measured`.  ``None`` until the join
+    #: has actually executed.  Keeping the measurement next to the
+    #: estimates is what makes the plan a calibration record: a fleet of
+    #: archived plans relates ``est_candidates``/``est_bytes`` to real
+    #: stage times, from which the model's first-order constants can be
+    #: refit.
+    measured: tuple[tuple[str, float], ...] | None = None
+
+    def with_measured(
+        self, stage_seconds: dict[str, float]
+    ) -> "ExecutionPlan":
+        """A copy of this plan carrying measured per-stage wall times."""
+        return replace(self, measured=tuple(sorted(stage_seconds.items())))
+
+    @property
+    def measured_seconds(self) -> dict[str, float]:
+        """Measured per-stage wall times as a dict (empty before run)."""
+        return dict(self.measured or ())
 
     def describe(self) -> str:
         """Human-readable explain block (the CLI's ``--explain``)."""
@@ -170,6 +190,9 @@ class ExecutionPlan:
             f" (budget {self.budget_bytes / (1 << 20):.1f} MiB)",
         ]
         lines.extend(f"  - {reason}" for reason in self.reasons)
+        if self.measured:
+            stages = " ".join(f"{k}={v:.3f}s" for k, v in self.measured)
+            lines.append(f"  measured: {stages}")
         return "\n".join(lines)
 
 
@@ -270,4 +293,133 @@ def choose_plan(
     return ExecutionPlan(
         "array-parallel", chosen, n_p, n_q, density, est_cand, est_mem,
         budget, tuple(reasons),
+    )
+
+
+# ----------------------------------------------------------------------
+# ordered browsing (top-k) planning
+# ----------------------------------------------------------------------
+
+#: Above this ``k`` the lazy R-tree route loses its point: per-pair
+#: Python verification descends from the roots once per result, while
+#: the streamed array engine amortizes whole radius bands per batch.
+TOPK_OBJ_MAX_K = 64
+
+#: Above this many total points, building (or even walking) the object
+#: R-trees costs more Python time than the whole streamed-array run.
+TOPK_OBJ_MAX_POINTS = 5_000
+
+#: How many candidate pairs a radius band is expected to enumerate per
+#: requested result on uniform-like data (bands overshoot ``k`` so the
+#: sorted emission is contiguous).
+_TOPK_OVERSCAN = 4
+
+
+def choose_topk_plan(
+    points_p,
+    points_q,
+    k: int,
+    workers: int | None = None,
+    budget_bytes: int | None = None,
+    trees_prebuilt: bool = False,
+) -> ExecutionPlan:
+    """Pick the execution route for one top-k (ordered) RCJ request.
+
+    Chooses between the streamed-array enumeration
+    (:mod:`repro.engine.streaming`) and the R-tree incremental distance
+    join (:func:`repro.core.topk.top_k_rcj`) from ``k``, the dataset
+    sizes and the density sample:
+
+    - tiny ``k`` over small (or already-indexed) datasets favours the
+      lazy R-tree heap — it touches work proportional to the answer's
+      neighbourhood and nothing else;
+    - everything larger favours the streamed array engine, whose
+      KD-tree/column setup is linear but whose per-band work is
+      vectorized;
+    - a working set beyond the memory budget forces the R-tree route
+      regardless (the stream materializes columns and a union KD-tree).
+
+    ``trees_prebuilt`` widens the R-tree regime: when the caller already
+    holds bulk-loaded indexes (a bench workload, a dynamic deployment),
+    the object route starts with its main cost already paid.
+    """
+    n_p, n_q = len(points_p), len(points_q)
+    budget = memory_budget_bytes() if budget_bytes is None else budget_bytes
+    if n_p == 0 or n_q == 0 or k <= 0:
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, 1.0, 0, 0, budget,
+            ("empty request: nothing to plan",),
+        )
+    density = sample_density_factor(points_p, points_q)
+    est_cand = int(
+        min(
+            max(k, 1) * max(density, 1.0) * _TOPK_OVERSCAN,
+            float(n_p) * float(n_q),
+        )
+    )
+    est_mem = estimate_bytes(n_p, n_q, 1, est_cand)
+    reasons: list[str] = []
+    if est_mem > budget:
+        reasons.append(
+            f"estimated working set {est_mem} B exceeds the {budget} B "
+            "budget: enumerate lazily through the R-tree heap"
+        )
+        return ExecutionPlan(
+            "obj", 1, n_p, n_q, density, est_cand, est_mem, budget,
+            tuple(reasons),
+        )
+    small_data = trees_prebuilt or (n_p + n_q) <= TOPK_OBJ_MAX_POINTS
+    if k <= TOPK_OBJ_MAX_K and small_data:
+        reasons.append(
+            f"k={k} <= {TOPK_OBJ_MAX_K} over "
+            + (
+                "prebuilt indexes"
+                if trees_prebuilt
+                else f"{n_p + n_q} points"
+            )
+            + ": the incremental R-tree heap reads only the answer's"
+            " neighbourhood"
+        )
+        return ExecutionPlan(
+            "obj", 1, n_p, n_q, density, est_cand, est_mem, budget,
+            tuple(reasons),
+        )
+    reasons.append(
+        f"k={k}, |P|+|Q|={n_p + n_q}: streamed radius bands amortize"
+        " candidate generation and verification over whole batches"
+    )
+    return ExecutionPlan(
+        "array", 1, n_p, n_q, density, est_cand, est_mem, budget,
+        tuple(reasons),
+    )
+
+
+# ----------------------------------------------------------------------
+# dynamic (incremental-maintenance) backend planning
+# ----------------------------------------------------------------------
+
+def choose_dynamic_backend(
+    n_p: int, n_q: int, budget_bytes: int | None = None
+) -> tuple[str, str]:
+    """``(backend, reason)`` for a dynamic RCJ deployment.
+
+    The columnar backend (:class:`repro.engine.streaming.DynamicArrayRCJ`)
+    answers each update with batched kernel work but keeps the whole
+    pointset (columns plus KD-trees) resident; when that working set
+    exceeds the memory budget the R*-tree backend
+    (:class:`repro.core.dynamic.DynamicRCJ`) — whose structure *is* the
+    disk-resident index — is the honest choice.
+    """
+    budget = memory_budget_bytes() if budget_bytes is None else budget_bytes
+    resident = estimate_bytes(n_p, n_q, 1, 0)
+    if resident > budget:
+        return (
+            "obj",
+            f"resident columns + KD-trees ({resident} B) exceed the "
+            f"{budget} B budget: keep the R*-tree structure on disk",
+        )
+    return (
+        "array",
+        f"working set {resident} B fits the {budget} B budget: batched"
+        " columnar kernels answer each update",
     )

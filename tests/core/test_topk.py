@@ -82,3 +82,43 @@ class TestTopK:
         pairs = top_k_rcj(tree, tree, 20, exclude_same_oid=True)
         assert pairs
         assert all(p.p.oid != p.q.oid for p in pairs)
+
+    def test_stops_pulling_at_kth_verified_pair(self, monkeypatch):
+        # The candidate stream must not advance a single candidate past
+        # the k-th verified pair, and must be closed at that point (no
+        # half-open generator left to expand heap nodes on GC whims).
+        import repro.core.topk as topk_mod
+
+        state = {"pulls": 0, "closed": False}
+        original = topk_mod.incremental_closest_pairs
+
+        def counting(tree_p, tree_q):
+            try:
+                for item in original(tree_p, tree_q):
+                    state["pulls"] += 1
+                    yield item
+            finally:
+                state["closed"] = True
+
+        monkeypatch.setattr(topk_mod, "incremental_closest_pairs", counting)
+        _, _, tree_p, tree_q = build(n_p=400, n_q=400, seed_p=3, seed_q=4)
+        k = 12
+        got = topk_mod.top_k_rcj(tree_p, tree_q, k)
+        assert len(got) == k
+        assert state["closed"]
+
+        # Expected pulls: candidates up to and including the k-th
+        # verified pair — replayed on the untouched stream.
+        verified = 0
+        expected = 0
+        for _dist, p, q in original(tree_p, tree_q):
+            expected += 1
+            candidate = topk_mod.Candidate(p, q)
+            topk_mod.verify_circles(tree_p, [candidate])
+            if candidate.alive:
+                topk_mod.verify_circles(tree_q, [candidate])
+            if candidate.alive:
+                verified += 1
+                if verified == k:
+                    break
+        assert state["pulls"] == expected

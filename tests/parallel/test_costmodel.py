@@ -8,8 +8,11 @@ import pytest
 from repro.datasets.fixtures import clustered_pair, uniform_pair
 from repro.engine.arrays import PointArray
 from repro.parallel.costmodel import (
+    TOPK_OBJ_MAX_K,
     ExecutionPlan,
+    choose_dynamic_backend,
     choose_plan,
+    choose_topk_plan,
     estimate_bytes,
     estimate_candidates,
     memory_budget_bytes,
@@ -180,3 +183,70 @@ class TestEstimatesAndExplain:
         assert isinstance(plan, ExecutionPlan)
         with pytest.raises(Exception):
             plan.engine = "brute"
+
+    def test_with_measured_keeps_plan_frozen_and_describes(self):
+        points_p, points_q = uniform_pair(60, 60, seed=13)
+        plan = choose_plan(points_p, points_q)
+        assert plan.measured is None and plan.measured_seconds == {}
+        measured = plan.with_measured({"candidate": 0.5, "verify": 0.25})
+        assert measured.measured_seconds == {"candidate": 0.5, "verify": 0.25}
+        assert measured.engine == plan.engine
+        assert "measured:" in measured.describe()
+        assert "candidate=0.500s" in measured.describe()
+        with pytest.raises(Exception):
+            measured.measured = None
+
+
+class TestTopkPlan:
+    def test_small_k_small_data_goes_obj(self):
+        points_p, points_q = uniform_pair(300, 300, seed=20)
+        plan = choose_topk_plan(points_p, points_q, k=5, budget_bytes=BIG)
+        assert plan.engine == "obj"
+        assert plan.reasons
+
+    def test_large_k_goes_array(self):
+        points_p, points_q = uniform_pair(300, 300, seed=20)
+        plan = choose_topk_plan(
+            points_p, points_q, k=TOPK_OBJ_MAX_K + 1, budget_bytes=BIG
+        )
+        assert plan.engine == "array"
+
+    def test_large_data_goes_array_even_for_tiny_k(self):
+        points_p, points_q = uniform_pair(400, 400, seed=21)
+        plan = choose_topk_plan(
+            _fake_big(points_p, 100),
+            _fake_big(points_q, 100),
+            k=5,
+            budget_bytes=BIG,
+        )
+        assert plan.engine == "array"
+
+    def test_prebuilt_trees_widen_the_obj_regime(self):
+        points_p, points_q = uniform_pair(400, 400, seed=21)
+        big_p, big_q = _fake_big(points_p, 100), _fake_big(points_q, 100)
+        plan = choose_topk_plan(
+            big_p, big_q, k=5, budget_bytes=BIG, trees_prebuilt=True
+        )
+        assert plan.engine == "obj"
+
+    def test_budget_overflow_forces_obj(self):
+        points_p, points_q = uniform_pair(500, 500, seed=22)
+        plan = choose_topk_plan(points_p, points_q, k=1000, budget_bytes=1)
+        assert plan.engine == "obj"
+
+    def test_empty_or_zero_k_trivial(self):
+        points_p, points_q = uniform_pair(50, 50, seed=23)
+        assert choose_topk_plan([], points_q, k=5).engine == "array"
+        assert choose_topk_plan(points_p, points_q, k=0).engine == "array"
+
+
+class TestDynamicBackendChoice:
+    def test_fits_budget_picks_array(self):
+        backend, reason = choose_dynamic_backend(1000, 1000, budget_bytes=BIG)
+        assert backend == "array"
+        assert "fits" in reason
+
+    def test_over_budget_picks_obj(self):
+        backend, reason = choose_dynamic_backend(1000, 1000, budget_bytes=1)
+        assert backend == "obj"
+        assert "budget" in reason

@@ -121,6 +121,48 @@ class TestTopK:
             (a, b) for a, b, *_ in all_pairs[:5]
         }
 
+    def test_topk_engines_agree_via_cli(self, files, tmp_path):
+        p, q = files
+        results = {}
+        for engine in ("auto", "array", "obj", "pointwise"):
+            out = str(tmp_path / f"topk_{engine}.txt")
+            assert main(["topk", p, q, "-k", "6", "--engine", engine,
+                         "-o", out]) == 0
+            results[engine] = read_pairs(out)
+        assert (
+            results["auto"] == results["array"]
+            == results["obj"] == results["pointwise"]
+        )
+
+    def test_join_mode_topk(self, files, tmp_path, capsys):
+        p, q = files
+        via_mode = str(tmp_path / "mode.txt")
+        via_topk = str(tmp_path / "topk.txt")
+        assert main(["join", p, q, "--mode", "topk", "--top-k", "4",
+                     "--engine", "array", "-o", via_mode]) == 0
+        assert "top-4" in capsys.readouterr().err
+        main(["topk", p, q, "-k", "4", "--engine", "array", "-o", via_topk])
+        assert read_pairs(via_mode) == read_pairs(via_topk)
+
+    def test_top_k_flag_implies_mode(self, files, tmp_path):
+        p, q = files
+        out = str(tmp_path / "implied.txt")
+        assert main(["join", p, q, "--top-k", "3", "-o", out]) == 0
+        pairs = read_pairs(out)
+        assert len(pairs) == 3
+        radii = [r for *_rest, r in pairs]
+        assert radii == sorted(radii)
+
+    def test_mode_topk_requires_top_k(self, files, capsys):
+        p, q = files
+        assert main(["join", p, q, "--mode", "topk"]) == 2
+        assert "--top-k" in capsys.readouterr().err
+
+    def test_topk_auto_explain(self, files, capsys):
+        p, q = files
+        assert main(["topk", p, q, "-k", "3", "--explain"]) == 0
+        assert "plan: engine=" in capsys.readouterr().err
+
 
 class TestResemblance:
     @pytest.fixture
