@@ -9,9 +9,9 @@ import math
 
 from repro.core.gabriel import gabriel_rcj
 from repro.datasets.real import join_combination
+from repro.engine.families import run_family_join
 from repro.evaluation.report import format_series
 from repro.evaluation.resemblance import precision_recall
-from repro.joins.epsilon import epsilon_join_arrays
 
 from benchmarks.conftest import emit
 
@@ -26,7 +26,7 @@ def _mean_nn_distance(points) -> float:
     return float(dists[:, 1].mean())
 
 
-def _sweep(combo: str, scale_factor: int):
+def _sweep(combo: str, scale_factor: int, engine: str):
     points_q, points_p = join_combination(combo, scale=scale_factor)
     rcj_keys = {r.key() for r in gabriel_rcj(points_p, points_q)}
     # The paper sweeps ε in absolute units over the full-size datasets;
@@ -35,16 +35,26 @@ def _sweep(combo: str, scale_factor: int):
     multipliers = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
     precisions, recalls = [], []
     for m in multipliers:
-        eps_keys = epsilon_join_arrays(points_p, points_q, unit * m)
+        eps = unit * m
+        eps_keys = run_family_join(
+            points_p, points_q, "epsilon", engine=engine, eps=eps
+        ).pair_keys()
+        if engine != "pointwise" and m == 1.0:
+            oracle = run_family_join(
+                points_p, points_q, "epsilon", engine="pointwise", eps=eps
+            ).pair_keys()
+            assert eps_keys == oracle
         prec, rec = precision_recall(eps_keys, rcj_keys)
         precisions.append(prec)
         recalls.append(rec)
     return multipliers, precisions, recalls, unit
 
 
-def test_fig10_eps_resemblance(benchmark, scale):
+def test_fig10_eps_resemblance(benchmark, scale, family_engine):
     outputs = benchmark.pedantic(
-        lambda: {c: _sweep(c, scale.scale) for c in ("SP", "LP")},
+        lambda: {
+            c: _sweep(c, scale.scale, family_engine) for c in ("SP", "LP")
+        },
         rounds=1,
         iterations=1,
     )

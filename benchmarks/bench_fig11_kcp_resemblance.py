@@ -6,22 +6,18 @@ are *not* the globally closest pairs: pairs in sparse regions have
 large circles yet join, so even k = |RCJ| misses many.)
 """
 
-import itertools
-
-from repro.bench.runner import build_workload
 from repro.core.gabriel import gabriel_rcj
 from repro.datasets.real import join_combination
+from repro.engine.families import run_family_join
 from repro.evaluation.report import format_series
 from repro.evaluation.resemblance import precision_recall
-from repro.joins.closest_pairs import incremental_closest_pairs
 
 from benchmarks.conftest import emit
 
 
-def _sweep(combo: str, scale_factor: int):
+def _sweep(combo: str, scale_factor: int, engine: str):
     points_q, points_p = join_combination(combo, scale=scale_factor)
     rcj_keys = {r.key() for r in gabriel_rcj(points_p, points_q)}
-    workload = build_workload(points_q, points_p)
     n_result = len(rcj_keys)
     # k as fractions of the RCJ result size (the paper sweeps k up to
     # the order of the result cardinality).
@@ -29,10 +25,18 @@ def _sweep(combo: str, scale_factor: int):
     k_values = [max(1, int(n_result * f)) for f in fractions]
     k_max = max(k_values)
 
-    pairs_in_order = []
-    gen = incremental_closest_pairs(workload.tree_p, workload.tree_q)
-    for _d, p, q in itertools.islice(gen, k_max):
-        pairs_in_order.append((p.oid, q.oid))
+    # One k_max run covers the whole sweep: the result is canonically
+    # ordered by (distance, p.oid, q.oid), so the answer for any
+    # smaller k is its prefix.
+    report = run_family_join(
+        points_p, points_q, "kcp", engine=engine, k=k_max
+    )
+    pairs_in_order = [pair.key() for pair in report.pairs]
+    if engine != "pointwise":
+        oracle = run_family_join(
+            points_p, points_q, "kcp", engine="pointwise", k=k_max
+        )
+        assert pairs_in_order == [pair.key() for pair in oracle.pairs]
 
     precisions, recalls = [], []
     for k in k_values:
@@ -43,9 +47,11 @@ def _sweep(combo: str, scale_factor: int):
     return fractions, k_values, precisions, recalls
 
 
-def test_fig11_kcp_resemblance(benchmark, scale):
+def test_fig11_kcp_resemblance(benchmark, scale, family_engine):
     outputs = benchmark.pedantic(
-        lambda: {c: _sweep(c, scale.scale) for c in ("SP", "LP")},
+        lambda: {
+            c: _sweep(c, scale.scale, family_engine) for c in ("SP", "LP")
+        },
         rounds=1,
         iterations=1,
     )

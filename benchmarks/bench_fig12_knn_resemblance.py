@@ -6,34 +6,41 @@ pairs are not defined by nearest-neighbour ranks (a far pair in a
 sparse region joins while a near pair with a blocker does not).
 """
 
-from repro.bench.runner import build_workload
 from repro.core.gabriel import gabriel_rcj
 from repro.datasets.real import join_combination
+from repro.engine.families import run_family_join
 from repro.evaluation.report import format_series
 from repro.evaluation.resemblance import precision_recall
-from repro.joins.knn import knn_join_prefixes
 
 from benchmarks.conftest import emit
 
 K_MAX = 10  # the paper sweeps k in 1..10
 
 
-def _sweep(combo: str, scale_factor: int):
+def _sweep(combo: str, scale_factor: int, engine: str):
     points_q, points_p = join_combination(combo, scale=scale_factor)
     rcj_keys = {r.key() for r in gabriel_rcj(points_p, points_q)}
-    workload = build_workload(points_q, points_p)
-    prefixes = knn_join_prefixes(points_p, workload.tree_q, K_MAX)
     precisions, recalls = [], []
     for k in range(1, K_MAX + 1):
-        prec, rec = precision_recall(prefixes[k], rcj_keys)
+        knn_keys = run_family_join(
+            points_p, points_q, "knn", engine=engine, k=k
+        ).pair_keys()
+        if engine != "pointwise" and k == K_MAX:
+            oracle = run_family_join(
+                points_p, points_q, "knn", engine="pointwise", k=k
+            ).pair_keys()
+            assert knn_keys == oracle
+        prec, rec = precision_recall(knn_keys, rcj_keys)
         precisions.append(prec)
         recalls.append(rec)
     return precisions, recalls
 
 
-def test_fig12_knn_resemblance(benchmark, scale):
+def test_fig12_knn_resemblance(benchmark, scale, family_engine):
     outputs = benchmark.pedantic(
-        lambda: {c: _sweep(c, scale.scale) for c in ("SP", "LP")},
+        lambda: {
+            c: _sweep(c, scale.scale, family_engine) for c in ("SP", "LP")
+        },
         rounds=1,
         iterations=1,
     )

@@ -26,6 +26,34 @@ from repro.datasets import fixtures as dataset_fixtures
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+FAMILY_ENGINES = ("pointwise", "array", "array-parallel", "auto")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        choices=FAMILY_ENGINES,
+        default=None,
+        help=(
+            "Execution engine for the join-family sweeps (fig10-12): the"
+            " pointwise reference oracles or the vectorized operator"
+            " pipelines.  Defaults to $REPRO_FAMILY_ENGINE, else 'array'."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def family_engine(request) -> str:
+    """Engine the resemblance sweeps run their join families on."""
+    opt = request.config.getoption("--engine")
+    if opt is None:
+        opt = os.environ.get("REPRO_FAMILY_ENGINE", "array")
+    if opt not in FAMILY_ENGINES:
+        raise pytest.UsageError(
+            f"REPRO_FAMILY_ENGINE={opt!r} not in {FAMILY_ENGINES}"
+        )
+    return opt
+
 
 def emit(name: str, text: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""

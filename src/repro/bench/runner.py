@@ -168,7 +168,12 @@ def run_all_algorithms(workload: Workload, **kwargs) -> dict[str, JoinReport]:
 # smoke entry point (CI canary)
 # ----------------------------------------------------------------------
 
-def smoke(n: int = 4000, workers: int = 2, topk: bool = False) -> int:
+def smoke(
+    n: int = 4000,
+    workers: int = 2,
+    topk: bool = False,
+    families: bool = False,
+) -> int:
     """Cross-engine smoke run: OBJ vs ARRAY vs PARALLEL vs AUTO.
 
     A bounded-size canary for CI: builds one uniform workload, runs the
@@ -180,6 +185,10 @@ def smoke(n: int = 4000, workers: int = 2, topk: bool = False) -> int:
     ``topk=True`` additionally runs the ordered-browsing canary: every
     ``run_topk`` engine's first-k prefix must equal the canonically
     sorted full join, key for key.
+
+    ``families=True`` additionally runs the join-family canary: every
+    family pipeline (ε / kNN / kcp / CIJ) against its pointwise oracle,
+    the shardable ones through a real worker pool as well.
 
     Returns a process exit code (0 = all engines agree).
     """
@@ -213,6 +222,8 @@ def smoke(n: int = 4000, workers: int = 2, topk: bool = False) -> int:
         )
     if topk:
         failed |= _smoke_topk(workload, reports["ARRAY"], k=50)
+    if families:
+        failed |= _smoke_families(points_p, points_q, workers, min_shard)
     print(f"smoke: |P|={n} |Q|={n + n // 4} workers={workers} "
           f"{'FAILED' if failed else 'passed'}")
     return 1 if failed else 0
@@ -244,6 +255,64 @@ def _smoke_topk(workload: Workload, full: JoinReport, k: int) -> bool:
     return failed
 
 
+def _smoke_families(
+    points_p: list[Point],
+    points_q: list[Point],
+    workers: int,
+    min_shard: int,
+) -> bool:
+    """Join-family canary: each pipeline vs its pointwise oracle.
+
+    Runs every family of :data:`repro.engine.families.FAMILY_NAMES`
+    (except the RCJ itself, which the main smoke rows cover) on the
+    smoke workload: the serial pipeline always, plus a real worker pool
+    for the shardable families.  kcp compares the exact canonical order
+    (ties included); the set-valued families compare key sets.  Returns
+    True on divergence (the caller's failure flag convention).
+    """
+    from repro.engine.families import SHARDABLE_FAMILIES, run_family_join
+
+    # CIJ's serial geometric step dominates at smoke scale; cap its
+    # input so the canary stays fast while still covering the pipeline.
+    cij_p, cij_q = points_p[:600], points_q[:600]
+    cases = [
+        ("epsilon", {"eps": 25.0}, points_p, points_q),
+        ("knn", {"k": 4}, points_p, points_q),
+        ("kcp", {"k": 100}, points_p, points_q),
+        ("cij", {}, cij_p, cij_q),
+    ]
+    failed = False
+    for family, params, fam_p, fam_q in cases:
+        oracle = run_family_join(
+            fam_p, fam_q, family, engine="pointwise", **params
+        )
+        runs = {"array": run_family_join(
+            fam_p, fam_q, family, engine="array", **params
+        )}
+        if family in SHARDABLE_FAMILIES:
+            runs["array-parallel"] = run_family_join(
+                fam_p,
+                fam_q,
+                family,
+                engine="array-parallel",
+                workers=workers,
+                min_shard=min_shard,
+                **params,
+            )
+        want = [pair.key() for pair in oracle.pairs]
+        for engine, report in runs.items():
+            got = [pair.key() for pair in report.pairs]
+            agree = got == want
+            failed |= not agree
+            print(
+                f"{family:>8}/{engine}: {report.result_count} pairs, "
+                f"{report.cpu_seconds:.3f}s wall "
+                f"(oracle {oracle.cpu_seconds:.3f}s) "
+                f"[{'ok' if agree else 'DIVERGED'}]"
+            )
+    return failed
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """``python -m repro.bench.runner`` — currently the smoke canary."""
     import argparse
@@ -262,12 +331,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="also run the ordered-browsing (top-k) canary",
     )
+    parser.add_argument(
+        "--families",
+        action="store_true",
+        help="also run the join-family (eps/knn/kcp/cij) canary",
+    )
     parser.add_argument("--n", type=int, default=4000,
                         help="smoke |P| (|Q| is 1.25x)")
     parser.add_argument("--workers", type=int, default=2)
     args = parser.parse_args(argv)
     if args.smoke:
-        return smoke(n=args.n, workers=args.workers, topk=args.topk)
+        return smoke(
+            n=args.n,
+            workers=args.workers,
+            topk=args.topk,
+            families=args.families,
+        )
     parser.error("nothing to do: pass --smoke")
     return 2  # pragma: no cover
 

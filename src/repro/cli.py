@@ -8,6 +8,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro join p.txt q.txt --engine array -o pairs.txt
     python -m repro join p.txt q.txt --engine auto --workers 4 --explain
     python -m repro join p.txt q.txt --mode topk --top-k 10
+    python -m repro join p.txt q.txt --family epsilon --param 50 --explain
+    python -m repro join p.txt q.txt --family knn --param 4 --engine array
     python -m repro selfjoin p.txt -o postboxes.txt
     python -m repro topk p.txt q.txt -k 10 --engine array
     python -m repro resemblance p.txt q.txt --join eps --param 50
@@ -61,7 +63,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _method_for(args: argparse.Namespace) -> str:
     """The effective algorithm: a non-pointwise ``--engine`` overrides
     ``--method``."""
-    return args.method if args.engine == "pointwise" else args.engine
+    engine = args.engine or "pointwise"
+    return args.method if engine == "pointwise" else engine
 
 
 def _explain_hypothetical(points_p, points_q, args) -> None:
@@ -77,7 +80,79 @@ def _explain_hypothetical(points_p, points_q, args) -> None:
     print(plan.describe(), file=sys.stderr)
 
 
+def _family_param(args: argparse.Namespace) -> tuple[float | None, int | None]:
+    """``(eps, k)`` parsed from ``--param`` for the selected family."""
+    if args.family == "epsilon":
+        if args.param is None:
+            raise SystemExit("--family epsilon requires --param EPS")
+        return float(args.param), None
+    if args.family in ("knn", "kcp"):
+        if args.param is None:
+            raise SystemExit(f"--family {args.family} requires --param K")
+        return None, int(args.param)
+    if args.param is not None:
+        raise SystemExit(f"--family {args.family} takes no --param")
+    return None, None
+
+
+def _cmd_family_join(args: argparse.Namespace) -> int:
+    """A non-RCJ family join: pipeline dispatch through the planner."""
+    from repro.engine import explain_family
+
+    points_p = load_points(args.pointset_p)
+    points_q = load_points(args.pointset_q)
+    eps, k = _family_param(args)
+    # Families default to cost-based planning; an explicit --engine
+    # (including 'pointwise', the reference oracle) pins the path.
+    engine = args.engine or "auto"
+    if args.explain:
+        print(
+            explain_family(
+                points_p,
+                points_q,
+                args.family,
+                eps=eps,
+                k=k,
+                workers=args.workers,
+            ),
+            file=sys.stderr,
+        )
+    report = run_join(
+        points_p,
+        points_q,
+        family=args.family,
+        engine=engine,
+        eps=eps,
+        k=k,
+        workers=args.workers,
+    )
+    pairs = report.pairs
+    if args.output:
+        with open(args.output, "w") as f:
+            _write_pairs(pairs, f)
+    else:
+        _write_pairs(pairs, sys.stdout)
+    print(
+        f"{args.family}({args.pointset_p} x {args.pointset_q}) via "
+        f"{report.algorithm.lower()}: {len(pairs)} pairs",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
+    if args.family != "rcj":
+        if args.mode == "topk" or args.top_k is not None:
+            print(
+                "--mode topk applies to --family rcj only "
+                "(use --family kcp for ordered closest pairs)",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_family_join(args)
+    if args.param is not None:
+        print("--param applies to non-rcj families only", file=sys.stderr)
+        return 2
     points_p = load_points(args.pointset_p)
     points_q = load_points(args.pointset_q)
     method = _method_for(args)
@@ -238,11 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--engine",
             choices=ENGINE_NAMES,
-            default="pointwise",
+            default=None,
             help="execution engine: the pointwise algorithm selected by "
             "--method, the vectorized batch engine, the sharded "
             "multi-process engine, or cost-based auto-selection "
-            "(everything but 'pointwise' overrides --method)",
+            "(everything but 'pointwise' overrides --method; default: "
+            "pointwise for RCJ, auto for --family joins)",
         )
         cmd.add_argument(
             "--workers",
@@ -260,10 +336,28 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument("-o", "--output", default=None)
 
-    join = sub.add_parser("join", help="ring-constrained join of two pointset files")
+    join = sub.add_parser(
+        "join",
+        help="spatial join of two pointset files "
+        "(RCJ by default; --family selects the other paper joins)",
+    )
     join.add_argument("pointset_p")
     join.add_argument("pointset_q")
     add_engine_args(join)
+    join.add_argument(
+        "--family",
+        choices=("rcj", "epsilon", "knn", "kcp", "cij"),
+        default="rcj",
+        help="join family: ring-constrained (default), epsilon-distance, "
+        "k-nearest-neighbour, k-closest-pairs, or common influence — "
+        "non-rcj families run as engine pipelines via the planner",
+    )
+    join.add_argument(
+        "--param",
+        default=None,
+        help="family parameter: eps distance (epsilon) or k (knn/kcp); "
+        "rcj and cij take none",
+    )
     join.add_argument(
         "--mode",
         choices=("join", "topk"),

@@ -15,15 +15,26 @@ class RCJPair:
     Besides the pair itself the enclosing circle is part of the result:
     its centre is the derived *fair middleman location* and its radius
     (half the pair distance) the fairness radius, both of which the
-    paper's applications consume directly.
+    paper's applications consume directly.  The circle is derived
+    lazily on first access: bulk joins materialise hundreds of
+    thousands of pairs whose circles are never read, and the eager
+    :class:`~repro.geometry.ring.Ring` construction used to dominate
+    the vectorized engines' wall time.
     """
 
-    __slots__ = ("p", "q", "circle")
+    __slots__ = ("p", "q", "_circle")
 
     def __init__(self, p: Point, q: Point, circle: Circle | None = None):
         self.p = p
         self.q = q
-        self.circle = circle if circle is not None else Ring.of_pair(p, q)
+        self._circle = circle
+
+    @property
+    def circle(self) -> Circle:
+        """The enclosing circle (derived from the endpoints on demand)."""
+        if self._circle is None:
+            self._circle = Ring.of_pair(self.p, self.q)
+        return self._circle
 
     @property
     def center(self) -> tuple[float, float]:

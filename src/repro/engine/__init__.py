@@ -19,7 +19,16 @@ algorithms in :mod:`repro.core`:
 - :mod:`repro.engine.streaming` — the columnar streaming layer:
   :func:`stream_pairs_by_diameter` (lazy ascending-diameter
   enumeration behind top-k) and :class:`DynamicArrayRCJ` (incremental
-  maintenance with batched kernels).
+  maintenance with batched kernels);
+- :mod:`repro.engine.operators` — the composable operator algebra the
+  kernels factor into: columnar candidate sources, filter/verify
+  stages and sinks, chained by :class:`~repro.engine.operators.Pipeline`
+  with per-stage wall-time measurement;
+- :mod:`repro.engine.families` — the paper's other join families
+  (ε-join, kNN-join, k-closest-pairs, common influence) declared as
+  such pipelines, behind :func:`run_family_join` (and
+  ``run_join(family=...)``), with the pointwise implementations in
+  :mod:`repro.joins` kept as reference oracles.
 
 The ``array`` engine produces results identical to the pointwise
 algorithms (the kernels evaluate the exact same IEEE dot-product
@@ -28,6 +37,13 @@ working unchanged on its reports.
 """
 
 from repro.engine.arrays import PointArray
+from repro.engine.families import (
+    FAMILY_NAMES,
+    build_family_pipeline,
+    explain_family,
+    run_family_join,
+)
+from repro.engine.operators import JoinContext, Pipeline
 from repro.engine.planner import (
     ALGORITHM_NAMES,
     ENGINE_NAMES,
@@ -47,12 +63,18 @@ from repro.engine.streaming import (
 __all__ = [
     "ALGORITHM_NAMES",
     "ENGINE_NAMES",
+    "FAMILY_NAMES",
     "TOPK_ENGINE_NAMES",
     "DynamicArrayRCJ",
+    "JoinContext",
+    "Pipeline",
     "PointArray",
     "array_parallel_rcj",
     "array_rcj",
+    "build_family_pipeline",
+    "explain_family",
     "make_dynamic",
+    "run_family_join",
     "run_join",
     "run_topk",
     "sort_pairs_by_diameter",

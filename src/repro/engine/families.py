@@ -1,0 +1,410 @@
+"""Join families as declared pipelines over the columnar engine.
+
+The paper compares the RCJ against the other pointset joins of its
+Table 1 — the ε-join, the kNN-join, k-closest-pairs and the common
+influence join (Figures 10–12).  Their reference implementations in
+:mod:`repro.joins` are pointwise object code; this module re-expresses
+each family as a short :class:`~repro.engine.operators.Pipeline` over
+the engine's operator stages, so every family inherits vectorization,
+Hilbert-sharded parallel execution (where its probe loop shards),
+streaming enumeration and cost-based engine choice from the same
+substrate the RCJ runs on:
+
+=========== ========================================================
+family      pipeline
+=========== ========================================================
+``epsilon`` ``range(eps) -> distance(d<=eps) -> collect``
+``knn``     ``knn(k) -> collect``
+``kcp``     ``band(k) -> take-smallest(k)`` (the PR 5
+            expanding-radius cursor as a source; stops at the first
+            completed band holding ``k`` pairs)
+``cij``     ``cell-overlap -> sat-verify -> collect``
+``rcj``     ``band(k) -> prune -> verify -> take-smallest(k)``
+            (the streamed top-k RCJ, composed from the same stages —
+            the bulk RCJ keeps its dedicated kernels behind
+            :func:`repro.engine.planner.run_join`)
+=========== ========================================================
+
+Every pipeline's pair set is identical to its pointwise oracle's
+(:mod:`repro.joins.epsilon`, :mod:`repro.joins.knn`,
+:mod:`repro.joins.closest_pairs`, :mod:`repro.joins.common_influence`)
+— the cross-family equivalence suite pins this — and every run records
+measured per-stage wall times on ``JoinReport.stage_seconds``.
+
+:func:`run_family_join` is the execution entry point;
+:func:`repro.engine.planner.run_join` dispatches to it for
+``family != "rcj"`` so callers keep one front door.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.pairs import JoinReport, RCJPair
+from repro.engine.arrays import PointArray
+from repro.engine.operators import (
+    BandSource,
+    CellOverlapSource,
+    CollectAll,
+    DistanceFilter,
+    JoinContext,
+    KnnSource,
+    Pipeline,
+    PolygonIntersectVerify,
+    PsiPruneFilter,
+    RangeSource,
+    TakeSmallest,
+    VerifyRings,
+)
+from repro.geometry.point import Point
+
+#: The join families :func:`run_family_join` dispatches.
+FAMILY_NAMES = ("rcj", "epsilon", "knn", "kcp", "cij")
+
+#: ``engine=`` values a family join accepts (mirrors the planner's).
+FAMILY_ENGINE_NAMES = ("pointwise", "array", "array-parallel", "auto")
+
+#: Families whose probe loop shards across processes.  k-closest-pairs
+#: streams globally ordered bands (no probe-disjoint decomposition) and
+#: the CIJ's cost is dominated by the serial geometric step, so both
+#: coerce ``array-parallel`` to ``array``.
+SHARDABLE_FAMILIES = ("epsilon", "knn")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _check_family_params(
+    family: str, eps: float | None, k: int | None
+) -> None:
+    _require(
+        family in FAMILY_NAMES,
+        f"unknown join family {family!r}; expected one of {FAMILY_NAMES}",
+    )
+    if family == "epsilon":
+        _require(eps is not None, "family='epsilon' requires eps")
+        _require(eps >= 0, f"negative epsilon {eps}")
+    elif family in ("knn", "kcp"):
+        _require(k is not None, f"family={family!r} requires k")
+    elif family == "cij":
+        _require(eps is None and k is None, "family='cij' takes no parameter")
+
+
+def build_family_pipeline(
+    family: str,
+    *,
+    eps: float | None = None,
+    k: int | None = None,
+    bounds=None,
+    probes=None,
+    exclude_same_oid: bool = False,
+) -> Pipeline:
+    """The declared operator pipeline of one join family.
+
+    ``probes`` restricts the probe rows of the shardable sources (the
+    parallel workers' seam); ``bounds`` overrides the CIJ clipping
+    region.  ``family="rcj"`` composes the *streamed top-k* RCJ from
+    the generic stages — the demonstration that the RCJ's kernels
+    factor into the same algebra the other families are declared in.
+    """
+    _check_family_params(family, eps, k)
+    if family == "epsilon":
+        return Pipeline(
+            RangeSource(eps, probes=probes),
+            [DistanceFilter(eps)],
+            CollectAll(),
+        )
+    if family == "knn":
+        return Pipeline(KnnSource(k, probes=probes), [], CollectAll())
+    if family == "kcp":
+        return Pipeline(
+            BandSource(k_hint=k, exclude_same_oid=exclude_same_oid),
+            [],
+            TakeSmallest(k),
+        )
+    if family == "rcj":
+        _require(k is not None, "the streamed RCJ pipeline requires k")
+        return Pipeline(
+            BandSource(k_hint=k, exclude_same_oid=exclude_same_oid),
+            [PsiPruneFilter(), VerifyRings()],
+            TakeSmallest(k),
+        )
+    return Pipeline(
+        CellOverlapSource(bounds), [PolygonIntersectVerify()], CollectAll()
+    )
+
+
+def describe_family_pipeline(
+    family: str,
+    *,
+    eps: float | None = None,
+    k: int | None = None,
+) -> str:
+    """The pipeline's operator chain as a string, without running it."""
+    if family == "rcj":
+        # The bulk RCJ runs the dedicated kernels, not a declared
+        # pipeline; describe what actually executes.
+        return "candidate(knn-window) -> prune -> verify -> collect"
+    if family in ("knn", "kcp") and k is None:
+        k = 1
+    return build_family_pipeline(family, eps=eps, k=k).describe()
+
+
+def _canonical_pairs(pairs: list[tuple[Point, Point]]) -> list[RCJPair]:
+    """Wrap oracle output pairs in canonical ``(p.oid, q.oid)`` order."""
+    return [
+        RCJPair(p, q)
+        for p, q in sorted(pairs, key=lambda t: (t[0].oid, t[1].oid))
+    ]
+
+
+def _pointwise_family(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    family: str,
+    eps: float | None,
+    k: int | None,
+    bounds,
+    report: JoinReport,
+) -> None:
+    """Run the reference oracle of one family into ``report``."""
+    from repro.rtree.bulk import bulk_load
+
+    if family == "epsilon":
+        if not points_p or not points_q:
+            report.pairs = []
+            return
+        tree_p = bulk_load(points_p, name="FP")
+        tree_q = bulk_load(points_q, name="FQ")
+        from repro.joins.epsilon import epsilon_join
+
+        report.pairs = _canonical_pairs(epsilon_join(tree_p, tree_q, eps))
+        report.node_accesses = tree_p.node_accesses + tree_q.node_accesses
+    elif family == "knn":
+        if not points_p or not points_q or k <= 0:
+            report.pairs = []
+            return
+        tree_q = bulk_load(points_q, name="FQ")
+        from repro.joins.knn import knn_join
+
+        report.pairs = _canonical_pairs(knn_join(points_p, tree_q, k))
+        report.node_accesses = tree_q.node_accesses
+    elif family == "kcp":
+        if not points_p or not points_q or k <= 0:
+            report.pairs = []
+            return
+        tree_p = bulk_load(points_p, name="FP")
+        tree_q = bulk_load(points_q, name="FQ")
+        from repro.joins.closest_pairs import k_closest_pairs
+
+        report.pairs = [
+            RCJPair(p, q) for _d, p, q in k_closest_pairs(tree_p, tree_q, k)
+        ]
+        report.node_accesses = tree_p.node_accesses + tree_q.node_accesses
+    else:  # cij
+        from repro.joins.common_influence import common_influence_join
+
+        report.pairs = _canonical_pairs(
+            common_influence_join(points_p, points_q, bounds=bounds)
+        )
+    report.candidate_count = len(report.pairs)
+
+
+def run_family_join(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    family: str,
+    *,
+    engine: str | None = None,
+    eps: float | None = None,
+    k: int | None = None,
+    bounds=None,
+    workers: int | None = None,
+    buffer_budget_bytes: int | None = None,
+    min_shard: int | None = None,
+) -> JoinReport:
+    """Run one join family end to end and return its report.
+
+    Parameters
+    ----------
+    points_p, points_q:
+        The two pointsets (``points_p`` is the neighbour side of the
+        kNN join: pairs are ``<p, q among p's k NNs in Q>``... see each
+        family's oracle for its orientation).
+    family:
+        One of :data:`FAMILY_NAMES` (``"rcj"`` delegates to the bulk
+        RCJ planner, :func:`repro.engine.planner.run_join`).
+    engine:
+        ``"pointwise"`` (the reference oracle), ``"array"`` (the serial
+        pipeline), ``"array-parallel"`` (sharded pool, shardable
+        families only — others coerce to ``"array"``) or ``"auto"``
+        (default: :func:`repro.parallel.costmodel.choose_family_plan`,
+        whose decision rides on ``report.plan``).
+    eps, k:
+        The family parameter (ε radius / result bound).
+    bounds:
+        CIJ clipping region override (default: the shared
+        :func:`repro.joins.common_influence.cij_bounds`).
+    workers, buffer_budget_bytes:
+        Planner/parallel-engine budgets, as in ``run_join``.
+    min_shard:
+        Shard-granularity override for the parallel engine (tests force
+        real pools on small data with it).
+    """
+    _check_family_params(family, eps, k)
+    if engine is None:
+        engine = "auto"
+    if engine not in FAMILY_ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {FAMILY_ENGINE_NAMES}"
+        )
+
+    if family == "rcj":
+        from repro.engine.planner import run_join
+
+        # engine="pointwise" keeps run_join's default algorithm (the
+        # paper's OBJ on the R-tree backend) — the RCJ reference oracle.
+        return run_join(
+            points_p,
+            points_q,
+            engine=engine,
+            workers=workers,
+            buffer_budget_bytes=buffer_budget_bytes,
+        )
+
+    plan = None
+    if engine == "auto":
+        from repro.parallel.costmodel import choose_family_plan
+
+        plan = choose_family_plan(
+            family,
+            points_p,
+            points_q,
+            eps=eps,
+            k=k,
+            workers=workers,
+            budget_bytes=buffer_budget_bytes,
+        )
+        engine = plan.engine
+        workers = plan.workers
+    if engine == "array-parallel" and family not in SHARDABLE_FAMILIES:
+        engine = "array"
+
+    report = JoinReport(f"{family.upper()}-{engine.upper()}")
+    report.plan = plan
+    stages: dict = {}
+    t0 = time.perf_counter()
+
+    if engine == "pointwise":
+        _pointwise_family(
+            points_p, points_q, family, eps, k, bounds, report
+        )
+        report.cpu_seconds = time.perf_counter() - t0
+        return report
+
+    points_p = list(points_p)
+    points_q = list(points_q)
+    if family in ("knn", "kcp") and k <= 0:
+        report.pairs = []
+        report.cpu_seconds = time.perf_counter() - t0
+        return report
+
+    parr = PointArray.from_points(points_p)
+    qarr = PointArray.from_points(points_q)
+    if engine == "array-parallel":
+        from repro.parallel.pool import parallel_family_pair_indices
+
+        kwargs = {} if min_shard is None else {"min_shard": min_shard}
+        p_idx, q_idx, stages, candidates = parallel_family_pair_indices(
+            family,
+            parr,
+            qarr,
+            eps=eps,
+            k=k,
+            workers=workers,
+            **kwargs,
+        )
+    else:
+        pipeline = build_family_pipeline(family, eps=eps, k=k, bounds=bounds)
+        ctx = JoinContext(
+            parr,
+            qarr,
+            stage_seconds=stages,
+            points_p=points_p,
+            points_q=points_q,
+        )
+        result = pipeline.run(ctx)
+        p_idx, q_idx = result.p_idx, result.q_idx
+        candidates = int(ctx.counters.get("candidates", 0))
+
+    report.pairs = [
+        RCJPair(points_p[pi], points_q[qi])
+        for pi, qi in zip(p_idx.tolist(), q_idx.tolist())
+    ]
+    report.candidate_count = candidates
+    report.cpu_seconds = time.perf_counter() - t0
+    from repro.engine.planner import _attach_measurements
+
+    _attach_measurements(report, stages)
+    return report
+
+
+def explain_family(
+    points_p: Sequence[Point],
+    points_q: Sequence[Point],
+    family: str,
+    *,
+    eps: float | None = None,
+    k: int | None = None,
+    workers: int | None = None,
+    budget_bytes: int | None = None,
+) -> str:
+    """Explain block for one family join: the chosen plan plus the
+    declared pipeline with its per-stage estimates (the CLI's
+    ``join --family ... --explain``)."""
+    _check_family_params(family, eps, k)
+    if family == "rcj":
+        from repro.parallel.costmodel import choose_plan
+
+        plan = choose_plan(
+            points_p, points_q, workers=workers, budget_bytes=budget_bytes
+        )
+    else:
+        from repro.parallel.costmodel import choose_family_plan
+
+        plan = choose_family_plan(
+            family,
+            points_p,
+            points_q,
+            eps=eps,
+            k=k,
+            workers=workers,
+            budget_bytes=budget_bytes,
+        )
+    lines = [plan.describe()]
+    lines.append(
+        "pipeline: " + describe_family_pipeline(family, eps=eps, k=k)
+    )
+    n_p, n_q = len(points_p), len(points_q)
+    probe = n_p if family == "knn" else n_q
+    lines.append(
+        f"  source:  ~{probe} probes -> ~{plan.est_candidates} candidate"
+        " pairs"
+    )
+    if family == "epsilon":
+        lines.append(
+            "  filter:  exact d<=eps cut over each candidate block"
+        )
+    elif family == "cij":
+        lines.append(
+            "  verify:  convex SAT per overlapping cell-bbox pair"
+        )
+    elif family == "kcp":
+        lines.append(
+            f"  sink:    stop at the first completed band holding"
+            f" {k} pairs"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,927 @@
+"""Composable columnar operator stages: the engine's join algebra.
+
+The batch kernels of :mod:`repro.engine.kernels` run the RCJ as one
+monolithic call.  This module factors the same execution substrate —
+KD-tree candidate generation, blocked exact filters, Ψ− pruning, batch
+verification — into *operator stages* that consume and produce columnar
+candidate blocks, so a join family is a declared
+``Pipeline(source, stages, sink)`` rather than a bespoke traversal:
+
+========================= ============================================
+operator                  role
+========================= ============================================
+:class:`RangeSource`      candidates within a radius (ε-join)
+:class:`KnnSource`        tie-canonical k-NN candidates (kNN-join)
+:class:`BandSource`       expanding-radius bands in ascending distance
+                          (k-closest-pairs / streamed RCJ; the PR 5
+                          resume-cursor enumeration as a source stage)
+:class:`CellOverlapSource` Voronoi-cell bbox overlaps (common
+                          influence join)
+:class:`DistanceFilter`   exact ``d² <= ε²`` cut over a block
+:class:`SameOidFilter`    self-join identity filter
+:class:`PsiPruneFilter`   blocked Ψ− half-plane pruning
+:class:`VerifyRings`      batch ring-emptiness verification
+:class:`PolygonIntersectVerify` exact convex-SAT verification (CIJ)
+:class:`CollectAll`       sink: all pairs, canonical ``(p.oid, q.oid)``
+:class:`TakeSmallest`     sink: ``k`` smallest distances, early stop
+========================= ============================================
+
+Exactness contract (inherited from the kernels): sources over-enumerate
+but never miss — every ball query and escalation carries a margin
+dominating its floating-point error — while filters and verifiers
+evaluate the *same IEEE expressions* as the pointwise oracles
+(``dx*dx + dy*dy`` distances, the ``(s-p)·(s-q)`` ring predicate, the
+closed-bbox/SAT cell test).  A pipeline's pair set is therefore
+identical to its oracle's; the cross-family equivalence suite pins
+this.
+
+Blocks flow lazily: a source yields bounded
+:class:`CandidateBlock`\\ s, every stage transforms one block at a
+time, and sinks may stop the source early (``TakeSmallest`` closes the
+band enumeration after the ``k``-th completed band).  Each stage's wall
+time accumulates under its name in ``JoinContext.stage_seconds`` — the
+per-stage measurement record the planner attaches to
+:attr:`~repro.core.pairs.JoinReport.stage_seconds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.engine.arrays import PointArray
+from repro.engine.kernels import (
+    halfplane_prune_pairs,
+    stage_timer,
+    verify_rings_batch,
+)
+
+#: Probe points per ball-query / KNN block.
+_PROBE_BLOCK = 8192
+
+#: Relative inflation of every conservative ball-query radius: the
+#: query must never *miss* a boundary member to rounding; the exact
+#: filter downstream keeps the final say.
+_QUERY_INFLATION = 1e-9
+
+#: Ψ− pruners per candidate (probe's nearest inner-side neighbours).
+_PRUNERS = 8
+
+#: Pairs a single expanding band may enumerate before the band is
+#: halved (memory bound of the band enumeration).
+_MAX_BAND_PAIRS = 262_144
+
+#: Growth factor of the expanding band radius.
+_BAND_GROWTH = 2.0
+
+#: Bisection steps when shrinking an over-full band; a band of
+#: exactly-tied distances cannot be split, so the shrink is best-effort
+#: and an over-full band is processed whole rather than dropped.
+_MAX_BAND_SHRINKS = 24
+
+
+def _coord_scale(*arrays: np.ndarray) -> float:
+    """Magnitude scale of the input coordinates (>= 1), the basis of
+    every absolute inflation margin."""
+    scale = 1.0
+    for arr in arrays:
+        if len(arr):
+            scale = max(scale, float(np.abs(arr).max()))
+    return scale
+
+
+def _flatten_ball_lists(lists, count: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-flatten ``query_ball_point`` output into ``(flat, counts)``."""
+    counts = np.fromiter((len(lst) for lst in lists), np.int64, count=count)
+    total = int(counts.sum())
+    flat = np.empty(total, dtype=np.int64)
+    pos = 0
+    for lst in lists:
+        n = len(lst)
+        if n:
+            flat[pos : pos + n] = lst
+            pos += n
+    return flat, counts
+
+
+@dataclass
+class CandidateBlock:
+    """One columnar batch of candidate pairs flowing through a pipeline.
+
+    ``p_idx`` / ``q_idx`` are aligned row indices into the context's
+    ``parr`` / ``qarr``.  ``d_sq`` (optional) carries the exact squared
+    pair distances ``dx*dx + dy*dy`` when a stage has computed them.
+    ``complete_to`` (optional, sources that enumerate in ascending
+    distance) asserts that *every* pair with ``d_sq <= complete_to``
+    has been emitted in this or an earlier block — the completeness
+    certificate :class:`TakeSmallest` needs to stop early.
+    """
+
+    p_idx: np.ndarray
+    q_idx: np.ndarray
+    d_sq: np.ndarray | None = None
+    complete_to: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.p_idx)
+
+    @staticmethod
+    def empty() -> "CandidateBlock":
+        return CandidateBlock(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            np.empty(0, np.float64),
+        )
+
+
+class JoinContext:
+    """Shared execution state of one pipeline run.
+
+    Holds the two columnar pointsets, lazily built (and cached) query
+    structures, the per-stage wall-time accumulator and the candidate
+    counters.  For the common-influence pipeline it also carries the
+    object-level pointsets (Voronoi construction is geometric, not
+    columnar) and the computed cells.
+    """
+
+    def __init__(
+        self,
+        parr: PointArray,
+        qarr: PointArray,
+        stage_seconds: dict | None = None,
+        counters: dict | None = None,
+        points_p: Sequence | None = None,
+        points_q: Sequence | None = None,
+    ):
+        self.parr = parr
+        self.qarr = qarr
+        self.stage_seconds = {} if stage_seconds is None else stage_seconds
+        self.counters = {} if counters is None else counters
+        self._points_p = list(points_p) if points_p is not None else None
+        self._points_q = list(points_q) if points_q is not None else None
+        self._tree_p: cKDTree | None = None
+        self._tree_q: cKDTree | None = None
+        self._union: tuple[cKDTree, np.ndarray, np.ndarray] | None = None
+        self.extra: dict = {}
+
+    # -- lazy query structures (built inside the requesting stage's
+    # timer, so construction cost lands on the stage that needed it) --
+    def tree_p(self) -> cKDTree:
+        if self._tree_p is None:
+            self._tree_p = cKDTree(self.parr.coords())
+        return self._tree_p
+
+    def tree_q(self) -> cKDTree:
+        if self._tree_q is None:
+            self._tree_q = cKDTree(self.qarr.coords())
+        return self._tree_q
+
+    def set_tree_p(self, tree: cKDTree) -> None:
+        """Adopt a prebuilt KD-tree over ``parr`` (parallel workers
+        build it once per process)."""
+        self._tree_p = tree
+
+    def set_tree_q(self, tree: cKDTree) -> None:
+        """Adopt a prebuilt KD-tree over ``qarr``."""
+        self._tree_q = tree
+
+    def union(self) -> tuple[cKDTree, np.ndarray, np.ndarray]:
+        """``(union_tree, ux, uy)`` over both pointsets (verification)."""
+        if self._union is None:
+            ux = np.concatenate((self.parr.x, self.qarr.x))
+            uy = np.concatenate((self.parr.y, self.qarr.y))
+            self._union = (cKDTree(np.column_stack((ux, uy))), ux, uy)
+        return self._union
+
+    def points_p(self) -> list:
+        if self._points_p is None:
+            self._points_p = self.parr.to_points()
+        return self._points_p
+
+    def points_q(self) -> list:
+        if self._points_q is None:
+            self._points_q = self.qarr.to_points()
+        return self._points_q
+
+
+# ----------------------------------------------------------------------
+# operator base classes
+# ----------------------------------------------------------------------
+
+class Operator:
+    """Base of every pipeline operator; ``name`` keys the stage timer."""
+
+    name = "op"
+
+    def describe(self) -> str:
+        """One token for the pipeline's ``--explain`` rendering."""
+        return self.name
+
+
+class Source(Operator):
+    """Produces candidate blocks from the context's pointsets."""
+
+    def blocks(self, ctx: JoinContext) -> Iterator[CandidateBlock]:
+        raise NotImplementedError
+
+
+class Stage(Operator):
+    """Transforms one candidate block (filter, prune, verify)."""
+
+    def apply(self, ctx: JoinContext, block: CandidateBlock) -> CandidateBlock:
+        raise NotImplementedError
+
+
+class Sink(Operator):
+    """Accumulates blocks into the pipeline result.  Stateful:
+    construct a fresh pipeline (hence a fresh sink) per run."""
+
+    name = "collect"
+
+    def collect(self, ctx: JoinContext, block: CandidateBlock) -> None:
+        raise NotImplementedError
+
+    def done(self) -> bool:
+        """True once the sink needs no further blocks (early stop)."""
+        return False
+
+    def finish(self, ctx: JoinContext) -> CandidateBlock:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# sources
+# ----------------------------------------------------------------------
+
+class RangeSource(Source):
+    """All pairs within (a conservatively inflated) ``eps`` — the
+    ε-join candidate generator.
+
+    One sparse fixed-radius tree-vs-tree query per probe batch: each
+    block builds a small KD-tree over its ``qarr`` probe rows and joins
+    it against the tree over ``parr`` with
+    ``cKDTree.sparse_distance_matrix`` (all-C enumeration — measurably
+    faster than per-probe ball queries plus Python-level flattening).
+    Over-enumerates by the query inflation only; the exact cut is
+    :class:`DistanceFilter`'s job.  ``probes`` restricts the probe rows
+    (the parallel shards' seam).
+    """
+
+    name = "range"
+
+    def __init__(self, eps: float, probes: np.ndarray | None = None):
+        if eps < 0:
+            raise ValueError(f"negative epsilon {eps}")
+        self.eps = float(eps)
+        self.probes = probes
+
+    def describe(self) -> str:
+        return f"range(eps={self.eps:g})"
+
+    def blocks(self, ctx: JoinContext) -> Iterator[CandidateBlock]:
+        n_p, n_q = len(ctx.parr), len(ctx.qarr)
+        if n_p == 0 or n_q == 0:
+            return
+        with stage_timer(ctx.stage_seconds, self.name):
+            tree_p = ctx.tree_p()
+            scale = _coord_scale(ctx.parr.x, ctx.parr.y, ctx.qarr.x, ctx.qarr.y)
+            r_query = self.eps * (1.0 + _QUERY_INFLATION) + 1e-12 * scale
+            probes = (
+                np.arange(n_q, dtype=np.int64)
+                if self.probes is None
+                else np.asarray(self.probes, dtype=np.int64)
+            )
+        for bstart in range(0, probes.size, _PROBE_BLOCK):
+            with stage_timer(ctx.stage_seconds, self.name):
+                rows = probes[bstart : bstart + _PROBE_BLOCK]
+                probe_tree = cKDTree(
+                    np.column_stack((ctx.qarr.x[rows], ctx.qarr.y[rows]))
+                )
+                entries = probe_tree.sparse_distance_matrix(
+                    tree_p, r_query, output_type="ndarray"
+                )
+                if not entries.size:
+                    continue
+                q_idx = rows[entries["i"].astype(np.int64)]
+                p_idx = entries["j"].astype(np.int64)
+                block = CandidateBlock(p_idx, q_idx)
+            yield block
+
+
+class KnnSource(Source):
+    """Tie-canonical ``k``-nearest-neighbour candidates — the kNN-join
+    candidate generator.
+
+    Probes ``parr`` rows against the KD-tree over ``qarr`` (the join's
+    asymmetry: neighbours come from ``Q``).  Per probe the ``k``
+    winners are ranked by exact squared distance with ties broken by
+    ascending ``q.oid`` — :func:`repro.joins.knn.canonical_knn`'s rule,
+    evaluated blockwise.  A ``k+1``-wide KD window decides the cut;
+    probes whose window boundary ties (within a rounding-dominating
+    margin) escalate to an exact ball query, so the canonical cut never
+    depends on KD-tree traversal order.
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int, probes: np.ndarray | None = None):
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.probes = probes
+
+    def describe(self) -> str:
+        return f"knn(k={self.k})"
+
+    def blocks(self, ctx: JoinContext) -> Iterator[CandidateBlock]:
+        n_p, n_q = len(ctx.parr), len(ctx.qarr)
+        if n_p == 0 or n_q == 0:
+            return
+        k = min(self.k, n_q)
+        with stage_timer(ctx.stage_seconds, self.name):
+            tree_q = ctx.tree_q()
+            scale = _coord_scale(ctx.parr.x, ctx.parr.y, ctx.qarr.x, ctx.qarr.y)
+            abs_margin = (1e-9 * scale) ** 2
+            probes = (
+                np.arange(n_p, dtype=np.int64)
+                if self.probes is None
+                else np.asarray(self.probes, dtype=np.int64)
+            )
+        for bstart in range(0, probes.size, _PROBE_BLOCK):
+            with stage_timer(ctx.stage_seconds, self.name):
+                rows = probes[bstart : bstart + _PROBE_BLOCK]
+                block = self._block(ctx, tree_q, rows, k, n_q, abs_margin)
+            yield block
+
+    def _block(
+        self,
+        ctx: JoinContext,
+        tree_q: cKDTree,
+        rows: np.ndarray,
+        k: int,
+        n_q: int,
+        abs_margin: float,
+    ) -> CandidateBlock:
+        px = ctx.parr.x[rows]
+        py = ctx.parr.y[rows]
+        window = min(k + 1, n_q)
+        dist, nidx = tree_q.query(np.column_stack((px, py)), k=window)
+        if window == 1:
+            dist, nidx = dist[:, None], nidx[:, None]
+        # Exact squared distances and canonical (d_sq, oid) row order.
+        dx = ctx.qarr.x[nidx] - px[:, None]
+        dy = ctx.qarr.y[nidx] - py[:, None]
+        d_sq = dx * dx + dy * dy
+        noid = ctx.qarr.oid[nidx]
+        order = np.lexsort((noid, d_sq), axis=-1)
+        d_sorted = np.take_along_axis(d_sq, order, axis=-1)
+        idx_sorted = np.take_along_axis(nidx, order, axis=-1)
+
+        if window > k:
+            # Boundary ties (or rounding collisions with points outside
+            # the window) escalate to an exact ball query.
+            cut = d_sorted[:, k - 1]
+            escalate = d_sorted[:, k] <= cut * (1.0 + _QUERY_INFLATION) + abs_margin
+        else:
+            escalate = np.zeros(rows.size, dtype=bool)
+
+        out_p: list[np.ndarray] = []
+        out_q: list[np.ndarray] = []
+        out_d: list[np.ndarray] = []
+        plain = ~escalate
+        if plain.any():
+            take = min(k, window)
+            out_p.append(np.repeat(rows[plain], take))
+            out_q.append(idx_sorted[plain, :take].ravel().astype(np.int64))
+            out_d.append(d_sorted[plain, :take].ravel())
+        for row in np.nonzero(escalate)[0]:
+            cut = float(d_sorted[row, k - 1])
+            r = float(np.sqrt(cut)) * (1.0 + _QUERY_INFLATION) + 1e-9 * float(
+                np.sqrt(abs_margin) if abs_margin > 0 else 0.0
+            ) + 1e-12
+            near = np.asarray(
+                tree_q.query_ball_point(
+                    [float(px[row]), float(py[row])], r, return_sorted=False
+                ),
+                dtype=np.int64,
+            )
+            ddx = ctx.qarr.x[near] - px[row]
+            ddy = ctx.qarr.y[near] - py[row]
+            dd = ddx * ddx + ddy * ddy
+            keep = dd <= cut  # the exact canonical cutoff
+            near, dd = near[keep], dd[keep]
+            sel = np.lexsort((ctx.qarr.oid[near], dd))[:k]
+            out_p.append(np.full(sel.size, rows[row], dtype=np.int64))
+            out_q.append(near[sel])
+            out_d.append(dd[sel])
+        if not out_p:
+            return CandidateBlock.empty()
+        return CandidateBlock(
+            np.concatenate(out_p), np.concatenate(out_q), np.concatenate(out_d)
+        )
+
+
+class BandSource(Source):
+    """Expanding-radius candidate bands in ascending pair distance —
+    the PR 5 resume-cursor enumeration as a pipeline source.
+
+    Each yielded block carries the band's pairs (exact ``d_sq``) and a
+    ``complete_to`` certificate equal to the band's squared outer
+    radius: every pair at or below it has been emitted.  Band
+    membership is decided by the exact squared-distance cursor, so
+    bands are disjoint and exhaustive regardless of query rounding.
+    A band predicted to exceed :data:`_MAX_BAND_PAIRS` is bisected
+    toward the cursor (best effort — a run of exactly tied distances
+    cannot be split and is processed whole), which bounds memory
+    without a fallback join.
+    """
+
+    name = "band"
+
+    def __init__(self, k_hint: int = 1, exclude_same_oid: bool = False):
+        self.k_hint = max(int(k_hint), 1)
+        self.exclude_same_oid = exclude_same_oid
+
+    def describe(self) -> str:
+        return f"band(k_hint={self.k_hint})"
+
+    def blocks(self, ctx: JoinContext) -> Iterator[CandidateBlock]:
+        parr, qarr = ctx.parr, ctx.qarr
+        n_p, n_q = len(parr), len(qarr)
+        if n_p == 0 or n_q == 0:
+            return
+        with stage_timer(ctx.stage_seconds, self.name):
+            tree_p = ctx.tree_p()
+            tree_q = ctx.tree_q()
+            # First band: the min(k_hint, |Q|)-th smallest 1-NN distance
+            # — at least that many candidate pairs land inside it.
+            d1, _ = tree_p.query(qarr.coords(), k=1)
+            take = min(self.k_hint, n_q) - 1
+            r = float(np.partition(d1, take)[take])
+            scale = _coord_scale(parr.x, parr.y, qarr.x, qarr.y)
+            if r <= 0.0:
+                r = 1e-9 * scale
+            span_x = max(float(parr.x.max()), float(qarr.x.max())) - min(
+                float(parr.x.min()), float(qarr.x.min())
+            )
+            span_y = max(float(parr.y.max()), float(qarr.y.max())) - min(
+                float(parr.y.min()), float(qarr.y.min())
+            )
+            diag = float(np.hypot(span_x, span_y)) * (1.0 + _QUERY_INFLATION)
+            diag += 1e-9 * scale
+
+        cursor_sq = -np.inf
+        pairs_done = 0
+        while True:
+            with stage_timer(ctx.stage_seconds, self.name):
+                r = min(r, diag)
+                within = int(tree_p.count_neighbors(tree_q, r))
+                r_lo = float(np.sqrt(max(cursor_sq, 0.0)))
+                shrinks = 0
+                while (
+                    within - pairs_done > _MAX_BAND_PAIRS
+                    and shrinks < _MAX_BAND_SHRINKS
+                    and r > r_lo * (1.0 + 1e-12) + 1e-300
+                ):
+                    r = r_lo + (r - r_lo) * 0.5
+                    within = int(tree_p.count_neighbors(tree_q, r))
+                    shrinks += 1
+                block = self._enumerate_band(ctx, tree_p, r, cursor_sq)
+            yield block
+            if r >= diag:
+                return
+            cursor_sq = r * r
+            pairs_done = within
+            r *= _BAND_GROWTH
+
+    def _enumerate_band(
+        self, ctx: JoinContext, tree_p: cKDTree, r: float, cursor_sq: float
+    ) -> CandidateBlock:
+        parr, qarr = ctx.parr, ctx.qarr
+        n_q = len(qarr)
+        r_sq = r * r
+        r_query = r * (1.0 + _QUERY_INFLATION)
+        band_p: list[np.ndarray] = []
+        band_q: list[np.ndarray] = []
+        band_d: list[np.ndarray] = []
+        for bstart in range(0, n_q, _PROBE_BLOCK):
+            bend = min(bstart + _PROBE_BLOCK, n_q)
+            lists = tree_p.query_ball_point(
+                np.column_stack((qarr.x[bstart:bend], qarr.y[bstart:bend])),
+                r_query,
+                return_sorted=False,
+            )
+            flat, counts = _flatten_ball_lists(lists, bend - bstart)
+            if not flat.size:
+                continue
+            rows = np.repeat(np.arange(bstart, bend, dtype=np.int64), counts)
+            dx = parr.x[flat] - qarr.x[rows]
+            dy = parr.y[flat] - qarr.y[rows]
+            d_sq = dx * dx + dy * dy
+            mask = (d_sq > cursor_sq) & (d_sq <= r_sq)
+            if self.exclude_same_oid:
+                mask &= parr.oid[flat] != qarr.oid[rows]
+            band_p.append(flat[mask])
+            band_q.append(rows[mask])
+            band_d.append(d_sq[mask])
+        if not band_p:
+            return CandidateBlock(
+                np.empty(0, np.int64), np.empty(0, np.int64),
+                np.empty(0, np.float64), complete_to=r_sq,
+            )
+        return CandidateBlock(
+            np.concatenate(band_p),
+            np.concatenate(band_q),
+            np.concatenate(band_d),
+            complete_to=r_sq,
+        )
+
+
+class CellOverlapSource(Source):
+    """Voronoi-cell bounding-box overlaps — the common-influence-join
+    candidate generator.
+
+    Builds both clipped Voronoi diagrams (the geometric step, reusing
+    :func:`repro.joins.common_influence.voronoi_cells` so cell shapes
+    are bit-identical to the oracle's), then finds candidate cell pairs
+    vectorized: a KD-tree over ``Q``-cell bbox centres queried with a
+    conservatively inflated radius, cut down by the exact closed
+    interval-overlap test on the stored bbox edges.  Overlapping
+    polygons always have overlapping closed bboxes, so the candidate
+    set is a superset of the true result; the exact SAT decision is
+    :class:`PolygonIntersectVerify`'s.  Cells land in
+    ``ctx.extra["cells_p"/"cells_q"]`` for that verifier.
+    """
+
+    name = "cells"
+
+    def __init__(self, bounds=None):
+        self.bounds = bounds
+
+    def describe(self) -> str:
+        return "cell-overlap"
+
+    def blocks(self, ctx: JoinContext) -> Iterator[CandidateBlock]:
+        from repro.joins.common_influence import cij_bounds, voronoi_cells
+
+        points_p = ctx.points_p()
+        points_q = ctx.points_q()
+        if not points_p or not points_q:
+            return
+        with stage_timer(ctx.stage_seconds, self.name):
+            bounds = (
+                cij_bounds(points_p, points_q)
+                if self.bounds is None
+                else self.bounds
+            )
+            cells_p = voronoi_cells(points_p, bounds)
+            cells_q = voronoi_cells(points_q, bounds)
+            ctx.extra["cells_p"] = cells_p
+            ctx.extra["cells_q"] = cells_q
+
+            boxes_p, idx_p = _cell_boxes(cells_p)
+            boxes_q, idx_q = _cell_boxes(cells_q)
+            if not idx_p.size or not idx_q.size:
+                return
+            # KD-tree over Q-cell bbox centres; the query radius bounds
+            # the centre distance of any overlapping bbox pair.
+            cxq = 0.5 * (boxes_q[:, 0] + boxes_q[:, 2])
+            cyq = 0.5 * (boxes_q[:, 1] + boxes_q[:, 3])
+            hxq = 0.5 * (boxes_q[:, 2] - boxes_q[:, 0])
+            hyq = 0.5 * (boxes_q[:, 3] - boxes_q[:, 1])
+            tree = cKDTree(np.column_stack((cxq, cyq)))
+            hxq_max = float(hxq.max())
+            hyq_max = float(hyq.max())
+            cxp = 0.5 * (boxes_p[:, 0] + boxes_p[:, 2])
+            cyp = 0.5 * (boxes_p[:, 1] + boxes_p[:, 3])
+            hxp = 0.5 * (boxes_p[:, 2] - boxes_p[:, 0])
+            hyp = 0.5 * (boxes_p[:, 3] - boxes_p[:, 1])
+            scale = _coord_scale(
+                np.abs(boxes_p).ravel(), np.abs(boxes_q).ravel()
+            )
+            radii = np.hypot(hxp + hxq_max, hyp + hyq_max)
+            radii = radii * (1.0 + _QUERY_INFLATION) + 1e-9 * scale
+
+        for bstart in range(0, idx_p.size, _PROBE_BLOCK):
+            with stage_timer(ctx.stage_seconds, self.name):
+                bend = min(bstart + _PROBE_BLOCK, idx_p.size)
+                rows = np.arange(bstart, bend)
+                lists = tree.query_ball_point(
+                    np.column_stack((cxp[rows], cyp[rows])),
+                    radii[rows],
+                    return_sorted=False,
+                )
+                flat, counts = _flatten_ball_lists(lists, rows.size)
+                if not flat.size:
+                    continue
+                prow = np.repeat(rows, counts)
+                # Exact closed bbox overlap on the stored edges.
+                keep = (
+                    (boxes_p[prow, 0] <= boxes_q[flat, 2])
+                    & (boxes_q[flat, 0] <= boxes_p[prow, 2])
+                    & (boxes_p[prow, 1] <= boxes_q[flat, 3])
+                    & (boxes_q[flat, 1] <= boxes_p[prow, 3])
+                )
+                prow, flat = prow[keep], flat[keep]
+                if not prow.size:
+                    continue
+                block = CandidateBlock(idx_p[prow], idx_q[flat])
+            yield block
+
+
+def _cell_boxes(cells) -> tuple[np.ndarray, np.ndarray]:
+    """``(boxes, index)``: bbox rows of the non-empty cells plus their
+    original point indices."""
+    from repro.geometry.polygon import polygon_bbox
+
+    idx = [i for i, cell in enumerate(cells) if cell]
+    if not idx:
+        return np.empty((0, 4)), np.empty(0, np.int64)
+    boxes = np.array([polygon_bbox(cells[i]) for i in idx], dtype=np.float64)
+    return boxes, np.array(idx, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# filter / verify stages
+# ----------------------------------------------------------------------
+
+class DistanceFilter(Stage):
+    """The exact ε cut: keep ``dx*dx + dy*dy <= eps*eps`` — term for
+    term the R-tree ε-join oracle's leaf predicate — and record the
+    distances on the block."""
+
+    name = "distance"
+
+    def __init__(self, eps: float):
+        self.eps = float(eps)
+
+    def describe(self) -> str:
+        return f"distance(d<=eps)"
+
+    def apply(self, ctx: JoinContext, block: CandidateBlock) -> CandidateBlock:
+        dx = ctx.parr.x[block.p_idx] - ctx.qarr.x[block.q_idx]
+        dy = ctx.parr.y[block.p_idx] - ctx.qarr.y[block.q_idx]
+        d_sq = dx * dx + dy * dy
+        keep = d_sq <= self.eps * self.eps
+        return CandidateBlock(
+            block.p_idx[keep], block.q_idx[keep], d_sq[keep],
+            complete_to=block.complete_to,
+        )
+
+
+class SameOidFilter(Stage):
+    """Self-join identity filter: drop rows pairing an oid with itself."""
+
+    name = "self-filter"
+
+    def apply(self, ctx: JoinContext, block: CandidateBlock) -> CandidateBlock:
+        keep = ctx.parr.oid[block.p_idx] != ctx.qarr.oid[block.q_idx]
+        return CandidateBlock(
+            block.p_idx[keep],
+            block.q_idx[keep],
+            None if block.d_sq is None else block.d_sq[keep],
+            complete_to=block.complete_to,
+        )
+
+
+class PsiPruneFilter(Stage):
+    """Blocked Ψ− half-plane pruning against each probe's nearest
+    inner-side neighbours — the oracle's own blocker predicate
+    (:func:`repro.engine.kernels.halfplane_prune_pairs`), so a pruned
+    pair is certainly dead and survivors go on to exact verification."""
+
+    name = "prune"
+
+    def apply(self, ctx: JoinContext, block: CandidateBlock) -> CandidateBlock:
+        if not len(block):
+            return block
+        parr, qarr = ctx.parr, ctx.qarr
+        k_pr = min(_PRUNERS, len(parr))
+        probes = np.unique(block.q_idx)
+        nd, ni = ctx.tree_p().query(
+            np.column_stack((qarr.x[probes], qarr.y[probes])), k=k_pr
+        )
+        if k_pr == 1:
+            ni = ni[:, None]
+        pos = np.searchsorted(probes, block.q_idx)
+        pruned = halfplane_prune_pairs(
+            parr.x[block.p_idx],
+            parr.y[block.p_idx],
+            parr.x[ni[pos]],
+            parr.y[ni[pos]],
+            qarr.x[block.q_idx],
+            qarr.y[block.q_idx],
+        )
+        keep = ~pruned
+        return CandidateBlock(
+            block.p_idx[keep],
+            block.q_idx[keep],
+            None if block.d_sq is None else block.d_sq[keep],
+            complete_to=block.complete_to,
+        )
+
+
+class VerifyRings(Stage):
+    """Batch ring-emptiness verification against the union pointset —
+    :func:`repro.engine.kernels.verify_rings_batch`, the engine's exact
+    final predicate."""
+
+    name = "verify"
+
+    def apply(self, ctx: JoinContext, block: CandidateBlock) -> CandidateBlock:
+        if not len(block):
+            return block
+        union_tree, ux, uy = ctx.union()
+        alive = verify_rings_batch(
+            ctx.parr.x[block.p_idx],
+            ctx.parr.y[block.p_idx],
+            ctx.qarr.x[block.q_idx],
+            ctx.qarr.y[block.q_idx],
+            union_tree,
+            ux,
+            uy,
+        )
+        return CandidateBlock(
+            block.p_idx[alive],
+            block.q_idx[alive],
+            None if block.d_sq is None else block.d_sq[alive],
+            complete_to=block.complete_to,
+        )
+
+
+class PolygonIntersectVerify(Stage):
+    """Exact convex-SAT verification of candidate cell pairs — the same
+    :func:`repro.geometry.polygon.convex_polygons_intersect` call the
+    pointwise CIJ oracle makes, over the cells the source stashed in
+    ``ctx.extra``."""
+
+    name = "verify"
+
+    def describe(self) -> str:
+        return "sat-verify"
+
+    def apply(self, ctx: JoinContext, block: CandidateBlock) -> CandidateBlock:
+        if not len(block):
+            return block
+        from repro.geometry.polygon import convex_polygons_intersect
+
+        cells_p = ctx.extra["cells_p"]
+        cells_q = ctx.extra["cells_q"]
+        keep = np.fromiter(
+            (
+                convex_polygons_intersect(cells_p[pi], cells_q[qi])
+                for pi, qi in zip(block.p_idx.tolist(), block.q_idx.tolist())
+            ),
+            bool,
+            count=len(block),
+        )
+        return CandidateBlock(
+            block.p_idx[keep], block.q_idx[keep], None, block.complete_to
+        )
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+
+class CollectAll(Sink):
+    """Accumulate every surviving pair; finish in canonical
+    ``(p.oid, q.oid)`` order.  Sources emit disjoint blocks (per-probe
+    partitions or cursor-disjoint bands), so no deduplication is
+    needed."""
+
+    def __init__(self):
+        self._p: list[np.ndarray] = []
+        self._q: list[np.ndarray] = []
+        self._d: list[np.ndarray] = []
+        self._has_d = True
+
+    def collect(self, ctx: JoinContext, block: CandidateBlock) -> None:
+        self._p.append(block.p_idx)
+        self._q.append(block.q_idx)
+        if block.d_sq is None:
+            self._has_d = False
+        else:
+            self._d.append(block.d_sq)
+
+    def finish(self, ctx: JoinContext) -> CandidateBlock:
+        with stage_timer(ctx.stage_seconds, self.name):
+            if not self._p:
+                return CandidateBlock.empty()
+            p_idx = np.concatenate(self._p)
+            q_idx = np.concatenate(self._q)
+            d_sq = np.concatenate(self._d) if self._has_d and self._d else None
+            order = np.lexsort(
+                (ctx.qarr.oid[q_idx], ctx.parr.oid[p_idx])
+            )
+            return CandidateBlock(
+                p_idx[order],
+                q_idx[order],
+                None if d_sq is None else d_sq[order],
+            )
+
+
+class TakeSmallest(Sink):
+    """The ``k`` smallest-distance pairs, ascending, ties canonical.
+
+    Requires blocks with ``d_sq`` and a ``complete_to`` certificate
+    (i.e. a :class:`BandSource` upstream).  Stops the source as soon as
+    ``k`` pairs are complete — every uncollected pair is certified
+    farther than the band edge, hence farther than all ``k`` winners —
+    and finishes sorted by ``(d_sq, p.oid, q.oid)``, the canonical
+    ascending-diameter order shared with
+    :func:`repro.engine.streaming.pair_order_key`.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self._p: list[np.ndarray] = []
+        self._q: list[np.ndarray] = []
+        self._d: list[np.ndarray] = []
+        self._complete = 0
+
+    def describe(self) -> str:
+        return f"take-smallest(k={self.k})"
+
+    def collect(self, ctx: JoinContext, block: CandidateBlock) -> None:
+        if block.d_sq is None or block.complete_to is None:
+            raise ValueError(
+                "TakeSmallest needs d_sq blocks with a completeness"
+                " certificate (a BandSource upstream)"
+            )
+        self._p.append(block.p_idx)
+        self._q.append(block.q_idx)
+        self._d.append(block.d_sq)
+        # Every collected pair has d_sq <= the band edge, so after a
+        # completed band the running total counts exactly the pairs at
+        # or below complete_to.
+        self._complete += len(block)
+
+    def done(self) -> bool:
+        return self._complete >= self.k
+
+    def finish(self, ctx: JoinContext) -> CandidateBlock:
+        with stage_timer(ctx.stage_seconds, self.name):
+            if not self._p:
+                return CandidateBlock.empty()
+            p_idx = np.concatenate(self._p)
+            q_idx = np.concatenate(self._q)
+            d_sq = np.concatenate(self._d)
+            order = np.lexsort(
+                (ctx.qarr.oid[q_idx], ctx.parr.oid[p_idx], d_sq)
+            )[: self.k]
+            return CandidateBlock(p_idx[order], q_idx[order], d_sq[order])
+
+
+# ----------------------------------------------------------------------
+# the pipeline driver
+# ----------------------------------------------------------------------
+
+class Pipeline:
+    """A declared join: one source, filter/verify stages, one sink.
+
+    ``run`` drives source blocks through the stages one at a time
+    (bounded memory, no barrier between blocks), feeds the sink, and
+    honours the sink's early stop.  ``ctx.counters["candidates"]``
+    accumulates the pairs the source emitted (the family's
+    ``candidate_count`` accounting figure).  Sinks hold state: build a
+    fresh ``Pipeline`` per run.
+    """
+
+    def __init__(
+        self, source: Source, stages: Sequence[Stage] = (), sink: Sink | None = None
+    ):
+        self.source = source
+        self.stages = tuple(stages)
+        self.sink = sink if sink is not None else CollectAll()
+
+    def describe(self) -> str:
+        """The declared operator chain, e.g.
+        ``range(eps=50) -> distance(d<=eps) -> collect``."""
+        ops = (self.source, *self.stages, self.sink)
+        return " -> ".join(op.describe() for op in ops)
+
+    def run(self, ctx: JoinContext) -> CandidateBlock:
+        source_blocks = self.source.blocks(ctx)
+        try:
+            for block in source_blocks:
+                ctx.counters["candidates"] = ctx.counters.get(
+                    "candidates", 0
+                ) + len(block)
+                for stage in self.stages:
+                    if not len(block):
+                        break
+                    with stage_timer(ctx.stage_seconds, stage.name):
+                        block = stage.apply(ctx, block)
+                self.sink.collect(ctx, block)
+                if self.sink.done():
+                    break
+        finally:
+            close = getattr(source_blocks, "close", None)
+            if close is not None:
+                close()
+        return self.sink.finish(ctx)

@@ -174,8 +174,10 @@ def run_join(
     backend: str = "auto",
     *,
     engine: str | None = None,
+    family: str = "rcj",
     mode: str = "join",
     k: int | None = None,
+    eps: float | None = None,
     workers: int | None = None,
     buffer_budget_bytes: int | None = None,
     exclude_same_oid: bool = False,
@@ -204,6 +206,13 @@ def run_join(
         ``"array-parallel"``, ``"auto"`` (cost-based planning) or
         ``"pointwise"`` (keep ``algorithm`` as given).  Mirrors the
         CLI's ``--engine`` flag.
+    family:
+        The join family (:data:`repro.engine.families.FAMILY_NAMES`).
+        ``"rcj"`` (default) runs this planner's own algorithms; any
+        other family dispatches to
+        :func:`repro.engine.families.run_family_join` with the same
+        engine selection — ε-joins need ``eps``, kNN and
+        k-closest-pairs need ``k``.
     mode:
         ``"join"`` (the full result; default) or ``"topk"`` (the ``k``
         smallest-diameter pairs in ascending order — the CLI's
@@ -231,6 +240,37 @@ def run_join(
         Passed through to the underlying algorithm (e.g. ``verify``,
         ``search_order`` for INJ, ``k0`` for the array engine).
     """
+    if family != "rcj":
+        # Imported lazily: families builds on this planner.
+        from repro.engine.families import run_family_join
+
+        if mode != "join":
+            raise ValueError(
+                f"family={family!r} supports mode='join' only"
+                " (k-closest-pairs IS the family's ordered mode)"
+            )
+        if algorithm != "obj" or backend != "auto":
+            raise ValueError(
+                "family joins take engine=..., not algorithm/backend"
+            )
+        if exclude_same_oid:
+            raise ValueError(
+                f"exclude_same_oid is not defined for family={family!r}"
+            )
+        return run_family_join(
+            points_p,
+            points_q,
+            family,
+            engine=engine,
+            eps=eps,
+            k=k,
+            workers=workers,
+            buffer_budget_bytes=buffer_budget_bytes,
+            **algorithm_kwargs,
+        )
+    if eps is not None:
+        raise ValueError("eps applies to family='epsilon' only")
+
     name = algorithm.lower()
     if engine is not None:
         if engine not in ENGINE_NAMES:

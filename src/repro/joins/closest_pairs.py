@@ -27,6 +27,15 @@ def incremental_closest_pairs(
     pair; node pairs are expanded lazily, so taking the first ``k``
     results performs work proportional to the neighbourhood of the
     answer.
+
+    Ties are canonical: pairs at exactly equal squared distance are
+    buffered until the heap can no longer produce that distance, then
+    emitted sorted by ``(p.oid, q.oid)`` — the same tie rule as the
+    array engine's :func:`repro.engine.streaming.pair_order_key`, so
+    every ``k``-prefix of this stream equals the ``k``-prefix of the
+    canonically sorted full join, independent of heap arrival order.
+    Distinct distances flush immediately, so laziness is unchanged on
+    general-position data.
     """
     if tree_p.root_pid is None or tree_q.root_pid is None:
         return
@@ -77,14 +86,24 @@ def incremental_closest_pairs(
                     ),
                 )
 
+    # Pairs of one equal-distance run, held back until no heap entry
+    # (pair or unexpanded node) could still produce that distance.
+    pending: list[tuple[float, Point, Point]] = []
+    pending_d = 0.0
     while heap:
         dist_sq, _tie, is_pair, payload = heapq.heappop(heap)
         if is_pair:
             p, q = payload
-            yield math.sqrt(dist_sq), p, q
+            pending.append((dist_sq, p, q))
+            pending_d = dist_sq
         else:
             _tag, pid_p, pid_q = payload
             push_nodes(pid_p, pid_q)
+        if pending and (not heap or heap[0][0] > pending_d):
+            pending.sort(key=lambda t: (t[1].oid, t[2].oid))
+            for d_sq, pp, qq in pending:
+                yield math.sqrt(d_sq), pp, qq
+            pending.clear()
 
 
 def k_closest_pairs(

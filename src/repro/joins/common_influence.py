@@ -40,6 +40,28 @@ from repro.geometry.rect import Rect
 _BOX_MARGIN = 0.05
 
 
+def cij_bounds(
+    points_p: Sequence[Point], points_q: Sequence[Point]
+) -> Rect:
+    """The default CIJ clipping region: the joint MBR expanded by the
+    box margin.
+
+    Factored out so the pointwise oracle and the columnar cell-overlap
+    pipeline (:mod:`repro.engine.families`) compute the *same* floats —
+    identical bounds give identical clipped cells, which is what makes
+    their result pair sets comparable bit-for-bit.
+    """
+    mbr = Rect.from_points(list(points_p) + list(points_q))
+    margin_x = (mbr.xmax - mbr.xmin) * _BOX_MARGIN + 1.0
+    margin_y = (mbr.ymax - mbr.ymin) * _BOX_MARGIN + 1.0
+    return Rect(
+        mbr.xmin - margin_x,
+        mbr.ymin - margin_y,
+        mbr.xmax + margin_x,
+        mbr.ymax + margin_y,
+    )
+
+
 def voronoi_cell(
     p: Point, others: Sequence[Point], box: Sequence[Vertex]
 ) -> list[Vertex]:
@@ -157,15 +179,7 @@ def common_influence_join(
     if not points_p or not points_q:
         return []
     if bounds is None:
-        mbr = Rect.from_points(list(points_p) + list(points_q))
-        margin_x = (mbr.xmax - mbr.xmin) * _BOX_MARGIN + 1.0
-        margin_y = (mbr.ymax - mbr.ymin) * _BOX_MARGIN + 1.0
-        bounds = Rect(
-            mbr.xmin - margin_x,
-            mbr.ymin - margin_y,
-            mbr.xmax + margin_x,
-            mbr.ymax + margin_y,
-        )
+        bounds = cij_bounds(points_p, points_q)
     cells_p = voronoi_cells(points_p, bounds)
     cells_q = voronoi_cells(points_q, bounds)
 

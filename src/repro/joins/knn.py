@@ -8,6 +8,7 @@ inputs changes the result (paper, Table 1).
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.geometry.point import Point
@@ -15,20 +16,52 @@ from repro.rtree.inn import incremental_nearest
 from repro.rtree.tree import RTree
 
 
+def canonical_knn(p: Point, tree_q: RTree, k: int) -> list[Point]:
+    """The ``k`` nearest ``Q``-neighbours of ``p`` in canonical tie order.
+
+    Neighbours are ranked by exact squared distance
+    ``dx*dx + dy*dy`` (the IEEE expression shared with the array
+    engine), ties broken by ascending ``oid`` — so the cut at the
+    ``k``-th distance is deterministic rather than an accident of heap
+    arrival order.  The incremental stream is consumed just past the
+    cutoff distance: the whole tied run at the ``k``-th distance is
+    buffered, then the canonical first ``k`` win.
+    """
+    if k <= 0:
+        return []
+    got: list[tuple[float, int, Point]] = []
+    cutoff: float | None = None
+    sqrt_cutoff = 0.0
+    for dist, q in incremental_nearest(tree_q, p.x, p.y):
+        dx, dy = p.x - q.x, p.y - q.y
+        d_sq = dx * dx + dy * dy
+        if cutoff is not None and d_sq > cutoff:
+            if dist > sqrt_cutoff:
+                break  # stream ascends: no further tie can appear
+            continue  # rounding collision at the cutoff: skip, keep looking
+        got.append((d_sq, q.oid, q))
+        if cutoff is None and len(got) == k:
+            cutoff = max(t[0] for t in got)
+            sqrt_cutoff = math.sqrt(cutoff)
+    got.sort(key=lambda t: (t[0], t[1]))
+    return [q for _d, _oid, q in got[:k]]
+
+
 def knn_join(
     points_p: Sequence[Point], tree_q: RTree, k: int
 ) -> list[tuple[Point, Point]]:
-    """Pairs ``<p, q>`` with ``q`` among the ``k`` NNs of ``p`` in ``Q``."""
+    """Pairs ``<p, q>`` with ``q`` among the ``k`` NNs of ``p`` in ``Q``.
+
+    Ties at the ``k``-th neighbour distance are cut canonically
+    (:func:`canonical_knn`), so the result is a deterministic function
+    of the pointsets — identical to the columnar pipeline's
+    (:mod:`repro.engine.families`) on tie-riddled data.
+    """
     if k <= 0:
         return []
     out: list[tuple[Point, Point]] = []
     for p in points_p:
-        found = 0
-        for _dist, q in incremental_nearest(tree_q, p.x, p.y):
-            out.append((p, q))
-            found += 1
-            if found == k:
-                break
+        out.extend((p, q) for q in canonical_knn(p, tree_q, k))
     return out
 
 
@@ -38,15 +71,15 @@ def knn_join_prefixes(
     """Identity sets of the kNN join for every ``k`` in ``1..k_max``.
 
     One incremental-NN pass per point serves the whole sweep — the
-    Figure 12 resemblance experiment evaluates many ``k`` values.
+    Figure 12 resemblance experiment evaluates many ``k`` values.  The
+    canonical ``k_max``-neighbour list serves every smaller ``k``: its
+    ``k``-prefix is exactly the canonical ``k``-NN set (all strictly
+    closer neighbours are included, and ties at each cutoff sort by
+    oid).
     """
     neighbor_lists: list[tuple[int, list[int]]] = []
     for p in points_p:
-        qs: list[int] = []
-        for _dist, q in incremental_nearest(tree_q, p.x, p.y):
-            qs.append(q.oid)
-            if len(qs) == k_max:
-                break
+        qs = [q.oid for q in canonical_knn(p, tree_q, k_max)]
         neighbor_lists.append((p.oid, qs))
 
     prefixes: dict[int, set[tuple[int, int]]] = {}

@@ -297,6 +297,148 @@ def choose_plan(
 
 
 # ----------------------------------------------------------------------
+# join-family planning
+# ----------------------------------------------------------------------
+
+def _epsilon_candidates(
+    points_p, points_q, n_p: int, n_q: int, eps: float, density: float
+) -> int:
+    """First-order ε-join candidate volume: per probe, the expected
+    ``P`` population of an ε-disc at the sampled density."""
+    _n, px, py = _sampled_coords(points_p, _SAMPLE_P)
+    if len(px) < 2:
+        return n_q * min(n_p, 1)
+    area = (float(px.max()) - float(px.min())) * (
+        float(py.max()) - float(py.min())
+    )
+    if not (area > 0.0 and np.isfinite(area)):
+        return n_p * n_q  # degenerate extent: assume everything matches
+    per_probe = n_p * np.pi * eps * eps / area * max(density, 1.0)
+    return int(n_q * min(max(per_probe, 1.0), float(n_p)))
+
+
+def choose_family_plan(
+    family: str,
+    points_p,
+    points_q,
+    eps: float | None = None,
+    k: int | None = None,
+    workers: int | None = None,
+    budget_bytes: int | None = None,
+) -> ExecutionPlan:
+    """Pick the execution engine for one join-family request.
+
+    Same decision structure as :func:`choose_plan`, parameterized by
+    the family's candidate-volume model: ``eps``-disc population per
+    probe (ε-join), ``k`` per probe (kNN), band overscan
+    (k-closest-pairs), near-linear cell counts (CIJ).  A working set
+    beyond the memory budget selects the ``pointwise`` oracle (the
+    object-code path streams through Python instead of materializing
+    columns); k-closest-pairs and the CIJ never plan ``array-parallel``
+    (no probe-disjoint decomposition / serial geometric step).
+    """
+    n_p, n_q = len(points_p), len(points_q)
+    budget = memory_budget_bytes() if budget_bytes is None else budget_bytes
+    requested = default_workers() if workers is None else workers
+    if requested < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    reasons: list[str] = []
+
+    if n_p == 0 or n_q == 0 or (family in ("knn", "kcp") and (k or 0) <= 0):
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, 1.0, 0, 0, budget,
+            ("empty request: nothing to plan",),
+        )
+
+    density = sample_density_factor(points_p, points_q)
+    if family == "epsilon":
+        est_cand = _epsilon_candidates(
+            points_p, points_q, n_p, n_q, float(eps), density
+        )
+        probe_volume = n_q
+    elif family == "knn":
+        est_cand = n_p * min(int(k), n_q)
+        probe_volume = n_p
+    elif family == "kcp":
+        est_cand = int(
+            min(
+                max(int(k), 1) * max(density, 1.0) * _TOPK_OVERSCAN,
+                float(n_p) * float(n_q),
+            )
+        )
+        probe_volume = n_q
+    else:  # cij: one cell per point, Delaunay-linear overlap volume
+        est_cand = 4 * (n_p + n_q)
+        probe_volume = n_q
+
+    serial_mem = estimate_bytes(n_p, n_q, 1, est_cand)
+    if serial_mem > budget:
+        reasons.append(
+            f"estimated working set {serial_mem} B exceeds the "
+            f"{budget} B budget: run the pointwise reference path"
+        )
+        return ExecutionPlan(
+            "pointwise", 1, n_p, n_q, density, est_cand, serial_mem,
+            budget, tuple(reasons),
+        )
+
+    if family in ("kcp", "cij"):
+        reasons.append(
+            "band streaming is globally ordered"
+            if family == "kcp"
+            else "the Voronoi construction is a serial geometric step"
+        )
+        reasons.append("serial vectorized pipeline")
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
+            tuple(reasons),
+        )
+
+    if requested == 1:
+        reasons.append("one worker requested: serial vectorized pipeline")
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
+            tuple(reasons),
+        )
+    if probe_volume < MIN_PARALLEL_PROBES or est_cand < MIN_PARALLEL_CANDIDATES:
+        reasons.append(
+            f"probe volume too small to amortize a process pool "
+            f"({probe_volume} probes, est. candidates {est_cand})"
+        )
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
+            tuple(reasons),
+        )
+
+    by_work = max(2, est_cand // MIN_PARALLEL_CANDIDATES)
+    chosen = min(requested, by_work)
+    reasons.append(
+        f"candidate volume supports {by_work} workers; "
+        f"using {chosen} of {requested} requested"
+    )
+    while chosen > 2 and estimate_bytes(n_p, n_q, chosen, est_cand) > budget:
+        chosen -= 1
+    est_mem = estimate_bytes(n_p, n_q, chosen, est_cand)
+    if est_mem > budget:
+        reasons.append(
+            f"even a 2-worker working set ({est_mem} B) exceeds the "
+            f"{budget} B budget; serial fits"
+        )
+        return ExecutionPlan(
+            "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
+            tuple(reasons),
+        )
+    if chosen < min(requested, by_work):
+        reasons.append(
+            f"shed workers to {chosen} to fit the {budget} B memory budget"
+        )
+    return ExecutionPlan(
+        "array-parallel", chosen, n_p, n_q, density, est_cand, est_mem,
+        budget, tuple(reasons),
+    )
+
+
+# ----------------------------------------------------------------------
 # ordered browsing (top-k) planning
 # ----------------------------------------------------------------------
 

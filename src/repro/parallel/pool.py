@@ -169,6 +169,175 @@ def _make_executor(
     )
 
 
+@dataclass
+class _FamilyWorkerState:
+    """Per-process structures of a family-join pool."""
+
+    shared: SharedArrays
+    parr: PointArray
+    qarr: PointArray
+    order: np.ndarray
+    family: str
+    eps: float | None
+    k: int | None
+    tree: cKDTree
+
+
+_FAMILY_STATE: _FamilyWorkerState | None = None
+
+
+def _init_family_worker(
+    spec: Spec, family: str, eps: float | None, k: int | None
+) -> None:
+    """Family-pool initializer: attach shared columns, prebuild the
+    probe tree the family's source queries (once per process, not per
+    shard)."""
+    global _FAMILY_STATE
+    shared = SharedArrays.attach(spec)
+    parr = PointArray._wrap(shared["px"], shared["py"], shared["poid"])
+    qarr = PointArray._wrap(shared["qx"], shared["qy"], shared["qoid"])
+    # The ε-join probes Q against the tree over P; the kNN join the
+    # other way around.
+    if family == "epsilon":
+        tree = cKDTree(np.column_stack((parr.x, parr.y)))
+    else:  # knn
+        tree = cKDTree(np.column_stack((qarr.x, qarr.y)))
+    _FAMILY_STATE = _FamilyWorkerState(
+        shared, parr, qarr, shared["order"], family, eps, k, tree
+    )
+
+
+def _run_family_shard(
+    lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray, dict, int]:
+    """One family shard: the declared pipeline over probes
+    ``order[lo:hi]``.  Returns ``(p_idx, q_idx, stage_seconds,
+    candidate_count)``."""
+    from repro.engine.families import build_family_pipeline
+    from repro.engine.operators import JoinContext
+
+    st = _FAMILY_STATE
+    assert st is not None, "worker used before initialization"
+    probes = st.order[lo:hi]
+    empty = np.empty(0, dtype=np.int64)
+    if probes.size == 0:
+        return empty, empty, {}, 0
+    pipeline = build_family_pipeline(
+        st.family, eps=st.eps, k=st.k, probes=probes
+    )
+    ctx = JoinContext(st.parr, st.qarr)
+    if st.family == "epsilon":
+        ctx.set_tree_p(st.tree)
+    else:
+        ctx.set_tree_q(st.tree)
+    block = pipeline.run(ctx)
+    return (
+        block.p_idx,
+        block.q_idx,
+        ctx.stage_seconds,
+        int(ctx.counters.get("candidates", 0)),
+    )
+
+
+def parallel_family_pair_indices(
+    family: str,
+    parr: PointArray,
+    qarr: PointArray,
+    *,
+    eps: float | None = None,
+    k: int | None = None,
+    workers: int | None = None,
+    min_shard: int = DEFAULT_MIN_SHARD,
+) -> tuple[np.ndarray, np.ndarray, dict, int]:
+    """Shard one shardable join family over the worker pool.
+
+    The ε-join shards its ``Q`` probe loop, the kNN join its ``P``
+    probe loop (each probe's result depends only on the full opposite
+    pointset, which every worker holds via shared memory), both along
+    the Hilbert order of :func:`repro.parallel.shards.plan_shards`.
+    Workers run the *same* pipeline stages as the serial engine with a
+    ``probes`` restriction, so shard unions are exact; the merge
+    re-sorts into the canonical ``(p.oid, q.oid)`` order of
+    :class:`repro.engine.operators.CollectAll`, making output identical
+    across worker counts.  Returns ``(p_idx, q_idx, stage_seconds,
+    candidate_count)`` with per-stage times summed over shards.
+    """
+    from repro.engine.families import SHARDABLE_FAMILIES, build_family_pipeline
+    from repro.engine.operators import JoinContext
+
+    if family not in SHARDABLE_FAMILIES:
+        raise ValueError(
+            f"family {family!r} does not shard; expected one of "
+            f"{SHARDABLE_FAMILIES}"
+        )
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+
+    def serial() -> tuple[np.ndarray, np.ndarray, dict, int]:
+        pipeline = build_family_pipeline(family, eps=eps, k=k)
+        ctx = JoinContext(parr, qarr)
+        block = pipeline.run(ctx)
+        return (
+            block.p_idx,
+            block.q_idx,
+            ctx.stage_seconds,
+            int(ctx.counters.get("candidates", 0)),
+        )
+
+    probe_x, probe_y = (
+        (qarr.x, qarr.y) if family == "epsilon" else (parr.x, parr.y)
+    )
+    n_probe = len(probe_x)
+    if len(parr) == 0 or len(qarr) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, {}, 0
+    if workers == 1 or n_probe < serial_fallback_threshold(min_shard):
+        return serial()
+    plan = plan_shards(
+        probe_x, probe_y, workers * SHARDS_PER_WORKER, min_shard=min_shard
+    )
+    if len(plan) <= 1:
+        return serial()
+
+    shared = SharedArrays.create(
+        {
+            "px": parr.x,
+            "py": parr.y,
+            "poid": parr.oid,
+            "qx": qarr.x,
+            "qy": qarr.y,
+            "qoid": qarr.oid,
+            "order": plan.order,
+        }
+    )
+    try:
+        workers = min(workers, len(plan))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_family_worker,
+            initargs=(shared.spec(), family, eps, k),
+        ) as pool:
+            futures = [
+                pool.submit(_run_family_shard, lo, hi)
+                for lo, hi in plan.ranges()
+            ]
+            parts = [f.result() for f in futures]
+    finally:
+        shared.destroy()
+
+    p_idx = np.concatenate([p for p, _q, _s, _c in parts])
+    q_idx = np.concatenate([q for _p, q, _s, _c in parts])
+    stages: dict = {}
+    for _p, _q, shard_stages, _c in parts:
+        for key, seconds in shard_stages.items():
+            stages[key] = stages.get(key, 0.0) + seconds
+    candidate_count = sum(c for _p, _q, _s, c in parts)
+    merged = np.lexsort((qarr.oid[q_idx], parr.oid[p_idx]))
+    return p_idx[merged], q_idx[merged], stages, candidate_count
+
+
 def parallel_rcj_pair_indices(
     parr: PointArray,
     qarr: PointArray,
