@@ -91,6 +91,21 @@ REPORT_HEADERS = [
 ]
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_calibration(tmp_path_factory):
+    """Session-private calibration store, as in the test suite's
+    conftest: benches must neither pollute ``~/.cache`` nor have their
+    planner assertions depend on the machine's calibration history."""
+    path = str(tmp_path_factory.mktemp("calibration"))
+    old = os.environ.get("REPRO_CALIBRATION_DIR")
+    os.environ["REPRO_CALIBRATION_DIR"] = path
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CALIBRATION_DIR", None)
+    else:
+        os.environ["REPRO_CALIBRATION_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def scale() -> BenchScale:
     """Session-wide scaling configuration."""

@@ -313,6 +313,60 @@ def _smoke_families(
     return failed
 
 
+def smoke_calibration(n: int = 1200) -> int:
+    """Calibration-loop canary: sweep → refit → calibrated planning.
+
+    Runs the bounded seed sweep, refits a profile for this host,
+    persists it, and checks that the planner's next ``auto`` decision
+    is made *from that profile* (predicted seconds attached, the
+    calibrated-comparison reason present) and that the predicted
+    ranking of serial vs parallel agrees with what the sweep measured.
+    Requires a writable ``REPRO_CALIBRATION_DIR`` (CI points it at a
+    workspace-local directory).
+    """
+    from repro.calibration import load_observations
+    from repro.calibration.profile import save_profile
+    from repro.calibration.refit import refit_profile
+    from repro.calibration.sweep import run_calibration_sweep
+    from repro.datasets.fixtures import uniform_pair
+    from repro.parallel.costmodel import choose_plan
+
+    recorded = run_calibration_sweep(n, rounds=1, echo=print)
+    profile = refit_profile()
+    path = save_profile(profile)
+    print(f"calibration smoke: {recorded} observations -> {path}")
+
+    points_p, points_q = uniform_pair(n, n + n // 4, seed=7)
+    plan = choose_plan(points_p, points_q, workers=2)
+    failed = False
+    if plan.predicted_seconds is None:
+        print("calibration smoke: plan carries no predicted seconds [FAILED]")
+        failed = True
+    if not any("calibrated" in reason for reason in plan.reasons):
+        print("calibration smoke: plan reasons lack the calibrated "
+              "comparison [FAILED]")
+        failed = True
+
+    # The calibrated pick must agree with the sweep's own measurements:
+    # mean measured seconds per bulk-join engine, serial vs parallel.
+    walls: dict[str, list[float]] = {}
+    for obs in load_observations():
+        if obs.get("workload") == "join":
+            walls.setdefault(obs["engine"], []).append(
+                float(obs["total_seconds"])
+            )
+    if walls:
+        fastest = min(walls, key=lambda e: sum(walls[e]) / len(walls[e]))
+        agree = plan.engine == fastest
+        failed |= not agree
+        print(
+            f"calibration smoke: planner picked {plan.engine}, sweep "
+            f"measured {fastest} fastest [{'ok' if agree else 'FAILED'}]"
+        )
+    print(f"calibration smoke: {'FAILED' if failed else 'passed'}")
+    return 1 if failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """``python -m repro.bench.runner`` — currently the smoke canary."""
     import argparse
@@ -325,6 +379,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="run the cross-engine smoke canary and exit",
+    )
+    parser.add_argument(
+        "--calibration",
+        action="store_true",
+        help="run the calibration-loop canary (sweep, refit, "
+        "profile-aware planning) and exit",
     )
     parser.add_argument(
         "--topk",
@@ -340,6 +400,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="smoke |P| (|Q| is 1.25x)")
     parser.add_argument("--workers", type=int, default=2)
     args = parser.parse_args(argv)
+    if args.calibration:
+        return smoke_calibration(n=min(args.n, 1200))
     if args.smoke:
         return smoke(
             n=args.n,
@@ -347,7 +409,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             topk=args.topk,
             families=args.families,
         )
-    parser.error("nothing to do: pass --smoke")
+    parser.error("nothing to do: pass --smoke or --calibration")
     return 2  # pragma: no cover
 
 

@@ -1,0 +1,249 @@
+"""The observation log: planned executions paired with measurements.
+
+One observation is one executed plan: the planner's estimates
+(``est_candidates``, ``est_bytes``, the density factor), the execution
+coordinates (engine, worker count, workload kind), the measured
+per-stage and total wall seconds, and a **host fingerprint** — CPU
+count, platform identity and a one-shot microbenchmark constant — so a
+store shared between hosts (a mounted home directory, a CI cache) can
+be partitioned honestly at refit time.
+
+Records append to ``observations.jsonl`` under the calibration
+directory (``REPRO_CALIBRATION_DIR``, default
+``~/.cache/repro/calibration``).  Appending is crash-tolerant on the
+read side: :func:`load_observations` skips truncated or corrupt lines
+instead of failing the refit.  Recording must never break a join —
+:func:`record_planned_run` swallows I/O errors — and the whole loop
+switches off under ``REPRO_CALIBRATION=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+#: Environment variable overriding where observations and profiles live.
+CALIBRATION_DIR_ENV = "REPRO_CALIBRATION_DIR"
+
+#: Kill switch: ``0``/``off``/``false``/``no`` disables recording *and*
+#: profile-aware planning (the planner falls back to the static model).
+CALIBRATION_ENABLE_ENV = "REPRO_CALIBRATION"
+
+#: File the observation records append to.
+OBSERVATIONS_FILENAME = "observations.jsonl"
+
+#: Array length of the one-shot microbenchmark (a few ms of numpy work:
+#: enough to rank hosts, cheap enough to run once per process).
+_MICROBENCH_N = 200_000
+
+#: Repetitions of the microbenchmark kernel (the minimum is kept, so a
+#: scheduler hiccup cannot brand a fast host slow).
+_MICROBENCH_REPS = 3
+
+
+def calibration_enabled() -> bool:
+    """Whether the calibration loop (recording + profile loading) is on."""
+    flag = os.environ.get(CALIBRATION_ENABLE_ENV, "1").strip().lower()
+    return flag not in ("0", "off", "false", "no")
+
+
+def calibration_dir() -> str:
+    """The directory holding the observation log and fitted profiles."""
+    override = os.environ.get(CALIBRATION_DIR_ENV)
+    if override:
+        return override
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "calibration"
+    )
+
+
+def observations_path() -> str:
+    """Path of the JSONL observation store."""
+    return os.path.join(calibration_dir(), OBSERVATIONS_FILENAME)
+
+
+_MICROBENCH_CACHE: float | None = None
+
+
+def _microbench_seconds() -> float:
+    """One-shot vectorized microbenchmark constant for this process.
+
+    Times a fixed numpy kernel (multiply, sqrt, reduce over 200k
+    doubles) and keeps the minimum of three runs.  The constant rides
+    on every observation so refits can tell whether two stores came
+    from comparably fast hosts; it is *not* used to scale predictions
+    (the fitted per-candidate constants already embody host speed).
+    """
+    global _MICROBENCH_CACHE
+    if _MICROBENCH_CACHE is None:
+        import numpy as np
+
+        a = np.arange(_MICROBENCH_N, dtype=np.float64)
+        best = float("inf")
+        for _ in range(_MICROBENCH_REPS):
+            t0 = time.perf_counter()
+            float(np.sqrt(a * 1.0001 + 1.5).sum())
+            best = min(best, time.perf_counter() - t0)
+        _MICROBENCH_CACHE = best
+    return _MICROBENCH_CACHE
+
+
+def host_fingerprint() -> dict:
+    """Identity and speed of the executing host.
+
+    ``key`` partitions observation stores and names the profile file;
+    it is deliberately coarse (OS, architecture, core count) so reboots
+    and kernel upgrades refit the same profile while a different
+    machine class gets its own.
+    """
+    cpu = os.cpu_count() or 1
+    return {
+        "key": f"{sys.platform}-{platform.machine() or 'unknown'}-{cpu}cpu",
+        "cpu_count": cpu,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "microbench_seconds": round(_microbench_seconds(), 6),
+    }
+
+
+def workload_key(kind: str, family: str | None = None) -> str:
+    """The model-group key of one observation.
+
+    Bulk RCJ joins fit under ``"join"``, ordered browsing under
+    ``"topk"``, and each non-RCJ family under ``"family:<name>"`` —
+    per-candidate cost differs enough between workloads that one shared
+    constant would mispredict all of them.
+    """
+    if kind == "family" and family and family != "rcj":
+        return f"family:{family}"
+    return kind
+
+
+def record_observation(
+    *,
+    kind: str,
+    engine: str,
+    workers: int,
+    n_p: int,
+    n_q: int,
+    density_factor: float,
+    est_candidates: int,
+    est_bytes: int,
+    stage_seconds: dict | None,
+    total_seconds: float,
+    family: str | None = None,
+) -> str:
+    """Append one observation record; returns the store path.
+
+    No-op (returns the path unwritten) when calibration is disabled or
+    the execution carries no usable measurement (``total_seconds <= 0``).
+    """
+    path = observations_path()
+    if not calibration_enabled() or not total_seconds > 0.0:
+        return path
+    record = {
+        "ts": round(time.time(), 3),
+        "kind": kind,
+        "family": family,
+        "workload": workload_key(kind, family),
+        "engine": engine,
+        "workers": int(workers),
+        "n_p": int(n_p),
+        "n_q": int(n_q),
+        "density_factor": round(float(density_factor), 6),
+        "est_candidates": int(est_candidates),
+        "est_bytes": int(est_bytes),
+        "stage_seconds": {
+            k: round(float(v), 6) for k, v in (stage_seconds or {}).items()
+        },
+        "total_seconds": round(float(total_seconds), 6),
+        "host": host_fingerprint(),
+    }
+    os.makedirs(calibration_dir(), exist_ok=True)
+    with open(path, "a") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def record_planned_run(
+    plan, report, kind: str, family: str | None = None
+) -> None:
+    """Record one planned execution from its plan and report.
+
+    The seam :mod:`repro.engine.planner` and
+    :mod:`repro.engine.families` call after every ``engine="auto"``
+    run.  Swallows every exception: a full disk or read-only home
+    directory must never fail the join that was measured.
+    """
+    if plan is None:
+        return
+    try:
+        record_observation(
+            kind=kind,
+            family=family,
+            engine=plan.engine,
+            workers=plan.workers,
+            n_p=plan.n_p,
+            n_q=plan.n_q,
+            density_factor=plan.density_factor,
+            est_candidates=plan.est_candidates,
+            est_bytes=plan.est_bytes,
+            stage_seconds=getattr(report, "stage_seconds", None),
+            total_seconds=getattr(report, "cpu_seconds", 0.0),
+        )
+    except Exception:
+        pass
+
+
+def load_observations(path: str | None = None) -> list[dict]:
+    """All parseable observation records, in append order.
+
+    Corrupt or truncated lines (a crash mid-append, a concurrent
+    writer) are skipped rather than failing the refit.
+    """
+    if path is None:
+        path = observations_path()
+    records: list[dict] = []
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "total_seconds" in record:
+                    records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def reset_calibration() -> list[str]:
+    """Delete the observation store and every fitted profile.
+
+    Returns the paths removed (the CLI's ``calibrate --reset``).
+    """
+    removed: list[str] = []
+    directory = calibration_dir()
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in names:
+        if name == OBSERVATIONS_FILENAME or (
+            name.startswith("profile-") and name.endswith(".json")
+        ):
+            full = os.path.join(directory, name)
+            try:
+                os.remove(full)
+                removed.append(full)
+            except OSError:
+                pass
+    return removed

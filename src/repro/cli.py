@@ -13,6 +13,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro selfjoin p.txt -o postboxes.txt
     python -m repro topk p.txt q.txt -k 10 --engine array
     python -m repro resemblance p.txt q.txt --join eps --param 50
+    python -m repro calibrate --n 4000 --rounds 2
+    python -m repro calibrate --smoke
 
 Pointset files are plain text (``oid x y`` per line, see
 :mod:`repro.datasets.io`); the join output has one
@@ -286,6 +288,68 @@ def _cmd_resemblance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit the planner's cost model from measured runs on this host.
+
+    Runs the bounded forced-engine seed sweep
+    (:func:`repro.calibration.sweep.run_calibration_sweep`), refits the
+    per-host profile from every recorded observation, persists it, and
+    prints the fitted constants.  After this, ``--engine auto`` plans
+    by predicted seconds instead of static thresholds.
+    """
+    from repro.calibration import (
+        calibration_dir,
+        calibration_enabled,
+        observations_path,
+    )
+    from repro.calibration.observations import reset_calibration
+    from repro.calibration.profile import save_profile
+    from repro.calibration.refit import refit_profile
+    from repro.calibration.sweep import run_calibration_sweep
+
+    if not calibration_enabled():
+        print(
+            "calibration is disabled (REPRO_CALIBRATION=0); unset it "
+            "to record observations and fit a profile",
+            file=sys.stderr,
+        )
+        return 1
+    if args.reset:
+        removed = reset_calibration()
+        for path in removed:
+            print(f"removed {path}", file=sys.stderr)
+    if not args.refit_only:
+        n = args.n
+        rounds = args.rounds
+        if args.smoke:
+            n, rounds = min(n, 1200), 1
+        recorded = run_calibration_sweep(
+            n,
+            rounds=rounds,
+            max_workers=args.workers,
+            echo=lambda line: print(f"  {line}", file=sys.stderr),
+        )
+        print(
+            f"sweep recorded {recorded} observations in "
+            f"{observations_path()}",
+            file=sys.stderr,
+        )
+    try:
+        profile = refit_profile()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    path = save_profile(profile)
+    print(profile.describe())
+    print(f"profile saved to {path}", file=sys.stderr)
+    print(
+        f"calibration store: {calibration_dir()} "
+        "(override with REPRO_CALIBRATION_DIR)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -420,6 +484,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="join parameter: eps distance, or k (cij takes none)",
     )
     res.set_defaults(func=_cmd_resemblance)
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit the planner's cost model from measured runs on this host",
+    )
+    cal.add_argument(
+        "--n",
+        type=_positive_int,
+        default=4000,
+        help="largest sweep dataset size (default 4000)",
+    )
+    cal.add_argument(
+        "--rounds",
+        type=_positive_int,
+        default=2,
+        help="sweep repetitions with distinct seeds (default 2)",
+    )
+    cal.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap on the pool sizes measured (default: up to all cores)",
+    )
+    cal.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded CI mode: one small round (caps --n at 1200)",
+    )
+    cal.add_argument(
+        "--reset",
+        action="store_true",
+        help="delete recorded observations and profiles first",
+    )
+    cal.add_argument(
+        "--refit-only",
+        action="store_true",
+        help="skip the sweep; refit from already-recorded observations",
+    )
+    cal.set_defaults(func=_cmd_calibrate)
     return parser
 
 

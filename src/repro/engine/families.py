@@ -303,6 +303,9 @@ def run_family_join(
             points_p, points_q, family, eps, k, bounds, report
         )
         report.cpu_seconds = time.perf_counter() - t0
+        from repro.engine.planner import _record_observation
+
+        _record_observation(plan, report, "family", family=family)
         return report
 
     points_p = list(points_p)
@@ -346,9 +349,10 @@ def run_family_join(
     ]
     report.candidate_count = candidates
     report.cpu_seconds = time.perf_counter() - t0
-    from repro.engine.planner import _attach_measurements
+    from repro.engine.planner import _attach_measurements, _record_observation
 
     _attach_measurements(report, stages)
+    _record_observation(plan, report, "family", family=family)
     return report
 
 

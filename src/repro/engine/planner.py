@@ -133,6 +133,7 @@ def array_parallel_rcj(
     k0: int = 16,
     workers: int | None = None,
     min_shard: int | None = None,
+    stage_seconds: dict | None = None,
 ) -> tuple[list[RCJPair], int]:
     """Compute the RCJ with the sharded multi-process engine.
 
@@ -140,7 +141,8 @@ def array_parallel_rcj(
     :class:`Point` identity preserved — with the probe pipeline fanned
     over a worker pool (:func:`repro.parallel.parallel_rcj_pair_indices`).
     ``workers=None`` uses all cores; small inputs fall back to the
-    serial kernels in-process.
+    serial kernels in-process.  ``stage_seconds`` (when given)
+    accumulates worker-measured per-stage times summed over shards.
 
     Returns ``(pairs, candidate_count)``.
     """
@@ -156,6 +158,7 @@ def array_parallel_rcj(
         workers=workers,
         k0=k0,
         exclude_same_oid=exclude_same_oid,
+        stage_seconds=stage_seconds,
         **kwargs,
     )
     points_p = list(points_p)
@@ -367,6 +370,7 @@ def run_join(
                 workload.tree_q, workload.tree_p, symmetric=True, **common
             )
         report.plan = plan
+        _record_observation(plan, report, "join")
         return report
 
     # -- main-memory backends ------------------------------------------
@@ -392,6 +396,7 @@ def run_join(
             points_q,
             exclude_same_oid=exclude_same_oid,
             workers=workers,
+            stage_seconds=stages,
             **algorithm_kwargs,
         )
     else:  # array
@@ -404,6 +409,7 @@ def run_join(
         )
     report.cpu_seconds = time.perf_counter() - t0
     _attach_measurements(report, stages)
+    _record_observation(plan, report, "join")
     return report
 
 
@@ -416,6 +422,26 @@ def _attach_measurements(report: JoinReport, stages: dict) -> None:
     report.stage_seconds = dict(stages)
     if report.plan is not None:
         report.plan = report.plan.with_measured(stages)
+
+
+def _record_observation(
+    plan, report, kind: str, family: str | None = None
+) -> None:
+    """Feed one planned execution to the calibration observation log.
+
+    Only ``engine="auto"`` runs are recorded (they carry the estimates
+    a fit needs).  Nothing here may fail the join: the whole hook is
+    exception-fenced, and :mod:`repro.calibration` is imported lazily
+    so a broken or disabled calibration store degrades to a no-op.
+    """
+    if plan is None:
+        return
+    try:
+        from repro.calibration.observations import record_planned_run
+
+        record_planned_run(plan, report, kind, family=family)
+    except Exception:
+        pass
 
 
 #: ``engine=`` values :func:`run_topk` accepts.  ``"pointwise"`` and
@@ -521,6 +547,7 @@ def run_topk(
         report.buffer_hits = workload.buffer.stats.buffer_hits
     report.cpu_seconds = time.perf_counter() - t0
     _attach_measurements(report, stages)
+    _record_observation(plan, report, "topk")
     return report
 
 

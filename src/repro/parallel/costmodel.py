@@ -60,11 +60,30 @@ _DENSITY_CLAMP = 4.0
 
 def memory_budget_bytes() -> int:
     """The configured working-set budget (``REPRO_MEMORY_BUDGET_MB``
-    overrides the 1 GiB default)."""
+    overrides the 1 GiB default).
+
+    The override is validated, not trusted: a zero/negative budget
+    would silently route every join onto the slow obj/pointwise paths,
+    and a typo would surface as a bare ``float()`` traceback nowhere
+    near the variable that caused it.
+    """
     override = os.environ.get("REPRO_MEMORY_BUDGET_MB")
-    if override:
-        return int(float(override) * (1 << 20))
-    return DEFAULT_BUDGET_BYTES
+    if override is None or not override.strip():
+        return DEFAULT_BUDGET_BYTES
+    try:
+        megabytes = float(override)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MEMORY_BUDGET_MB must be a number of MiB, "
+            f"got {override!r}"
+        ) from None
+    if not np.isfinite(megabytes) or not megabytes > 0.0:
+        raise ValueError(
+            f"REPRO_MEMORY_BUDGET_MB must be a positive, finite number "
+            f"of MiB, got {override!r} (a non-positive budget would "
+            f"silently force every join onto the slow disk-backed path)"
+        )
+    return int(megabytes * (1 << 20))
 
 
 def _sampled_coords(points, cap: int) -> tuple[int, np.ndarray, np.ndarray]:
@@ -144,6 +163,110 @@ def estimate_bytes(
     return columns + max(workers, 1) * per_worker + 24 * est_candidates
 
 
+def estimate_topk_candidates(
+    k: int, density_factor: float, n_p: int, n_q: int
+) -> int:
+    """First-order candidate volume of a top-``k`` radius-band stream:
+    bands overscan the requested results, denser-than-uniform probes
+    enumerate proportionally more (shared by the kcp family plan, the
+    top-k plan and the calibration sweep)."""
+    return int(
+        min(
+            max(k, 1) * max(density_factor, 1.0) * _TOPK_OVERSCAN,
+            float(n_p) * float(n_q),
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# calibrated (profile-aware) selection
+# ----------------------------------------------------------------------
+
+def _calibration_profile():
+    """The fitted per-host profile, or None (missing, corrupt, or the
+    calibration loop is disabled).  Failures never break planning."""
+    try:
+        from repro.calibration.profile import cached_profile
+
+        return cached_profile()
+    except Exception:
+        return None
+
+
+def _calibrated_choice(
+    profile,
+    workload: str,
+    *,
+    n_p: int,
+    n_q: int,
+    probe_volume: int,
+    density: float,
+    est_cand: int,
+    serial_mem: int,
+    budget: int,
+    requested: int,
+    reasons: list[str],
+):
+    """Pick the fastest *predicted* engine under a fitted profile.
+
+    Compares the serial vectorized plan against the sharded pool at
+    every worker count the profile has actually observed (capped by the
+    caller's worker budget, the pool's own serial-fallback floor and
+    the memory budget).  Returns the winning :class:`ExecutionPlan` —
+    with the loaded constants and per-plan predictions quoted in its
+    reasons — or ``None`` when the profile holds no serial model for
+    this workload, in which case the caller falls back to the static
+    thresholds.
+
+    Deliberately *not* consulted: the memory-budget overflow decision
+    (obj/pointwise fallback is a resource constraint, not a timing
+    bet) and the ``workers == 1`` fast path (serial is the only viable
+    plan; predicting it changes nothing).
+    """
+    serial_pred = profile.predict_seconds(workload, "array", 1, est_cand)
+    if serial_pred is None:
+        return None
+    candidates = [("array", 1, serial_pred, serial_mem)]
+    # The pool runs in-process below MIN_PARALLEL_PROBES, so a parallel
+    # "plan" there would execute serially anyway — honesty demands the
+    # plan say so.
+    if requested > 1 and probe_volume >= MIN_PARALLEL_PROBES:
+        for workers in profile.parallel_worker_counts(workload):
+            if workers > requested:
+                continue
+            est_mem = estimate_bytes(n_p, n_q, workers, est_cand)
+            if est_mem > budget:
+                continue
+            pred = profile.predict_seconds(
+                workload, "array-parallel", workers, est_cand
+            )
+            if pred is not None:
+                candidates.append(
+                    ("array-parallel", workers, pred, est_mem)
+                )
+    engine, workers, predicted, est_mem = min(
+        candidates, key=lambda c: (c[2], c[1])
+    )
+    reasons = list(reasons)
+    reasons.append(
+        f"calibrated profile {profile.host.get('key', '?')} "
+        f"({profile.n_observations} obs): "
+        + profile.constants_line(workload)
+    )
+    reasons.append(
+        "predicted "
+        + ", ".join(
+            f"{eng}" + (f"@{w}" if eng != "array" else "") + f"={sec:.3f}s"
+            for eng, w, sec, _m in candidates
+        )
+        + f" -> {engine} is fastest"
+    )
+    return ExecutionPlan(
+        engine, workers, n_p, n_q, density, est_cand, est_mem, budget,
+        tuple(reasons), predicted_seconds=predicted,
+    )
+
+
 @dataclass(frozen=True)
 class ExecutionPlan:
     """The planner's decision plus everything it was based on."""
@@ -166,6 +289,12 @@ class ExecutionPlan:
     #: stage times, from which the model's first-order constants can be
     #: refit.
     measured: tuple[tuple[str, float], ...] | None = None
+    #: Predicted wall seconds of the chosen plan under the loaded
+    #: calibration profile (:mod:`repro.calibration`); ``None`` for
+    #: decisions made by the static thresholds (no profile fitted, or
+    #: no model for this decision) — which also keeps profile-less
+    #: plans byte-identical to the uncalibrated planner's.
+    predicted_seconds: float | None = None
 
     def with_measured(
         self, stage_seconds: dict[str, float]
@@ -189,6 +318,11 @@ class ExecutionPlan:
             f"  est. working set {self.est_bytes / (1 << 20):.1f} MiB"
             f" (budget {self.budget_bytes / (1 << 20):.1f} MiB)",
         ]
+        if self.predicted_seconds is not None:
+            lines.append(
+                f"  predicted        {self.predicted_seconds:.3f}s"
+                " (calibrated cost model)"
+            )
         lines.extend(f"  - {reason}" for reason in self.reasons)
         if self.measured:
             stages = " ".join(f"{k}={v:.3f}s" for k, v in self.measured)
@@ -253,6 +387,25 @@ def choose_plan(
             "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
             tuple(reasons),
         )
+
+    profile = _calibration_profile()
+    if profile is not None:
+        calibrated = _calibrated_choice(
+            profile,
+            "join",
+            n_p=n_p,
+            n_q=n_q,
+            probe_volume=n_q,
+            density=density,
+            est_cand=est_cand,
+            serial_mem=serial_mem,
+            budget=budget,
+            requested=requested,
+            reasons=reasons,
+        )
+        if calibrated is not None:
+            return calibrated
+
     if n_q < MIN_PARALLEL_PROBES or est_cand < MIN_PARALLEL_CANDIDATES:
         reasons.append(
             f"probe volume too small to amortize a process pool "
@@ -317,6 +470,64 @@ def _epsilon_candidates(
     return int(n_q * min(max(per_probe, 1.0), float(n_p)))
 
 
+#: Families :func:`choose_family_plan` knows how to plan (the RCJ
+#: itself is planned by :func:`choose_plan`).
+PLANNED_FAMILY_NAMES = ("epsilon", "knn", "kcp", "cij")
+
+
+def _check_family_plan_params(
+    family: str, eps: float | None, k: int | None
+) -> None:
+    """Reject unknown families and missing parameters up front.
+
+    Without this, ``family="epsilon", eps=None`` died deep in the
+    estimator with a bare ``TypeError`` and an unknown family name
+    silently fell into the CIJ branch and returned a bogus plan.
+    """
+    if family not in PLANNED_FAMILY_NAMES:
+        raise ValueError(
+            f"unknown join family {family!r}; expected one of "
+            f"{PLANNED_FAMILY_NAMES}"
+        )
+    if family == "epsilon" and eps is None:
+        raise ValueError(
+            "family='epsilon' requires eps (the distance threshold)"
+        )
+    if family in ("knn", "kcp") and k is None:
+        raise ValueError(f"family={family!r} requires k (the result bound)")
+
+
+def estimate_family_candidates(
+    family: str,
+    points_p,
+    points_q,
+    *,
+    eps: float | None = None,
+    k: int | None = None,
+    density: float | None = None,
+) -> tuple[int, int]:
+    """``(est_candidates, probe_volume)`` of one family request —
+    the family-specific candidate-volume model shared by
+    :func:`choose_family_plan` and the calibration sweep."""
+    _check_family_plan_params(family, eps, k)
+    n_p, n_q = len(points_p), len(points_q)
+    if density is None:
+        density = sample_density_factor(points_p, points_q)
+    if family == "epsilon":
+        return (
+            _epsilon_candidates(
+                points_p, points_q, n_p, n_q, float(eps), density
+            ),
+            n_q,
+        )
+    if family == "knn":
+        return n_p * min(int(k), n_q), n_p
+    if family == "kcp":
+        return estimate_topk_candidates(int(k), density, n_p, n_q), n_q
+    # cij: one cell per point, Delaunay-linear overlap volume.
+    return 4 * (n_p + n_q), n_q
+
+
 def choose_family_plan(
     family: str,
     points_p,
@@ -336,7 +547,11 @@ def choose_family_plan(
     object-code path streams through Python instead of materializing
     columns); k-closest-pairs and the CIJ never plan ``array-parallel``
     (no probe-disjoint decomposition / serial geometric step).
+
+    Raises ``ValueError`` for an unknown family name or a family whose
+    parameter (``eps`` / ``k``) is missing, before any estimation runs.
     """
+    _check_family_plan_params(family, eps, k)
     n_p, n_q = len(points_p), len(points_q)
     budget = memory_budget_bytes() if budget_bytes is None else budget_bytes
     requested = default_workers() if workers is None else workers
@@ -344,32 +559,16 @@ def choose_family_plan(
         raise ValueError(f"workers must be positive, got {workers}")
     reasons: list[str] = []
 
-    if n_p == 0 or n_q == 0 or (family in ("knn", "kcp") and (k or 0) <= 0):
+    if n_p == 0 or n_q == 0 or (family in ("knn", "kcp") and k <= 0):
         return ExecutionPlan(
             "array", 1, n_p, n_q, 1.0, 0, 0, budget,
             ("empty request: nothing to plan",),
         )
 
     density = sample_density_factor(points_p, points_q)
-    if family == "epsilon":
-        est_cand = _epsilon_candidates(
-            points_p, points_q, n_p, n_q, float(eps), density
-        )
-        probe_volume = n_q
-    elif family == "knn":
-        est_cand = n_p * min(int(k), n_q)
-        probe_volume = n_p
-    elif family == "kcp":
-        est_cand = int(
-            min(
-                max(int(k), 1) * max(density, 1.0) * _TOPK_OVERSCAN,
-                float(n_p) * float(n_q),
-            )
-        )
-        probe_volume = n_q
-    else:  # cij: one cell per point, Delaunay-linear overlap volume
-        est_cand = 4 * (n_p + n_q)
-        probe_volume = n_q
+    est_cand, probe_volume = estimate_family_candidates(
+        family, points_p, points_q, eps=eps, k=k, density=density
+    )
 
     serial_mem = estimate_bytes(n_p, n_q, 1, est_cand)
     if serial_mem > budget:
@@ -400,6 +599,25 @@ def choose_family_plan(
             "array", 1, n_p, n_q, density, est_cand, serial_mem, budget,
             tuple(reasons),
         )
+
+    profile = _calibration_profile()
+    if profile is not None:
+        calibrated = _calibrated_choice(
+            profile,
+            f"family:{family}",
+            n_p=n_p,
+            n_q=n_q,
+            probe_volume=probe_volume,
+            density=density,
+            est_cand=est_cand,
+            serial_mem=serial_mem,
+            budget=budget,
+            requested=requested,
+            reasons=reasons,
+        )
+        if calibrated is not None:
+            return calibrated
+
     if probe_volume < MIN_PARALLEL_PROBES or est_cand < MIN_PARALLEL_CANDIDATES:
         reasons.append(
             f"probe volume too small to amortize a process pool "
@@ -493,12 +711,7 @@ def choose_topk_plan(
             ("empty request: nothing to plan",),
         )
     density = sample_density_factor(points_p, points_q)
-    est_cand = int(
-        min(
-            max(k, 1) * max(density, 1.0) * _TOPK_OVERSCAN,
-            float(n_p) * float(n_q),
-        )
-    )
+    est_cand = estimate_topk_candidates(k, density, n_p, n_q)
     est_mem = estimate_bytes(n_p, n_q, 1, est_cand)
     reasons: list[str] = []
     if est_mem > budget:
@@ -510,6 +723,28 @@ def choose_topk_plan(
             "obj", 1, n_p, n_q, density, est_cand, est_mem, budget,
             tuple(reasons),
         )
+
+    profile = _calibration_profile()
+    if profile is not None:
+        array_pred = profile.predict_seconds("topk", "array", 1, est_cand)
+        obj_pred = profile.predict_seconds("topk", "obj", 1, est_cand)
+        if array_pred is not None and obj_pred is not None:
+            engine = "array" if array_pred <= obj_pred else "obj"
+            reasons.append(
+                f"calibrated profile {profile.host.get('key', '?')} "
+                f"({profile.n_observations} obs): "
+                + profile.constants_line("topk")
+            )
+            reasons.append(
+                f"predicted array={array_pred:.3f}s, obj={obj_pred:.3f}s"
+                f" -> {engine} is fastest"
+            )
+            return ExecutionPlan(
+                engine, 1, n_p, n_q, density, est_cand, est_mem, budget,
+                tuple(reasons),
+                predicted_seconds=min(array_pred, obj_pred),
+            )
+
     small_data = trees_prebuilt or (n_p + n_q) <= TOPK_OBJ_MAX_POINTS
     if k <= TOPK_OBJ_MAX_K and small_data:
         reasons.append(

@@ -52,6 +52,7 @@ from repro.engine.kernels import (
     canonical_pair_order,
     knn_candidate_blocks,
     rcj_pair_indices,
+    stage_timer,
     verify_rings_batch,
 )
 from repro.parallel.sharedmem import SharedArrays, Spec
@@ -123,20 +124,26 @@ def _init_worker(spec: Spec, k0: int, exclude_same_oid: bool) -> None:
     )
 
 
-def _run_shard(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray, int]:
+def _run_shard(
+    lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray, dict, int]:
     """One shard: candidates → prune → verify for probes
-    ``order[lo:hi]``.  Returns ``(p_idx, q_idx, candidate_count)``."""
+    ``order[lo:hi]``.  Returns ``(p_idx, q_idx, stage_seconds,
+    candidate_count)`` — per-stage wall times measured in the worker so
+    the parent can sum them across shards onto the report (planned
+    parallel runs feed the cost-model calibration like serial ones)."""
     st = _STATE
     assert st is not None, "worker used before initialization"
     probes = st.order[lo:hi]
     empty = np.empty(0, dtype=np.int64)
     if probes.size == 0:  # zero-point shard: nothing to do
-        return empty, empty, 0
+        return empty, empty, {}, 0
+    stages: dict = {}
     qsub = PointArray(
         st.qarr.x[probes], st.qarr.y[probes], st.qarr.oid[probes]
     )
     q_local, p_idx = knn_candidate_blocks(
-        st.parr, qsub, k0=st.k0, tree_p=st.tree_p
+        st.parr, qsub, k0=st.k0, tree_p=st.tree_p, stage_seconds=stages
     )
     q_idx = probes[q_local]
     if st.exclude_same_oid:
@@ -144,17 +151,18 @@ def _run_shard(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray, int]:
         p_idx, q_idx = p_idx[keep], q_idx[keep]
     candidate_count = int(len(q_idx))
     if candidate_count:
-        alive = verify_rings_batch(
-            st.parr.x[p_idx],
-            st.parr.y[p_idx],
-            st.qarr.x[q_idx],
-            st.qarr.y[q_idx],
-            st.union_tree,
-            st.ux,
-            st.uy,
-        )
+        with stage_timer(stages, "verify"):
+            alive = verify_rings_batch(
+                st.parr.x[p_idx],
+                st.parr.y[p_idx],
+                st.qarr.x[q_idx],
+                st.qarr.y[q_idx],
+                st.union_tree,
+                st.ux,
+                st.uy,
+            )
         p_idx, q_idx = p_idx[alive], q_idx[alive]
-    return p_idx, q_idx, candidate_count
+    return p_idx, q_idx, stages, candidate_count
 
 
 def _make_executor(
@@ -345,6 +353,7 @@ def parallel_rcj_pair_indices(
     k0: int = DEFAULT_K0,
     exclude_same_oid: bool = False,
     min_shard: int = DEFAULT_MIN_SHARD,
+    stage_seconds: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """The sharded parallel counterpart of
     :func:`repro.engine.kernels.rcj_pair_indices`.
@@ -362,6 +371,11 @@ def parallel_rcj_pair_indices(
     min_shard:
         Smallest useful shard, forwarded to the shard planner (tests
         lower it to force multi-shard plans on small datasets).
+    stage_seconds:
+        Optional accumulator for per-stage wall times.  On the pool
+        path each stage is the **sum over shards** of worker-measured
+        time (aggregate CPU seconds, which can exceed wall time); the
+        serial fallbacks forward it to the kernels unchanged.
     """
     if workers is None:
         workers = default_workers()
@@ -372,14 +386,22 @@ def parallel_rcj_pair_indices(
         return (np.empty(0, np.int64), np.empty(0, np.int64), 0)
     if workers == 1 or n_q < serial_fallback_threshold(min_shard):
         return rcj_pair_indices(
-            parr, qarr, k0=k0, exclude_same_oid=exclude_same_oid
+            parr,
+            qarr,
+            k0=k0,
+            exclude_same_oid=exclude_same_oid,
+            stage_seconds=stage_seconds,
         )
     plan = plan_shards(
         qarr.x, qarr.y, workers * SHARDS_PER_WORKER, min_shard=min_shard
     )
     if len(plan) <= 1:
         return rcj_pair_indices(
-            parr, qarr, k0=k0, exclude_same_oid=exclude_same_oid
+            parr,
+            qarr,
+            k0=k0,
+            exclude_same_oid=exclude_same_oid,
+            stage_seconds=stage_seconds,
         )
 
     shared = SharedArrays.create(
@@ -405,8 +427,12 @@ def parallel_rcj_pair_indices(
     finally:
         shared.destroy()
 
-    p_idx = np.concatenate([p for p, _q, _c in parts])
-    q_idx = np.concatenate([q for _p, q, _c in parts])
-    candidate_count = sum(c for _p, _q, c in parts)
+    p_idx = np.concatenate([p for p, _q, _s, _c in parts])
+    q_idx = np.concatenate([q for _p, q, _s, _c in parts])
+    if stage_seconds is not None:
+        for _p, _q, shard_stages, _c in parts:
+            for key, seconds in shard_stages.items():
+                stage_seconds[key] = stage_seconds.get(key, 0.0) + seconds
+    candidate_count = sum(c for _p, _q, _s, c in parts)
     merged = canonical_pair_order(p_idx, q_idx)
     return p_idx[merged], q_idx[merged], candidate_count

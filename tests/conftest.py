@@ -68,6 +68,27 @@ def continuous_pointset(min_size: int = 0, max_size: int = 60):
 # ----------------------------------------------------------------------
 # fixtures
 # ----------------------------------------------------------------------
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_calibration(tmp_path_factory):
+    """Point the calibration store at a session-private directory.
+
+    Planned runs record observations and the planner loads any fitted
+    profile from ``REPRO_CALIBRATION_DIR`` — left unset, the suite
+    would write into (and, worse, *read* a previously fitted profile
+    from) ``~/.cache/repro/calibration``, making plan-selection tests
+    depend on the machine's calibration history."""
+    import os
+
+    path = str(tmp_path_factory.mktemp("calibration"))
+    old = os.environ.get("REPRO_CALIBRATION_DIR")
+    os.environ["REPRO_CALIBRATION_DIR"] = path
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CALIBRATION_DIR", None)
+    else:
+        os.environ["REPRO_CALIBRATION_DIR"] = old
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministic RNG per test."""

@@ -8,13 +8,17 @@ import pytest
 from repro.datasets.fixtures import clustered_pair, uniform_pair
 from repro.engine.arrays import PointArray
 from repro.parallel.costmodel import (
+    DEFAULT_BUDGET_BYTES,
+    PLANNED_FAMILY_NAMES,
     TOPK_OBJ_MAX_K,
     ExecutionPlan,
     choose_dynamic_backend,
+    choose_family_plan,
     choose_plan,
     choose_topk_plan,
     estimate_bytes,
     estimate_candidates,
+    estimate_family_candidates,
     memory_budget_bytes,
     sample_density_factor,
 )
@@ -238,6 +242,96 @@ class TestTopkPlan:
         points_p, points_q = uniform_pair(50, 50, seed=23)
         assert choose_topk_plan([], points_q, k=5).engine == "array"
         assert choose_topk_plan(points_p, points_q, k=0).engine == "array"
+
+
+class TestMemoryBudgetValidation:
+    def test_unset_yields_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEMORY_BUDGET_MB", raising=False)
+        assert memory_budget_bytes() == DEFAULT_BUDGET_BYTES
+
+    def test_blank_yields_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET_MB", "   ")
+        assert memory_budget_bytes() == DEFAULT_BUDGET_BYTES
+
+    @pytest.mark.parametrize("bad", ["0", "-5", "-0.1", "nan", "-inf"])
+    def test_non_positive_rejected_naming_the_variable(
+        self, monkeypatch, bad
+    ):
+        # "0" and negatives used to yield a 0-byte budget that silently
+        # routed every join onto the slow obj path; now they fail fast.
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET_MB", bad)
+        with pytest.raises(ValueError, match="REPRO_MEMORY_BUDGET_MB"):
+            memory_budget_bytes()
+
+    @pytest.mark.parametrize("bad", ["abc", "12MB", ""])
+    def test_non_numeric_rejected_naming_the_variable(
+        self, monkeypatch, bad
+    ):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET_MB", bad)
+        if not bad.strip():
+            assert memory_budget_bytes() == DEFAULT_BUDGET_BYTES
+        else:
+            # Previously a bare float() ValueError with no mention of
+            # the variable that caused it.
+            with pytest.raises(
+                ValueError, match="REPRO_MEMORY_BUDGET_MB"
+            ):
+                memory_budget_bytes()
+
+    def test_infinite_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET_MB", "inf")
+        with pytest.raises(ValueError, match="finite"):
+            memory_budget_bytes()
+
+    def test_valid_override_still_works(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET_MB", "64")
+        assert memory_budget_bytes() == 64 * (1 << 20)
+
+    def test_plan_surfaces_the_error(self, monkeypatch):
+        # choose_plan consults the budget when none is passed: the
+        # validation error reaches the caller instead of a bogus plan.
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET_MB", "0")
+        points_p, points_q = uniform_pair(50, 50, seed=30)
+        with pytest.raises(ValueError, match="REPRO_MEMORY_BUDGET_MB"):
+            choose_plan(points_p, points_q)
+
+
+class TestFamilyPlanValidation:
+    def test_unknown_family_rejected_listing_valid_names(self):
+        # Previously fell silently into the CIJ branch and returned a
+        # bogus (but plausible-looking) plan.
+        points_p, points_q = uniform_pair(50, 50, seed=31)
+        with pytest.raises(ValueError, match="unknown join family") as exc:
+            choose_family_plan("voronoi", points_p, points_q)
+        for name in PLANNED_FAMILY_NAMES:
+            assert name in str(exc.value)
+
+    def test_epsilon_without_eps_rejected(self):
+        # Previously a bare TypeError deep inside the eps estimator.
+        points_p, points_q = uniform_pair(50, 50, seed=31)
+        with pytest.raises(ValueError, match="eps"):
+            choose_family_plan("epsilon", points_p, points_q)
+
+    @pytest.mark.parametrize("family", ["knn", "kcp"])
+    def test_k_families_without_k_rejected(self, family):
+        points_p, points_q = uniform_pair(50, 50, seed=31)
+        with pytest.raises(ValueError, match="requires k"):
+            choose_family_plan(family, points_p, points_q)
+
+    def test_estimator_validates_too(self):
+        points_p, points_q = uniform_pair(50, 50, seed=31)
+        with pytest.raises(ValueError, match="unknown join family"):
+            estimate_family_candidates("nope", points_p, points_q)
+        with pytest.raises(ValueError, match="eps"):
+            estimate_family_candidates("epsilon", points_p, points_q)
+
+    def test_valid_requests_still_plan(self):
+        points_p, points_q = uniform_pair(300, 300, seed=32)
+        assert choose_family_plan(
+            "epsilon", points_p, points_q, eps=40.0
+        ).engine in ("array", "array-parallel")
+        assert choose_family_plan("knn", points_p, points_q, k=4).engine
+        assert choose_family_plan("cij", points_p, points_q).engine
 
 
 class TestDynamicBackendChoice:

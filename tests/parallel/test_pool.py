@@ -110,6 +110,33 @@ class TestPoolCorrectness:
         with pytest.raises(ValueError, match="workers"):
             parallel_rcj_pair_indices(parr, qarr, workers=0)
 
+    def test_stage_seconds_aggregated_across_shards(self):
+        parr, qarr = _arrays(uniform_pair(700, 800, seed=27))
+        stages: dict[str, float] = {}
+        parallel_rcj_pair_indices(
+            parr, qarr, workers=2, min_shard=MIN_SHARD, stage_seconds=stages
+        )
+        assert set(stages) & {"candidate", "verify"}
+        assert all(v >= 0.0 for v in stages.values())
+
+    def test_stage_seconds_accumulate_onto_existing_totals(self):
+        # The accumulator sums — it must add to, not replace, what a
+        # caller already collected.
+        parr, qarr = _arrays(uniform_pair(700, 800, seed=28))
+        stages = {"verify": 100.0}
+        parallel_rcj_pair_indices(
+            parr, qarr, workers=2, min_shard=MIN_SHARD, stage_seconds=stages
+        )
+        assert stages["verify"] > 100.0
+
+    def test_stage_seconds_on_serial_fallback(self):
+        # Below the shard threshold the serial kernel runs in-process;
+        # the accumulator must still be fed.
+        parr, qarr = _arrays(uniform_pair(100, 100, seed=29))
+        stages: dict[str, float] = {}
+        parallel_rcj_pair_indices(parr, qarr, workers=4, stage_seconds=stages)
+        assert set(stages) & {"candidate", "verify"}
+
 
 class TestPoolCleanup:
     def test_shared_memory_released_after_success(self, monkeypatch):
