@@ -136,11 +136,15 @@ def record_observation(
     stage_seconds: dict | None,
     total_seconds: float,
     family: str | None = None,
+    workers_planned: int | None = None,
 ) -> str:
     """Append one observation record; returns the store path.
 
-    No-op (returns the path unwritten) when calibration is disabled or
-    the execution carries no usable measurement (``total_seconds <= 0``).
+    ``workers`` is the *effective* worker count (what actually ran:
+    1 on a serial fallback); ``workers_planned`` is the count the plan
+    asked for, defaulting to ``workers`` when the two agree.  No-op
+    (returns the path unwritten) when calibration is disabled or the
+    execution carries no usable measurement (``total_seconds <= 0``).
     """
     path = observations_path()
     if not calibration_enabled() or not total_seconds > 0.0:
@@ -152,6 +156,9 @@ def record_observation(
         "workload": workload_key(kind, family),
         "engine": engine,
         "workers": int(workers),
+        "workers_planned": int(
+            workers if workers_planned is None else workers_planned
+        ),
         "n_p": int(n_p),
         "n_q": int(n_q),
         "density_factor": round(float(density_factor), 6),
@@ -178,15 +185,23 @@ def record_planned_run(
     :mod:`repro.engine.families` call after every ``engine="auto"``
     run.  Swallows every exception: a full disk or read-only home
     directory must never fail the join that was measured.
+
+    The recorded ``workers`` is the count that actually executed
+    (``report.workers_used``) — a parallel plan whose run fell back to
+    the in-process path records ``workers=1``, so refits never learn
+    pool economics from a pool that never started.  The plan's request
+    is kept alongside as ``workers_planned``.
     """
     if plan is None:
         return
     try:
+        effective = getattr(report, "workers_used", None)
         record_observation(
             kind=kind,
             family=family,
             engine=plan.engine,
-            workers=plan.workers,
+            workers=plan.workers if effective is None else effective,
+            workers_planned=plan.workers,
             n_p=plan.n_p,
             n_q=plan.n_q,
             density_factor=plan.density_factor,

@@ -12,6 +12,9 @@ Usage (installed as ``python -m repro``)::
     python -m repro join p.txt q.txt --family knn --param 4 --engine array
     python -m repro selfjoin p.txt -o postboxes.txt
     python -m repro topk p.txt q.txt -k 10 --engine array
+    python -m repro join p.txt q.txt --engine auto --trace run.trace.jsonl
+    python -m repro trace show run.trace.jsonl
+    python -m repro trace export run.trace.jsonl -o run.perfetto.json
     python -m repro resemblance p.txt q.txt --join eps --param 50
     python -m repro calibrate --n 4000 --rounds 2
     python -m repro calibrate --smoke
@@ -82,6 +85,33 @@ def _explain_hypothetical(points_p, points_q, args) -> None:
     print(plan.describe(), file=sys.stderr)
 
 
+def _emit_trace_diagnostics(report, args: argparse.Namespace) -> None:
+    """Write the run's trace sink and/or render its tree.
+
+    Everything goes to stderr (or the ``--trace`` file): stdout is
+    reserved for the machine-parseable pair lines, so piping them stays
+    safe whatever diagnostics are enabled.
+    """
+    root = getattr(report, "trace", None)
+    trace_path = getattr(args, "trace", None)
+    if root is None:
+        if trace_path:
+            print(
+                "no trace captured (tracing disabled via REPRO_TRACE?)",
+                file=sys.stderr,
+            )
+        return
+    if trace_path:
+        from repro.obs.export import write_jsonl
+
+        n = write_jsonl(root, trace_path)
+        print(f"trace: {n} spans appended to {trace_path}", file=sys.stderr)
+    if args.explain:
+        from repro.obs.export import render_tree
+
+        print(render_tree(root), file=sys.stderr)
+
+
 def _family_param(args: argparse.Namespace) -> tuple[float | None, int | None]:
     """``(eps, k)`` parsed from ``--param`` for the selected family."""
     if args.family == "epsilon":
@@ -128,6 +158,7 @@ def _cmd_family_join(args: argparse.Namespace) -> int:
         k=k,
         workers=args.workers,
     )
+    _emit_trace_diagnostics(report, args)
     pairs = report.pairs
     if args.output:
         with open(args.output, "w") as f:
@@ -182,6 +213,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         )
     if args.explain and report.plan is not None:
         print(report.plan.describe(), file=sys.stderr)
+    _emit_trace_diagnostics(report, args)
     pairs = report.pairs
     if args.output:
         with open(args.output, "w") as f:
@@ -230,6 +262,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     )
     if args.explain and report.plan is not None:
         print(report.plan.describe(), file=sys.stderr)
+    _emit_trace_diagnostics(report, args)
     pairs = report.pairs
     if args.output:
         with open(args.output, "w") as f:
@@ -284,6 +317,51 @@ def _cmd_resemblance(args: argparse.Namespace) -> int:
     print(
         f"{args.join} vs RCJ: |RCJ|={len(rcj_keys)} |{args.join}|={len(other)} "
         f"precision={prec:.1f}% recall={rec:.1f}%"
+    )
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    """Render the trace trees recorded in a JSONL trace file."""
+    from repro.obs.export import read_jsonl, render_tree
+
+    roots = read_jsonl(args.trace_file)
+    if not roots:
+        print(f"no trace records in {args.trace_file}", file=sys.stderr)
+        return 1
+    for i, root in enumerate(roots):
+        if len(roots) > 1:
+            print(f"run {i}:")
+        print(render_tree(root, max_depth=args.depth))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Export one recorded run as Chrome trace-event / Perfetto JSON."""
+    import json
+
+    from repro.obs.export import read_jsonl, to_chrome, validate_chrome
+
+    roots = read_jsonl(args.trace_file)
+    if not roots:
+        print(f"no trace records in {args.trace_file}", file=sys.stderr)
+        return 1
+    try:
+        root = roots[args.run]
+    except IndexError:
+        print(
+            f"run {args.run} out of range ({len(roots)} recorded)",
+            file=sys.stderr,
+        )
+        return 1
+    doc = to_chrome(root)
+    validate_chrome(doc)
+    with open(args.output, "w") as f:
+        json.dump(doc, f)
+    print(
+        f"wrote {len(doc['traceEvents'])} events to {args.output} "
+        "(load at ui.perfetto.dev or chrome://tracing)",
+        file=sys.stderr,
     )
     return 0
 
@@ -436,6 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="result bound for --mode topk (giving it implies the mode)",
     )
+    join.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append this run's span tree to a JSONL trace file "
+        "(inspect with 'repro trace show/export')",
+    )
     join.set_defaults(func=_cmd_join)
 
     selfjoin = sub.add_parser("selfjoin", help="self-RCJ of one pointset file")
@@ -469,7 +554,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the top-k planner's decision to stderr",
     )
     topk.add_argument("-o", "--output", default=None)
+    topk.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append this run's span tree to a JSONL trace file",
+    )
     topk.set_defaults(func=_cmd_topk)
+
+    tr = sub.add_parser(
+        "trace",
+        help="inspect or export trace files recorded with --trace",
+    )
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+    tshow = trsub.add_parser(
+        "show", help="render the recorded span trees as text"
+    )
+    tshow.add_argument("trace_file")
+    tshow.add_argument(
+        "--depth",
+        type=_positive_int,
+        default=None,
+        help="limit the rendered tree depth",
+    )
+    tshow.set_defaults(func=_cmd_trace_show)
+    texp = trsub.add_parser(
+        "export",
+        help="export one run as Chrome trace-event / Perfetto JSON",
+    )
+    texp.add_argument("trace_file")
+    texp.add_argument("-o", "--output", required=True)
+    texp.add_argument(
+        "--run",
+        type=int,
+        default=-1,
+        help="which recorded run to export (default: the last)",
+    )
+    texp.set_defaults(func=_cmd_trace_export)
 
     res = sub.add_parser(
         "resemblance",

@@ -123,8 +123,18 @@ class JoinReport:
     #: Measured per-stage wall seconds of the memory engines
     #: (``candidate`` / ``prune`` / ``verify``), recorded for explicit
     #: and planned dispatch alike; empty for the R-tree backend, whose
-    #: cost accounting is the paper's node/fault model instead.
+    #: cost accounting is the paper's node/fault model instead.  When a
+    #: trace was captured these totals are derived from its stage spans
+    #: (:func:`repro.obs.trace.stage_totals`).
     stage_seconds: dict = field(default_factory=dict)
+    #: Worker processes that actually executed the join: 1 for every
+    #: serial engine *and* for parallel requests that fell back to the
+    #: in-process path — distinct from the requested/planned count,
+    #: which is what makes calibration observations honest.
+    workers_used: int | None = None
+    #: The captured trace tree (:class:`repro.obs.trace.Span`) of this
+    #: execution, or None when tracing was disabled (``REPRO_TRACE=0``).
+    trace: object | None = None
 
     @property
     def result_count(self) -> int:

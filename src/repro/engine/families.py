@@ -58,6 +58,7 @@ from repro.engine.operators import (
     VerifyRings,
 )
 from repro.geometry.point import Point
+from repro.obs.trace import trace as obs_trace
 
 #: The join families :func:`run_family_join` dispatches.
 FAMILY_NAMES = ("rcj", "epsilon", "knn", "kcp", "cij")
@@ -296,13 +297,26 @@ def run_family_join(
     report = JoinReport(f"{family.upper()}-{engine.upper()}")
     report.plan = plan
     stages: dict = {}
+    exec_info: dict = {}
     t0 = time.perf_counter()
 
     if engine == "pointwise":
-        _pointwise_family(
-            points_p, points_q, family, eps, k, bounds, report
-        )
+        with obs_trace(
+            "family-join",
+            family=family,
+            engine="pointwise",
+            n_p=len(points_p),
+            n_q=len(points_q),
+        ) as root:
+            _pointwise_family(
+                points_p, points_q, family, eps, k, bounds, report
+            )
         report.cpu_seconds = time.perf_counter() - t0
+        report.workers_used = 1
+        if root is not None:
+            root.add("node-accesses", report.node_accesses)
+            root.add("pairs", len(report.pairs))
+        report.trace = root
         from repro.engine.planner import _record_observation
 
         _record_observation(plan, report, "family", family=family)
@@ -317,31 +331,41 @@ def run_family_join(
 
     parr = PointArray.from_points(points_p)
     qarr = PointArray.from_points(points_q)
-    if engine == "array-parallel":
-        from repro.parallel.pool import parallel_family_pair_indices
+    with obs_trace(
+        "family-join",
+        family=family,
+        engine=engine,
+        n_p=len(points_p),
+        n_q=len(points_q),
+    ) as root:
+        if engine == "array-parallel":
+            from repro.parallel.pool import parallel_family_pair_indices
 
-        kwargs = {} if min_shard is None else {"min_shard": min_shard}
-        p_idx, q_idx, stages, candidates = parallel_family_pair_indices(
-            family,
-            parr,
-            qarr,
-            eps=eps,
-            k=k,
-            workers=workers,
-            **kwargs,
-        )
-    else:
-        pipeline = build_family_pipeline(family, eps=eps, k=k, bounds=bounds)
-        ctx = JoinContext(
-            parr,
-            qarr,
-            stage_seconds=stages,
-            points_p=points_p,
-            points_q=points_q,
-        )
-        result = pipeline.run(ctx)
-        p_idx, q_idx = result.p_idx, result.q_idx
-        candidates = int(ctx.counters.get("candidates", 0))
+            kwargs = {} if min_shard is None else {"min_shard": min_shard}
+            p_idx, q_idx, stages, candidates = parallel_family_pair_indices(
+                family,
+                parr,
+                qarr,
+                eps=eps,
+                k=k,
+                workers=workers,
+                exec_info=exec_info,
+                **kwargs,
+            )
+        else:
+            pipeline = build_family_pipeline(
+                family, eps=eps, k=k, bounds=bounds
+            )
+            ctx = JoinContext(
+                parr,
+                qarr,
+                stage_seconds=stages,
+                points_p=points_p,
+                points_q=points_q,
+            )
+            result = pipeline.run(ctx)
+            p_idx, q_idx = result.p_idx, result.q_idx
+            candidates = int(ctx.counters.get("candidates", 0))
 
     report.pairs = [
         RCJPair(points_p[pi], points_q[qi])
@@ -349,9 +373,13 @@ def run_family_join(
     ]
     report.candidate_count = candidates
     report.cpu_seconds = time.perf_counter() - t0
+    report.workers_used = exec_info.get("workers", 1)
+    if root is not None:
+        root.set(workers=report.workers_used)
+        root.add("pairs", len(report.pairs))
     from repro.engine.planner import _attach_measurements, _record_observation
 
-    _attach_measurements(report, stages)
+    _attach_measurements(report, stages, root)
     _record_observation(plan, report, "family", family=family)
     return report
 

@@ -55,14 +55,12 @@ discards.
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-
 import numpy as np
 from scipy.spatial import Delaunay, QhullError, cKDTree
 
 from repro.core.gabriel import recover_cocircular_pairs, recoverable_radius_bound
 from repro.engine.arrays import PointArray
+from repro.obs.trace import add_counter, stage_timer  # noqa: F401  (re-export)
 
 #: Neighbour window of the first candidate-generation stage.
 DEFAULT_K0 = 16
@@ -96,24 +94,10 @@ _SCAN_WORK_LIMIT = 4_000_000
 _BALL_INFLATION = 1e-7
 
 
-@contextmanager
-def stage_timer(acc: dict | None, key: str):
-    """Accumulate the wall time of a ``with`` block into ``acc[key]``.
-
-    The accumulator is the per-stage measurement record the planner
-    attaches to :attr:`JoinReport.stage_seconds` (and, for auto plans,
-    to ``ExecutionPlan.measured``) so the cost model's first-order
-    constants can be calibrated against real runs.  ``acc=None``
-    disables timing with no overhead beyond the generator frame.
-    """
-    if acc is None:
-        yield
-        return
-    t0 = time.perf_counter()
-    try:
-        yield
-    finally:
-        acc[key] = acc.get(key, 0.0) + time.perf_counter() - t0
+# NOTE: ``stage_timer`` now lives in :mod:`repro.obs.trace` (it
+# dual-writes each measurement into the accumulator dict and, when a
+# trace is active, a ``kind="stage"`` span) and is re-exported from
+# this module for its long-standing importers.
 
 
 def halfplane_prune_window(
@@ -758,6 +742,7 @@ def rcj_pair_indices(
         keep = parr.oid[p_idx] != qarr.oid[q_idx]
         q_idx, p_idx = q_idx[keep], p_idx[keep]
     candidate_count = int(len(q_idx))
+    add_counter("candidates", candidate_count)
     if candidate_count == 0:
         return (p_idx, q_idx, 0)
 
@@ -775,6 +760,8 @@ def rcj_pair_indices(
             uy,
         )
     p_idx, q_idx = p_idx[alive], q_idx[alive]
+    add_counter("verified", int(len(p_idx)))
+    add_counter("pruned", candidate_count - int(len(p_idx)))
     # The dedup above already left the pairs keyed by (q, p); the
     # explicit canonical sort makes the ordering a contract rather than
     # an accident of np.unique.

@@ -58,6 +58,7 @@ from repro.engine.kernels import (
     stage_timer,
     verify_rings_batch,
 )
+from repro.obs.trace import add_counter
 
 #: Probe points per ball-query / KNN block.
 _PROBE_BLOCK = 8192
@@ -912,11 +913,14 @@ class Pipeline:
                 ctx.counters["candidates"] = ctx.counters.get(
                     "candidates", 0
                 ) + len(block)
+                add_counter("candidates", len(block))
                 for stage in self.stages:
                     if not len(block):
                         break
+                    n_in = len(block)
                     with stage_timer(ctx.stage_seconds, stage.name):
                         block = stage.apply(ctx, block)
+                    add_counter("pruned", n_in - len(block))
                 self.sink.collect(ctx, block)
                 if self.sink.done():
                     break
@@ -924,4 +928,6 @@ class Pipeline:
             close = getattr(source_blocks, "close", None)
             if close is not None:
                 close()
-        return self.sink.finish(ctx)
+        result = self.sink.finish(ctx)
+        add_counter("verified", len(result))
+        return result

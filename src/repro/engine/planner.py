@@ -61,6 +61,8 @@ from repro.core.pairs import JoinReport, RCJPair
 from repro.engine.arrays import PointArray
 from repro.engine.kernels import rcj_pair_indices
 from repro.geometry.point import Point
+from repro.obs.trace import stage_totals
+from repro.obs.trace import trace as obs_trace
 from repro.storage.stats import CostModel
 
 #: Every algorithm :func:`run_join` can dispatch.
@@ -134,6 +136,7 @@ def array_parallel_rcj(
     workers: int | None = None,
     min_shard: int | None = None,
     stage_seconds: dict | None = None,
+    exec_info: dict | None = None,
 ) -> tuple[list[RCJPair], int]:
     """Compute the RCJ with the sharded multi-process engine.
 
@@ -142,7 +145,9 @@ def array_parallel_rcj(
     over a worker pool (:func:`repro.parallel.parallel_rcj_pair_indices`).
     ``workers=None`` uses all cores; small inputs fall back to the
     serial kernels in-process.  ``stage_seconds`` (when given)
-    accumulates worker-measured per-stage times summed over shards.
+    accumulates worker-measured per-stage times summed over shards;
+    ``exec_info`` (when given) receives how the run actually executed
+    (effective ``workers``, ``shards``, ``pooled``, ``bytes_shipped``).
 
     Returns ``(pairs, candidate_count)``.
     """
@@ -159,6 +164,7 @@ def array_parallel_rcj(
         k0=k0,
         exclude_same_oid=exclude_same_oid,
         stage_seconds=stage_seconds,
+        exec_info=exec_info,
         **kwargs,
     )
     points_p = list(points_p)
@@ -359,16 +365,31 @@ def run_join(
             cost_model=cost_model,
             **algorithm_kwargs,
         )
-        if name == "inj":
-            report = inj(workload.tree_q, workload.tree_p, **common)
-        elif name == "bij":
-            report = bij(
-                workload.tree_q, workload.tree_p, symmetric=False, **common
-            )
-        else:
-            report = bij(
-                workload.tree_q, workload.tree_p, symmetric=True, **common
-            )
+        with obs_trace(
+            "join",
+            engine=name,
+            backend="rtree",
+            n_p=len(points_p),
+            n_q=len(points_q),
+        ) as root:
+            if name == "inj":
+                report = inj(workload.tree_q, workload.tree_p, **common)
+            elif name == "bij":
+                report = bij(
+                    workload.tree_q, workload.tree_p, symmetric=False, **common
+                )
+            else:
+                report = bij(
+                    workload.tree_q, workload.tree_p, symmetric=True, **common
+                )
+        if root is not None:
+            root.add("node-accesses", report.node_accesses)
+            root.add("page-faults", report.page_faults)
+            root.add("buffer-hits", report.buffer_hits)
+            root.add("candidates", report.candidate_count)
+            root.add("pairs", len(report.pairs))
+        report.trace = root
+        report.workers_used = 1
         report.plan = plan
         _record_observation(plan, report, "join")
         return report
@@ -377,46 +398,70 @@ def run_join(
     report = JoinReport(name.upper())
     report.plan = plan
     stages: dict = {}
+    exec_info: dict = {}
     t0 = time.perf_counter()
-    if name == "brute":
-        report.pairs = brute_force_rcj(
-            points_p, points_q, exclude_same_oid=exclude_same_oid
-        )
-        report.candidate_count = brute_candidate_count(
-            len(points_p), len(points_q)
-        )
-    elif name == "gabriel":
-        report.pairs = gabriel_rcj(
-            points_p, points_q, exclude_same_oid=exclude_same_oid
-        )
-        report.candidate_count = len(report.pairs)
-    elif name == "array-parallel":
-        report.pairs, report.candidate_count = array_parallel_rcj(
-            points_p,
-            points_q,
-            exclude_same_oid=exclude_same_oid,
-            workers=workers,
-            stage_seconds=stages,
-            **algorithm_kwargs,
-        )
-    else:  # array
-        report.pairs, report.candidate_count = array_rcj(
-            points_p,
-            points_q,
-            exclude_same_oid=exclude_same_oid,
-            stage_seconds=stages,
-            **algorithm_kwargs,
-        )
+    with obs_trace(
+        "join", engine=name, n_p=len(points_p), n_q=len(points_q)
+    ) as root:
+        if name == "brute":
+            report.pairs = brute_force_rcj(
+                points_p, points_q, exclude_same_oid=exclude_same_oid
+            )
+            report.candidate_count = brute_candidate_count(
+                len(points_p), len(points_q)
+            )
+        elif name == "gabriel":
+            report.pairs = gabriel_rcj(
+                points_p, points_q, exclude_same_oid=exclude_same_oid
+            )
+            report.candidate_count = len(report.pairs)
+        elif name == "array-parallel":
+            report.pairs, report.candidate_count = array_parallel_rcj(
+                points_p,
+                points_q,
+                exclude_same_oid=exclude_same_oid,
+                workers=workers,
+                stage_seconds=stages,
+                exec_info=exec_info,
+                **algorithm_kwargs,
+            )
+        else:  # array
+            report.pairs, report.candidate_count = array_rcj(
+                points_p,
+                points_q,
+                exclude_same_oid=exclude_same_oid,
+                stage_seconds=stages,
+                **algorithm_kwargs,
+            )
     report.cpu_seconds = time.perf_counter() - t0
-    _attach_measurements(report, stages)
+    report.workers_used = exec_info.get("workers", 1)
+    if root is not None:
+        root.set(workers=report.workers_used)
+        root.add("pairs", len(report.pairs))
+    _attach_measurements(report, stages, root)
     _record_observation(plan, report, "join")
     return report
 
 
-def _attach_measurements(report: JoinReport, stages: dict) -> None:
+def _attach_measurements(
+    report: JoinReport, stages: dict, root=None
+) -> None:
     """Record measured per-stage wall times on the report (and, for
     planned runs, on the plan itself — estimates next to measurements
-    is what later cost-model calibration consumes)."""
+    is what later cost-model calibration consumes).
+
+    With a trace ``root``, the stage times come from the trace tree
+    (:func:`repro.obs.trace.stage_totals`) — the accumulator dict and
+    the tree measure the same instants, but deriving from the tree
+    keeps ``report.stage_seconds``, ``report.plan.measured`` and the
+    calibration observation sum-consistent with the exported trace by
+    construction.  The trace itself rides on ``report.trace``.
+    """
+    report.trace = root
+    if root is not None:
+        totals = stage_totals(root)
+        if totals:
+            stages = totals
     if not stages:
         return
     report.stage_seconds = dict(stages)
@@ -517,36 +562,45 @@ def run_topk(
     report.plan = plan
     stages: dict = {}
     t0 = time.perf_counter()
-    if name == "array":
-        report.pairs, report.candidate_count = topk_array(
-            points_p,
-            points_q,
-            k,
-            exclude_same_oid=exclude_same_oid,
-            stage_seconds=stages,
-        )
-    else:  # obj: the R-tree incremental route
-        from repro.bench.runner import build_workload
-        from repro.core.topk import top_k_rcj
+    with obs_trace(
+        "topk", engine=name, k=k, n_p=len(points_p), n_q=len(points_q)
+    ) as root:
+        if name == "array":
+            report.pairs, report.candidate_count = topk_array(
+                points_p,
+                points_q,
+                k,
+                exclude_same_oid=exclude_same_oid,
+                stage_seconds=stages,
+            )
+        else:  # obj: the R-tree incremental route
+            from repro.bench.runner import build_workload
+            from repro.core.topk import top_k_rcj
 
-        if workload is None:
-            workload = build_workload(points_q, points_p)
-        else:
-            workload.reset()
-        report.pairs = top_k_rcj(
-            workload.tree_p,
-            workload.tree_q,
-            k,
-            exclude_same_oid=exclude_same_oid,
-        )
-        report.candidate_count = len(report.pairs)
-        report.node_accesses = (
-            workload.tree_p.node_accesses + workload.tree_q.node_accesses
-        )
-        report.page_faults = workload.buffer.stats.page_faults
-        report.buffer_hits = workload.buffer.stats.buffer_hits
+            if workload is None:
+                workload = build_workload(points_q, points_p)
+            else:
+                workload.reset()
+            report.pairs = top_k_rcj(
+                workload.tree_p,
+                workload.tree_q,
+                k,
+                exclude_same_oid=exclude_same_oid,
+            )
+            report.candidate_count = len(report.pairs)
+            report.node_accesses = (
+                workload.tree_p.node_accesses + workload.tree_q.node_accesses
+            )
+            report.page_faults = workload.buffer.stats.page_faults
+            report.buffer_hits = workload.buffer.stats.buffer_hits
     report.cpu_seconds = time.perf_counter() - t0
-    _attach_measurements(report, stages)
+    report.workers_used = 1
+    if root is not None:
+        root.add("pairs", len(report.pairs))
+        if name != "array":
+            root.add("node-accesses", report.node_accesses)
+            root.add("page-faults", report.page_faults)
+    _attach_measurements(report, stages, root)
     _record_observation(plan, report, "topk")
     return report
 

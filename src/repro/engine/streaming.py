@@ -67,6 +67,7 @@ from repro.engine.kernels import (
 from repro.geometry.point import Point
 from repro.geometry.polygon import box_polygon, clip_halfplane
 from repro.geometry.rect import Rect
+from repro.obs.trace import add_counter, set_attr
 
 #: Probe points per ball-query block of the band enumerator.
 _STREAM_Q_BLOCK = 8192
@@ -188,6 +189,8 @@ def stream_pairs_by_diameter(
             # The band is denser than a whole vectorized join: run the
             # full pipeline once and emit the not-yet-streamed tail.
             counters["fallback"] = True
+            set_attr(fallback=True)
+            # (the kernel itself counts "candidates" on the trace)
             p_idx, q_idx, cand = rcj_pair_indices(
                 parr,
                 qarr,
@@ -206,6 +209,7 @@ def stream_pairs_by_diameter(
             return
 
         counters["bands"] = counters.get("bands", 0) + 1
+        add_counter("bands")
         r_sq = r * r
         band_p: list[np.ndarray] = []
         band_q: list[np.ndarray] = []
@@ -276,6 +280,7 @@ def stream_pairs_by_diameter(
             counters["candidates"] = counters.get("candidates", 0) + int(
                 p_idx.size
             )
+            add_counter("candidates", int(p_idx.size))
             with stage_timer(stage_seconds, "verify"):
                 alive = verify_rings_batch(
                     parr.x[p_idx],
@@ -286,6 +291,9 @@ def stream_pairs_by_diameter(
                     ux,
                     uy,
                 )
+            n_alive = int(alive.sum())
+            add_counter("verified", n_alive)
+            add_counter("pruned", int(p_idx.size) - n_alive)
             p_idx, q_idx, d_sq = p_idx[alive], q_idx[alive], d_sq[alive]
             order = np.lexsort((qarr.oid[q_idx], parr.oid[p_idx], d_sq))
             for j in order:

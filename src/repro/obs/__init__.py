@@ -1,0 +1,41 @@
+"""Observability: hierarchical span tracing, counters, exporters."""
+
+from repro.obs.trace import (
+    Span,
+    TRACE_ENV,
+    add_counter,
+    counter_totals,
+    current_span,
+    set_attr,
+    span,
+    stage_timer,
+    stage_totals,
+    trace,
+    tracing_enabled,
+)
+from repro.obs.export import (
+    read_jsonl,
+    render_tree,
+    to_chrome,
+    validate_chrome,
+    write_jsonl,
+)
+
+__all__ = [
+    "Span",
+    "TRACE_ENV",
+    "add_counter",
+    "counter_totals",
+    "current_span",
+    "read_jsonl",
+    "render_tree",
+    "set_attr",
+    "span",
+    "stage_timer",
+    "stage_totals",
+    "to_chrome",
+    "trace",
+    "tracing_enabled",
+    "validate_chrome",
+    "write_jsonl",
+]

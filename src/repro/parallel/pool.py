@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,6 +56,8 @@ from repro.engine.kernels import (
     stage_timer,
     verify_rings_batch,
 )
+from repro.obs.trace import add_counter, span, trace
+from repro.obs.trace import reset as _reset_trace
 from repro.parallel.sharedmem import SharedArrays, Spec
 from repro.parallel.shards import DEFAULT_MIN_SHARD, plan_shards
 
@@ -103,6 +106,7 @@ _STATE: _WorkerState | None = None
 def _init_worker(spec: Spec, k0: int, exclude_same_oid: bool) -> None:
     """Pool initializer: attach shared columns, build query structures."""
     global _STATE
+    _reset_trace()  # fork copies the coordinator's active-trace stack
     shared = SharedArrays.attach(spec)
     parr = PointArray._wrap(shared["px"], shared["py"], shared["poid"])
     qarr = PointArray._wrap(shared["qx"], shared["qy"], shared["qoid"])
@@ -125,44 +129,53 @@ def _init_worker(spec: Spec, k0: int, exclude_same_oid: bool) -> None:
 
 
 def _run_shard(
-    lo: int, hi: int
-) -> tuple[np.ndarray, np.ndarray, dict, int]:
+    lo: int, hi: int, traced: bool = False
+) -> tuple[np.ndarray, np.ndarray, dict, int, dict | None]:
     """One shard: candidates → prune → verify for probes
     ``order[lo:hi]``.  Returns ``(p_idx, q_idx, stage_seconds,
-    candidate_count)`` — per-stage wall times measured in the worker so
-    the parent can sum them across shards onto the report (planned
-    parallel runs feed the cost-model calibration like serial ones)."""
+    candidate_count, span_tree)`` — per-stage wall times measured in
+    the worker so the parent can sum them across shards onto the
+    report (planned parallel runs feed the cost-model calibration like
+    serial ones).  With ``traced`` the shard roots its own trace and
+    ships the serialized span tree home for the coordinator to
+    re-parent (:meth:`repro.obs.trace.Span.adopt`)."""
     st = _STATE
     assert st is not None, "worker used before initialization"
     probes = st.order[lo:hi]
     empty = np.empty(0, dtype=np.int64)
     if probes.size == 0:  # zero-point shard: nothing to do
-        return empty, empty, {}, 0
+        return empty, empty, {}, 0, None
     stages: dict = {}
-    qsub = PointArray(
-        st.qarr.x[probes], st.qarr.y[probes], st.qarr.oid[probes]
-    )
-    q_local, p_idx = knn_candidate_blocks(
-        st.parr, qsub, k0=st.k0, tree_p=st.tree_p, stage_seconds=stages
-    )
-    q_idx = probes[q_local]
-    if st.exclude_same_oid:
-        keep = st.parr.oid[p_idx] != st.qarr.oid[q_idx]
-        p_idx, q_idx = p_idx[keep], q_idx[keep]
-    candidate_count = int(len(q_idx))
-    if candidate_count:
-        with stage_timer(stages, "verify"):
-            alive = verify_rings_batch(
-                st.parr.x[p_idx],
-                st.parr.y[p_idx],
-                st.qarr.x[q_idx],
-                st.qarr.y[q_idx],
-                st.union_tree,
-                st.ux,
-                st.uy,
-            )
-        p_idx, q_idx = p_idx[alive], q_idx[alive]
-    return p_idx, q_idx, stages, candidate_count
+    with trace("shard", lo=lo, hi=hi) if traced else nullcontext(None) as root:
+        qsub = PointArray(
+            st.qarr.x[probes], st.qarr.y[probes], st.qarr.oid[probes]
+        )
+        q_local, p_idx = knn_candidate_blocks(
+            st.parr, qsub, k0=st.k0, tree_p=st.tree_p, stage_seconds=stages
+        )
+        q_idx = probes[q_local]
+        if st.exclude_same_oid:
+            keep = st.parr.oid[p_idx] != st.qarr.oid[q_idx]
+            p_idx, q_idx = p_idx[keep], q_idx[keep]
+        candidate_count = int(len(q_idx))
+        add_counter("candidates", candidate_count)
+        if candidate_count:
+            with stage_timer(stages, "verify"):
+                alive = verify_rings_batch(
+                    st.parr.x[p_idx],
+                    st.parr.y[p_idx],
+                    st.qarr.x[q_idx],
+                    st.qarr.y[q_idx],
+                    st.union_tree,
+                    st.ux,
+                    st.uy,
+                )
+            p_idx, q_idx = p_idx[alive], q_idx[alive]
+        add_counter("verified", int(len(p_idx)))
+        add_counter("pruned", candidate_count - int(len(p_idx)))
+    # root.seconds is final only once the trace context has closed.
+    tree = root.to_dict() if root is not None else None
+    return p_idx, q_idx, stages, candidate_count, tree
 
 
 def _make_executor(
@@ -201,6 +214,7 @@ def _init_family_worker(
     probe tree the family's source queries (once per process, not per
     shard)."""
     global _FAMILY_STATE
+    _reset_trace()  # fork copies the coordinator's active-trace stack
     shared = SharedArrays.attach(spec)
     parr = PointArray._wrap(shared["px"], shared["py"], shared["poid"])
     qarr = PointArray._wrap(shared["qx"], shared["qy"], shared["qoid"])
@@ -216,11 +230,12 @@ def _init_family_worker(
 
 
 def _run_family_shard(
-    lo: int, hi: int
-) -> tuple[np.ndarray, np.ndarray, dict, int]:
+    lo: int, hi: int, traced: bool = False
+) -> tuple[np.ndarray, np.ndarray, dict, int, dict | None]:
     """One family shard: the declared pipeline over probes
     ``order[lo:hi]``.  Returns ``(p_idx, q_idx, stage_seconds,
-    candidate_count)``."""
+    candidate_count, span_tree)`` (see :func:`_run_shard` for the
+    span-tree transport)."""
     from repro.engine.families import build_family_pipeline
     from repro.engine.operators import JoinContext
 
@@ -229,21 +244,24 @@ def _run_family_shard(
     probes = st.order[lo:hi]
     empty = np.empty(0, dtype=np.int64)
     if probes.size == 0:
-        return empty, empty, {}, 0
-    pipeline = build_family_pipeline(
-        st.family, eps=st.eps, k=st.k, probes=probes
-    )
-    ctx = JoinContext(st.parr, st.qarr)
-    if st.family == "epsilon":
-        ctx.set_tree_p(st.tree)
-    else:
-        ctx.set_tree_q(st.tree)
-    block = pipeline.run(ctx)
+        return empty, empty, {}, 0, None
+    with trace("shard", lo=lo, hi=hi) if traced else nullcontext(None) as root:
+        pipeline = build_family_pipeline(
+            st.family, eps=st.eps, k=st.k, probes=probes
+        )
+        ctx = JoinContext(st.parr, st.qarr)
+        if st.family == "epsilon":
+            ctx.set_tree_p(st.tree)
+        else:
+            ctx.set_tree_q(st.tree)
+        block = pipeline.run(ctx)
+    tree = root.to_dict() if root is not None else None
     return (
         block.p_idx,
         block.q_idx,
         ctx.stage_seconds,
         int(ctx.counters.get("candidates", 0)),
+        tree,
     )
 
 
@@ -256,6 +274,7 @@ def parallel_family_pair_indices(
     k: int | None = None,
     workers: int | None = None,
     min_shard: int = DEFAULT_MIN_SHARD,
+    exec_info: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray, dict, int]:
     """Shard one shardable join family over the worker pool.
 
@@ -269,6 +288,10 @@ def parallel_family_pair_indices(
     :class:`repro.engine.operators.CollectAll`, making output identical
     across worker counts.  Returns ``(p_idx, q_idx, stage_seconds,
     candidate_count)`` with per-stage times summed over shards.
+
+    ``exec_info`` (when given) receives how the run actually executed:
+    ``workers`` (effective — 1 on the serial fallback), ``shards``,
+    ``pooled`` and, on the pool path, ``bytes_shipped``.
     """
     from repro.engine.families import SHARDABLE_FAMILIES, build_family_pipeline
     from repro.engine.operators import JoinContext
@@ -284,6 +307,8 @@ def parallel_family_pair_indices(
         raise ValueError(f"workers must be positive, got {workers}")
 
     def serial() -> tuple[np.ndarray, np.ndarray, dict, int]:
+        if exec_info is not None:
+            exec_info.update(workers=1, shards=1, pooled=False)
         pipeline = build_family_pipeline(family, eps=eps, k=k)
         ctx = JoinContext(parr, qarr)
         block = pipeline.run(ctx)
@@ -299,6 +324,8 @@ def parallel_family_pair_indices(
     )
     n_probe = len(probe_x)
     if len(parr) == 0 or len(qarr) == 0:
+        if exec_info is not None:
+            exec_info.update(workers=1, shards=0, pooled=False)
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, {}, 0
     if workers == 1 or n_probe < serial_fallback_threshold(min_shard):
@@ -320,28 +347,46 @@ def parallel_family_pair_indices(
             "order": plan.order,
         }
     )
+    bytes_shipped = shared.nbytes
     try:
         workers = min(workers, len(plan))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_family_worker,
-            initargs=(shared.spec(), family, eps, k),
-        ) as pool:
-            futures = [
-                pool.submit(_run_family_shard, lo, hi)
-                for lo, hi in plan.ranges()
-            ]
-            parts = [f.result() for f in futures]
+        with span("pool", workers=workers, shards=len(plan)) as psp:
+            traced = psp is not None
+            if traced:
+                psp.add("bytes-shipped", bytes_shipped)
+            with span("pool-startup"):
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_family_worker,
+                    initargs=(shared.spec(), family, eps, k),
+                )
+            with pool:
+                futures = [
+                    pool.submit(_run_family_shard, lo, hi, traced)
+                    for lo, hi in plan.ranges()
+                ]
+                parts = [f.result() for f in futures]
+            if traced:
+                for part in parts:
+                    if part[4] is not None:
+                        psp.adopt(part[4])
     finally:
         shared.destroy()
+    if exec_info is not None:
+        exec_info.update(
+            workers=workers,
+            shards=len(plan),
+            pooled=True,
+            bytes_shipped=bytes_shipped,
+        )
 
-    p_idx = np.concatenate([p for p, _q, _s, _c in parts])
-    q_idx = np.concatenate([q for _p, q, _s, _c in parts])
+    p_idx = np.concatenate([p for p, _q, _s, _c, _t in parts])
+    q_idx = np.concatenate([q for _p, q, _s, _c, _t in parts])
     stages: dict = {}
-    for _p, _q, shard_stages, _c in parts:
+    for _p, _q, shard_stages, _c, _t in parts:
         for key, seconds in shard_stages.items():
             stages[key] = stages.get(key, 0.0) + seconds
-    candidate_count = sum(c for _p, _q, _s, c in parts)
+    candidate_count = sum(c for _p, _q, _s, c, _t in parts)
     merged = np.lexsort((qarr.oid[q_idx], parr.oid[p_idx]))
     return p_idx[merged], q_idx[merged], stages, candidate_count
 
@@ -354,6 +399,7 @@ def parallel_rcj_pair_indices(
     exclude_same_oid: bool = False,
     min_shard: int = DEFAULT_MIN_SHARD,
     stage_seconds: dict | None = None,
+    exec_info: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """The sharded parallel counterpart of
     :func:`repro.engine.kernels.rcj_pair_indices`.
@@ -376,15 +422,21 @@ def parallel_rcj_pair_indices(
         path each stage is the **sum over shards** of worker-measured
         time (aggregate CPU seconds, which can exceed wall time); the
         serial fallbacks forward it to the kernels unchanged.
+    exec_info:
+        Optional dict receiving how the run actually executed:
+        ``workers`` (effective — 1 on every serial fallback),
+        ``shards``, ``pooled`` and, on the pool path,
+        ``bytes_shipped`` (the shared-memory block size).  The planner
+        records these so calibration never learns from phantom pools.
     """
     if workers is None:
         workers = default_workers()
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
-    n_p, n_q = len(parr), len(qarr)
-    if n_p == 0 or n_q == 0:
-        return (np.empty(0, np.int64), np.empty(0, np.int64), 0)
-    if workers == 1 or n_q < serial_fallback_threshold(min_shard):
+
+    def serial() -> tuple[np.ndarray, np.ndarray, int]:
+        if exec_info is not None:
+            exec_info.update(workers=1, shards=1, pooled=False)
         return rcj_pair_indices(
             parr,
             qarr,
@@ -392,17 +444,19 @@ def parallel_rcj_pair_indices(
             exclude_same_oid=exclude_same_oid,
             stage_seconds=stage_seconds,
         )
+
+    n_p, n_q = len(parr), len(qarr)
+    if n_p == 0 or n_q == 0:
+        if exec_info is not None:
+            exec_info.update(workers=1, shards=0, pooled=False)
+        return (np.empty(0, np.int64), np.empty(0, np.int64), 0)
+    if workers == 1 or n_q < serial_fallback_threshold(min_shard):
+        return serial()
     plan = plan_shards(
         qarr.x, qarr.y, workers * SHARDS_PER_WORKER, min_shard=min_shard
     )
     if len(plan) <= 1:
-        return rcj_pair_indices(
-            parr,
-            qarr,
-            k0=k0,
-            exclude_same_oid=exclude_same_oid,
-            stage_seconds=stage_seconds,
-        )
+        return serial()
 
     shared = SharedArrays.create(
         {
@@ -415,24 +469,43 @@ def parallel_rcj_pair_indices(
             "order": plan.order,
         }
     )
+    bytes_shipped = shared.nbytes
     try:
         workers = min(workers, len(plan))
-        with _make_executor(
-            workers, shared.spec(), k0, exclude_same_oid
-        ) as pool:
-            futures = [
-                pool.submit(_run_shard, lo, hi) for lo, hi in plan.ranges()
-            ]
-            parts = [f.result() for f in futures]
+        with span("pool", workers=workers, shards=len(plan)) as psp:
+            traced = psp is not None
+            if traced:
+                psp.add("bytes-shipped", bytes_shipped)
+            with span("pool-startup"):
+                pool = _make_executor(
+                    workers, shared.spec(), k0, exclude_same_oid
+                )
+            with pool:
+                futures = [
+                    pool.submit(_run_shard, lo, hi, traced)
+                    for lo, hi in plan.ranges()
+                ]
+                parts = [f.result() for f in futures]
+            if traced:
+                for part in parts:
+                    if part[4] is not None:
+                        psp.adopt(part[4])
     finally:
         shared.destroy()
+    if exec_info is not None:
+        exec_info.update(
+            workers=workers,
+            shards=len(plan),
+            pooled=True,
+            bytes_shipped=bytes_shipped,
+        )
 
-    p_idx = np.concatenate([p for p, _q, _s, _c in parts])
-    q_idx = np.concatenate([q for _p, q, _s, _c in parts])
+    p_idx = np.concatenate([p for p, _q, _s, _c, _t in parts])
+    q_idx = np.concatenate([q for _p, q, _s, _c, _t in parts])
     if stage_seconds is not None:
-        for _p, _q, shard_stages, _c in parts:
+        for _p, _q, shard_stages, _c, _t in parts:
             for key, seconds in shard_stages.items():
                 stage_seconds[key] = stage_seconds.get(key, 0.0) + seconds
-    candidate_count = sum(c for _p, _q, _s, c in parts)
+    candidate_count = sum(c for _p, _q, _s, c, _t in parts)
     merged = canonical_pair_order(p_idx, q_idx)
     return p_idx[merged], q_idx[merged], candidate_count

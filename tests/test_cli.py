@@ -201,6 +201,76 @@ class TestResemblance:
         assert "--param is required" in capsys.readouterr().err
 
 
+class TestTraceCLI:
+    @pytest.fixture
+    def files(self, tmp_path):
+        p = str(tmp_path / "p.txt")
+        q = str(tmp_path / "q.txt")
+        main(["generate", "-n", "90", "--seed", "11", "-o", p])
+        main(["generate", "-n", "90", "--seed", "12", "--start-oid", "90", "-o", q])
+        return p, q
+
+    def test_explain_keeps_stdout_machine_parseable(self, files, capsys):
+        """--explain diagnostics (plan + trace tree) go to stderr only:
+        every stdout line must parse as a 5-field pair record."""
+        p, q = files
+        assert main(["join", p, q, "--engine", "auto", "--explain"]) == 0
+        captured = capsys.readouterr()
+        assert "plan: engine=" in captured.err
+        lines = captured.out.strip().splitlines()
+        assert lines
+        for line in lines:
+            p_oid, q_oid, cx, cy, r = line.split()
+            int(p_oid), int(q_oid)
+            float(cx), float(cy), float(r)
+
+    def test_trace_file_and_show_round_trip(self, files, tmp_path, capsys):
+        p, q = files
+        sink = str(tmp_path / "run.trace.jsonl")
+        assert main(["join", p, q, "--engine", "array",
+                     "--trace", sink]) == 0
+        capsys.readouterr()
+        assert main(["trace", "show", sink]) == 0
+        shown = capsys.readouterr().out
+        assert "join" in shown and "verify" in shown
+
+    def test_trace_export_writes_valid_perfetto_json(
+        self, files, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs.export import validate_chrome
+
+        p, q = files
+        sink = str(tmp_path / "run.trace.jsonl")
+        exported = str(tmp_path / "run.perfetto.json")
+        main(["join", p, q, "--engine", "array", "--trace", sink])
+        assert main(["trace", "export", sink, "-o", exported]) == 0
+        with open(exported) as f:
+            doc = json.load(f)
+        validate_chrome(doc)
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "join" in names
+
+    def test_trace_flag_with_tracing_disabled_warns(
+        self, files, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        p, q = files
+        sink = str(tmp_path / "run.trace.jsonl")
+        assert main(["join", p, q, "--engine", "array",
+                     "--trace", sink]) == 0
+        captured = capsys.readouterr()
+        assert "no trace captured" in captured.err
+        assert not (tmp_path / "run.trace.jsonl").exists()
+
+    def test_trace_show_missing_records_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "show", str(empty)]) == 1
+        assert "no trace records" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
