@@ -1,0 +1,246 @@
+"""Sustained moving-objects maintenance — batched vs per-event vs scratch.
+
+The dynamic backends exist so a fleet-telemetry deployment can keep the
+ring-constrained join current while positions stream in.  This bench
+replays one fixed, seeded :class:`repro.workloads.moving.FleetSimulator`
+event run through three maintenance strategies:
+
+- ``event``     — the per-event oracle (``insert``/``delete`` one event
+  at a time, dense columns recompacted per mutation);
+- ``batch{B}``  — ``apply_batch`` over the same events grouped by
+  :class:`~repro.workloads.moving.BatchAccumulator` (lazy tombstones +
+  side buffer, at most one compaction/rebuild per side per batch);
+- ``scratch``   — recompute the whole join from scratch at every
+  batch-64 boundary (the no-maintenance baseline).
+
+Correctness is asserted before anything is timed counts: the batched
+replay must land on pair sets byte-identical to the per-event replay at
+*every* batch boundary, for every batch size measured.
+
+At the acceptance size (``REPRO_BENCH_N=20000`` resident points) the
+batch-64 replay must sustain at least 5x the per-event updates/sec —
+the PR's acceptance floor.  Archived as
+``benchmarks/results/BENCH_dynamic_stream.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine import run_join
+from repro.engine.streaming import DynamicArrayRCJ
+from repro.evaluation.report import format_table
+from repro.evaluation.scaling import ScalePoint, scaling_summary, write_json
+from repro.workloads.moving import BatchAccumulator, FleetSimulator
+
+from benchmarks.conftest import RESULTS_DIR, emit
+
+#: The acceptance-criterion configuration: 20k resident points
+#: (10k vehicles x 10k depots), sustained update stream.
+PAPER_N = 20_000
+
+BATCH_SIZES = (64, 512)
+
+#: The acceptance floor: batch-64 ``apply_batch`` sustains at least
+#: this multiple of the per-event updates/sec...
+MIN_SPEEDUP_AT_64 = 5.0
+
+#: ...asserted only at the acceptance size (scaled-down smoke runs
+#: mostly measure fixed per-batch overheads on both sides).
+ASSERT_AT_N = 20_000
+
+SEED = 77
+
+
+def _materialize(n: int):
+    """One seeded raw event run plus its per-batch-size groupings."""
+    sim = FleetSimulator(fleet=n // 2, depots=max(n - n // 2, 1), seed=SEED)
+    init_p, init_q = sim.initial_points()
+    raw_events = max(256, min(2048, n // 8))
+    raw = []
+    for event in sim.events(ticks=1_000_000):
+        raw.append(event)
+        if len(raw) >= raw_events:
+            break
+    grouped = {}
+    for size in BATCH_SIZES:
+        acc = BatchAccumulator(size)
+        batches = []
+        for kind, point, side, t in raw:
+            closed = acc.add(kind, point, side, t)
+            if closed is not None:
+                batches.append(closed)
+        tail = acc.close()
+        if tail is not None:
+            batches.append(tail)
+        grouped[size] = batches
+    return init_p, init_q, raw, grouped
+
+
+def _replay_event(init_p, init_q, raw, snapshot_at):
+    """Per-event oracle replay; returns (wall, snapshots at raw-event
+    boundaries, final backend)."""
+    dyn = DynamicArrayRCJ(init_p, init_q)
+    snapshots = {}
+    wall = 0.0
+    for i, (kind, point, side, _t) in enumerate(raw, start=1):
+        t0 = time.perf_counter()
+        if kind == "delete":
+            dyn.delete(point, side)
+        else:
+            dyn.insert(point, side)
+        wall += time.perf_counter() - t0
+        if i in snapshot_at:
+            snapshots[i] = dyn.pair_keys()
+    snapshots[len(raw)] = dyn.pair_keys()
+    return wall, snapshots, dyn
+
+
+def _replay_batched(init_p, init_q, batches):
+    """apply_batch replay; returns (wall, per-boundary snapshots keyed
+    by cumulative raw-event count, per-batch latencies, final backend)."""
+    dyn = DynamicArrayRCJ(init_p, init_q)
+    snapshots = {}
+    latencies = []
+    done = 0
+    for batch in batches:
+        t0 = time.perf_counter()
+        dyn.apply_batch(batch.inserts, batch.deletes)
+        latencies.append(time.perf_counter() - t0)
+        done += batch.events
+        snapshots[done] = dyn.pair_keys()
+    return sum(latencies), snapshots, latencies, dyn
+
+
+def _replay_scratch(init_p, init_q, batches):
+    """Recompute-from-scratch at every batch boundary."""
+    cur_p = {p.oid: p for p in init_p}
+    cur_q = {q.oid: q for q in init_q}
+    wall = 0.0
+    pairs = 0
+    for batch in batches:
+        for pt, side in batch.deletes:
+            (cur_p if side == "P" else cur_q).pop(pt.oid)
+        for pt, side in batch.inserts:
+            (cur_p if side == "P" else cur_q)[pt.oid] = pt
+        t0 = time.perf_counter()
+        report = run_join(
+            list(cur_p.values()), list(cur_q.values()), engine="array"
+        )
+        wall += time.perf_counter() - t0
+        pairs = report.result_count
+    return wall, pairs
+
+
+def _run(n: int):
+    init_p, init_q, raw, grouped = _materialize(n)
+    events = len(raw)
+    boundaries = set()
+    for batches in grouped.values():
+        done = 0
+        for batch in batches:
+            done += batch.events
+            boundaries.add(done)
+
+    wall_event, event_snaps, dyn_event = _replay_event(
+        init_p, init_q, raw, boundaries
+    )
+
+    rows = []
+    series = [
+        ScalePoint(
+            n, 1, wall_event, len(dyn_event.pair_keys()), mode="dyn-event"
+        )
+    ]
+    rows.append(
+        [
+            "event",
+            events,
+            events,
+            f"{wall_event:.3f}",
+            f"{events / max(wall_event, 1e-9):.0f}",
+            f"{wall_event / events * 1e3:.2f}",
+            "1.0x",
+        ]
+    )
+
+    speedups = {}
+    for size in BATCH_SIZES:
+        wall, snaps, latencies, dyn = _replay_batched(
+            init_p, init_q, grouped[size]
+        )
+        for done, keys in snaps.items():
+            assert keys == event_snaps[done], (
+                f"batch={size} diverged from the per-event oracle at "
+                f"raw-event boundary {done}"
+            )
+        speedups[size] = wall_event / max(wall, 1e-9)
+        series.append(
+            ScalePoint(n, 1, wall, len(dyn.pair_keys()), mode=f"dyn-batch{size}")
+        )
+        rows.append(
+            [
+                f"batch{size}",
+                len(grouped[size]),
+                events,
+                f"{wall:.3f}",
+                f"{events / max(wall, 1e-9):.0f}",
+                f"{sum(latencies) / len(latencies) * 1e3:.2f}",
+                f"{speedups[size]:.1f}x",
+            ]
+        )
+
+    wall_scratch, scratch_pairs = _replay_scratch(
+        init_p, init_q, grouped[BATCH_SIZES[0]]
+    )
+    series.append(ScalePoint(n, 1, wall_scratch, scratch_pairs, mode="dyn-scratch"))
+    rows.append(
+        [
+            "scratch",
+            len(grouped[BATCH_SIZES[0]]),
+            events,
+            f"{wall_scratch:.3f}",
+            f"{events / max(wall_scratch, 1e-9):.0f}",
+            f"{wall_scratch / len(grouped[BATCH_SIZES[0]]) * 1e3:.2f}",
+            f"{wall_event / max(wall_scratch, 1e-9):.1f}x",
+        ]
+    )
+    return rows, series, speedups
+
+
+def test_dynamic_stream(benchmark, scale):
+    n = scale.synthetic_n(PAPER_N)
+    rows, series, speedups = benchmark.pedantic(
+        lambda: _run(n), rounds=1, iterations=1
+    )
+    table = format_table(
+        [
+            "mode",
+            "batches",
+            "events",
+            "wall(s)",
+            "updates/s",
+            "batch lat(ms)",
+            "vs event",
+        ],
+        rows,
+        title=(
+            f"Sustained moving-objects maintenance, {n} resident points "
+            f"(fleet telemetry, seed {SEED})"
+        ),
+    )
+    emit("dynamic_stream", table)
+    write_json(
+        os.path.join(RESULTS_DIR, "BENCH_dynamic_stream.json"),
+        scaling_summary(
+            series, os.cpu_count() or 1, True, benchmark="dynamic_stream"
+        ),
+    )
+
+    # The acceptance floor, at the size the criterion names.
+    if n >= ASSERT_AT_N:
+        assert speedups[64] >= MIN_SPEEDUP_AT_64, (
+            f"batch=64 only {speedups[64]:.1f}x over per-event "
+            f"(floor {MIN_SPEEDUP_AT_64}x)"
+        )

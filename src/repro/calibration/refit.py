@@ -44,8 +44,10 @@ from repro.calibration.profile import (
     PoolModel,
 )
 
-#: Stages whose per-candidate constants are fitted individually.
-STAGE_NAMES = ("candidate", "prune", "verify")
+#: Stages whose per-candidate constants are fitted individually
+#: (the join/topk pipeline stages plus the dynamic batch path's
+#: kill/probe/rebuild split).
+STAGE_NAMES = ("candidate", "prune", "verify", "kill", "probe", "rebuild")
 
 
 def _fit_linear(est: np.ndarray, secs: np.ndarray) -> tuple[float, float]:

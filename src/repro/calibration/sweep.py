@@ -62,6 +62,50 @@ def _worker_counts(max_workers: int | None) -> tuple[int, ...]:
     return tuple(sorted(counts))
 
 
+#: Batch sizes of the sweep's dynamic-maintenance series.
+_SWEEP_DYNAMIC_BATCHES = (16, 64)
+
+#: Update batches replayed per (backend, batch size) dynamic series.
+_SWEEP_DYNAMIC_ROUNDS = 2
+
+
+def _sweep_dynamic(size: int, seed: int, say) -> int:
+    """Replay one bounded moving-objects stream through *both* dynamic
+    backends, letting their own calibration hooks record each batch
+    (``kind="dynamic"`` observations — what makes
+    :func:`repro.parallel.costmodel.choose_dynamic_backend`
+    profile-aware)."""
+    from repro.core.dynamic import DynamicRCJ
+    from repro.engine.streaming import DynamicArrayRCJ
+    from repro.workloads.moving import FleetSimulator
+
+    resident = max(192, min(size, 1024) // 2)
+    recorded = 0
+    for batch_size in _SWEEP_DYNAMIC_BATCHES:
+        sim = FleetSimulator(
+            fleet=resident, depots=resident, seed=seed + batch_size
+        )
+        points_p, points_q = sim.initial_points()
+        batches = []
+        stream = sim.batch_stream(batch_size, ticks=10_000)
+        while len(batches) < _SWEEP_DYNAMIC_ROUNDS:
+            batches.append(next(stream))
+        for backend_cls, engine in (
+            (DynamicArrayRCJ, "array"),
+            (DynamicRCJ, "obj"),
+        ):
+            dyn = backend_cls(points_p, points_q)
+            dyn.record_calibration = True
+            for batch in batches:
+                dyn.apply_batch(batch.inserts, batch.deletes)
+                recorded += 1
+            say(
+                f"dynamic/{engine} n={2 * resident} batch={batch_size}: "
+                f"{len(batches)} batches measured"
+            )
+    return recorded
+
+
 def run_calibration_sweep(
     n: int = 4000,
     *,
@@ -69,6 +113,7 @@ def run_calibration_sweep(
     max_workers: int | None = None,
     include_topk: bool = True,
     include_families: bool = True,
+    include_dynamic: bool = True,
     seed: int = 211,
     echo: Callable[[str], None] | None = None,
 ) -> int:
@@ -86,9 +131,10 @@ def run_calibration_sweep(
     max_workers:
         Cap on the pool sizes measured (default: up to the machine's
         cores, always at least one 2-worker series).
-    include_topk, include_families:
-        Gate the ordered-browsing and family-join series (the bulk-join
-        series always runs — it anchors the shared serial constants).
+    include_topk, include_families, include_dynamic:
+        Gate the ordered-browsing, family-join and dynamic-maintenance
+        series (the bulk-join series always runs — it anchors the
+        shared serial constants).
     seed:
         Base RNG seed; each round offsets it so repeated sweeps
         accumulate fresh, non-duplicate observations.
@@ -230,4 +276,10 @@ def run_calibration_sweep(
                         f"family:{family} n={size}: serial + pool@"
                         f"{pool_w} measured"
                     )
+
+            # -- dynamic maintenance: both backends, batched -----------
+            if include_dynamic:
+                recorded += _sweep_dynamic(
+                    size, seed + 13 * round_no, say
+                )
     return recorded

@@ -16,6 +16,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro trace show run.trace.jsonl
     python -m repro trace export run.trace.jsonl -o run.perfetto.json
     python -m repro resemblance p.txt q.txt --join eps --param 50
+    python -m repro stream --objects 2000 --ticks 100 --batch 64 --verify
+    python -m repro stream --smoke
     python -m repro calibrate --n 4000 --rounds 2
     python -m repro calibrate --smoke
 
@@ -366,6 +368,94 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Run the moving-objects stream against a dynamic RCJ backend.
+
+    Builds a seeded :class:`repro.workloads.moving.FleetSimulator`,
+    routes the initial populations through the planner
+    (:func:`repro.engine.planner.make_dynamic`) and feeds the coalesced
+    update batches to ``apply_batch``, reporting sustained updates/sec.
+    ``--verify`` recomputes the join from scratch at the end and fails
+    (exit 1) unless the maintained pair set is identical.  Stdout gets
+    one machine-parseable summary line; everything else goes to stderr.
+    """
+    import time as _time
+
+    from repro.engine.planner import make_dynamic
+    from repro.workloads.moving import FleetSimulator
+
+    objects, depots = args.objects, args.depots
+    ticks, batch = args.ticks, args.batch
+    verify = args.verify
+    if args.smoke:
+        objects = min(objects, 300)
+        depots = min(depots, 300)
+        ticks = min(ticks, 12)
+        batch = min(batch, 32)
+        verify = True
+
+    if args.explain:
+        from repro.parallel.costmodel import choose_dynamic_backend
+
+        backend, reason = choose_dynamic_backend(objects, depots, batch)
+        print(f"plan: backend={backend}: {reason}", file=sys.stderr)
+
+    sim = FleetSimulator(
+        fleet=objects, depots=depots, seed=args.seed
+    )
+    points_p, points_q = sim.initial_points()
+    dyn = make_dynamic(
+        points_p, points_q, backend=args.backend, batch_size=batch
+    )
+    backend_name = type(dyn).__name__
+
+    trace_spans = 0
+    events = 0
+    batches = 0
+    t0 = _time.perf_counter()
+    for update in sim.batch_stream(batch, ticks):
+        dyn.apply_batch(update.inserts, update.deletes)
+        events += update.events
+        batches += 1
+        root = getattr(dyn, "last_batch_trace", None)
+        if args.trace and root is not None:
+            from repro.obs.export import write_jsonl
+
+            trace_spans += write_jsonl(root, args.trace)
+    wall = _time.perf_counter() - t0
+    rate = events / wall if wall > 0 else float("inf")
+
+    verified = None
+    if verify:
+        from repro.engine import run_join
+
+        cur_p, cur_q = sim.current_points()
+        scratch = run_join(cur_p, cur_q, engine="array")
+        verified = {p.key() for p in scratch.pairs} == dyn.pair_keys()
+    if args.trace:
+        print(
+            f"trace: {trace_spans} spans appended to {args.trace}",
+            file=sys.stderr,
+        )
+    stats = getattr(dyn, "maintenance_stats", None)
+    if stats is not None:
+        print(f"maintenance: {stats()}", file=sys.stderr)
+    print(
+        f"stream backend={backend_name} objects={objects} depots={depots} "
+        f"ticks={ticks} batch={batch} batches={batches} events={events} "
+        f"seconds={wall:.3f} updates_per_sec={rate:.0f} "
+        f"pairs={len(dyn)} verified="
+        + ("skipped" if verified is None else str(verified).lower())
+    )
+    if verified is False:
+        print(
+            "maintained result diverged from the from-scratch join",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     """Fit the planner's cost model from measured runs on this host.
 
@@ -605,6 +695,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="join parameter: eps distance, or k (cij takes none)",
     )
     res.set_defaults(func=_cmd_resemblance)
+
+    stream = sub.add_parser(
+        "stream",
+        help="sustained moving-objects stream against a dynamic RCJ "
+        "backend (fleet telemetry, batched incremental maintenance)",
+    )
+    stream.add_argument(
+        "--objects",
+        type=_positive_int,
+        default=1000,
+        help="fleet size, side P (default 1000)",
+    )
+    stream.add_argument(
+        "--depots",
+        type=_positive_int,
+        default=1000,
+        help="depot count, side Q (default 1000)",
+    )
+    stream.add_argument(
+        "--ticks",
+        type=_positive_int,
+        default=50,
+        help="simulation ticks to stream (default 50)",
+    )
+    stream.add_argument(
+        "--batch",
+        type=_positive_int,
+        default=64,
+        help="raw events per update batch (default 64)",
+    )
+    stream.add_argument(
+        "--backend",
+        choices=("auto", "array", "obj"),
+        default="auto",
+        help="dynamic backend: planner choice (default), columnar, "
+        "or R*-tree",
+    )
+    stream.add_argument("--seed", type=int, default=42)
+    stream.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded CI mode: caps sizes/ticks/batch and forces "
+        "--verify",
+    )
+    stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute the join from scratch at the end and fail "
+        "unless the maintained result is identical",
+    )
+    stream.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the dynamic-backend planner's decision to stderr",
+    )
+    stream.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append each batch's span tree to a JSONL trace file "
+        "(inspect with 'repro trace show/export')",
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     cal = sub.add_parser(
         "calibrate",

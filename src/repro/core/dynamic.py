@@ -32,11 +32,25 @@ Deletion of ``x``
 Every mutation is mirrored to the R*-trees (R* insert / condense-tree
 delete), so the structure *is* the disk-resident index plus a derived
 view — exactly what a decision-support deployment would keep.
+
+Batched updates
+---------------
+Both backends also accept a whole batch at once
+(:meth:`DynamicBackend.apply_batch`): deletes are applied before
+inserts, so a "move" — delete and insert of the same oid in one batch —
+is well defined.  This class applies the batch as the validated
+sequential composition of its per-event updates (the *oracle* the
+columnar backend's amortized batch path is equivalence-tested against);
+:class:`repro.engine.streaming.DynamicArrayRCJ` absorbs the batch with
+tombstone masks and an insert buffer, compacting at most once.  Batch
+validation (:func:`validate_batch`) is shared so malformed batches fail
+identically — *before* any mutation — on either backend.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from typing import (
     Iterable,
     Iterator,
@@ -53,6 +67,7 @@ from repro.core.verification import verify_circles
 from repro.geometry.point import Point
 from repro.geometry.polygon import box_polygon, clip_halfplane
 from repro.geometry.rect import Rect
+from repro.obs.trace import trace as obs_trace
 from repro.rtree.bulk import bulk_load
 from repro.rtree.tree import RTree
 from repro.storage.disk import DEFAULT_PAGE_SIZE
@@ -72,11 +87,19 @@ class DynamicBackend(Protocol):
     current populations, so callers pick a backend — directly or via
     :func:`repro.engine.planner.make_dynamic` — on cost, never on
     semantics.
+
+    ``delete`` of an absent oid raises ``KeyError`` naming the oid and
+    side (and mutates nothing); it returns True on success.
+    ``apply_batch`` absorbs one batch of ``(point, side)`` updates,
+    deletes before inserts, after validating the whole batch with
+    :func:`validate_batch`.
     """
 
     def insert(self, point: Point, side: Side) -> None: ...
 
     def delete(self, point: Point, side: Side) -> bool: ...
+
+    def apply_batch(self, inserts=(), deletes=()) -> None: ...
 
     @property
     def pairs(self) -> list[RCJPair]: ...
@@ -84,6 +107,58 @@ class DynamicBackend(Protocol):
     def pair_keys(self) -> set[tuple[int, int]]: ...
 
     def __len__(self) -> int: ...
+
+
+def validate_batch(inserts, deletes, has_point) -> None:
+    """Validate one update batch before any mutation happens.
+
+    ``inserts``/``deletes`` are sequences of ``(point, side)``;
+    ``has_point(side, oid)`` reports current membership.  The batch
+    semantics are *deletes first, then inserts*, so deleting and
+    inserting the same oid in one batch is a legal "move".  Everything
+    else that would silently corrupt state is rejected up front:
+
+    - an invalid side (``ValueError``),
+    - the same ``(side, oid)`` deleted or inserted twice in one batch
+      (``ValueError``),
+    - deleting an oid that is not present (``KeyError``, naming it),
+    - inserting an oid already present and *not* deleted in the same
+      batch (``ValueError`` — a move must carry its delete).
+
+    Both backends call this first, so a malformed batch fails
+    identically everywhere and leaves the result untouched.
+    """
+    seen_deletes: set[tuple[str, int]] = set()
+    for point, side in deletes:
+        if side not in ("P", "Q"):
+            raise ValueError(f"side must be 'P' or 'Q', got {side!r}")
+        key = (side, point.oid)
+        if key in seen_deletes:
+            raise ValueError(
+                f"duplicate delete of oid {point.oid} on side {side!r}"
+                " in one batch"
+            )
+        seen_deletes.add(key)
+        if not has_point(side, point.oid):
+            raise KeyError(
+                f"no point with oid {point.oid} on side {side!r}"
+            )
+    seen_inserts: set[tuple[str, int]] = set()
+    for point, side in inserts:
+        if side not in ("P", "Q"):
+            raise ValueError(f"side must be 'P' or 'Q', got {side!r}")
+        key = (side, point.oid)
+        if key in seen_inserts:
+            raise ValueError(
+                f"duplicate insert of oid {point.oid} on side {side!r}"
+                " in one batch"
+            )
+        seen_inserts.add(key)
+        if has_point(side, point.oid) and key not in seen_deletes:
+            raise ValueError(
+                f"oid {point.oid} already present on side {side!r};"
+                " delete it in the same batch to move it"
+            )
 
 
 #: Grid resolution of the pair-circle index.
@@ -163,6 +238,17 @@ class DynamicRCJ:
         self.tree_q = bulk_load(list(points_q), page_size=page_size, name="TQ")
         self._pairs: dict[tuple[int, int], RCJPair] = {}
         self._grid = _PairGrid(self.bounds)
+        self._oids: dict[str, set[int]] = {
+            "P": {p.oid for p in points_p},
+            "Q": {q.oid for q in points_q},
+        }
+        #: Set by :func:`repro.engine.planner.make_dynamic` on planned
+        #: (``backend="auto"``) instances: batches then feed the
+        #: calibration observation log.
+        self.record_calibration = False
+        #: Root span of the last ``apply_batch`` (None when tracing is
+        #: off) — the CLI's ``--trace`` sink reads it after each batch.
+        self.last_batch_trace = None
         for pair in gabriel_rcj(list(points_p), list(points_q)):
             self._store(pair)
 
@@ -187,57 +273,147 @@ class DynamicRCJ:
     def insert(self, point: Point, side: Side) -> None:
         """Add ``point`` to dataset ``side`` and repair the result."""
         own, other = self._trees(side)
-        own.insert(point)
-        # (i) Kill pairs whose ring strictly contains the new point.
-        for key in self._grid.keys_near(point.x, point.y):
-            pair = self._pairs.get(key)
-            if pair is not None and pair.circle.contains_point(point.x, point.y):
-                self._drop(key)
-        # (ii) New pairs involve the new point only.
-        candidates = [
-            self._candidate(point, partner, side)
-            for partner in filter_candidates(point, other)
-        ]
-        verify_circles(self.tree_p, candidates)
-        verify_circles(self.tree_q, candidates)
-        for cand in candidates:
-            if cand.alive:
-                self._store(cand.to_pair())
+        if point.oid in self._oids[side]:
+            raise ValueError(f"duplicate oid {point.oid} on one side")
+        with obs_trace("dynamic-insert", backend="obj", side=side) as sp:
+            own.insert(point)
+            self._oids[side].add(point.oid)
+            # (i) Kill pairs whose ring strictly contains the new point.
+            killed = 0
+            for key in self._grid.keys_near(point.x, point.y):
+                pair = self._pairs.get(key)
+                if pair is not None and pair.circle.contains_point(
+                    point.x, point.y
+                ):
+                    self._drop(key)
+                    killed += 1
+            # (ii) New pairs involve the new point only.
+            candidates = [
+                self._candidate(point, partner, side)
+                for partner in filter_candidates(point, other)
+            ]
+            verify_circles(self.tree_p, candidates)
+            verify_circles(self.tree_q, candidates)
+            added = 0
+            for cand in candidates:
+                if cand.alive:
+                    self._store(cand.to_pair())
+                    added += 1
+            if sp is not None:
+                sp.add("killed", killed)
+                sp.add("added", added)
 
     def delete(self, point: Point, side: Side) -> bool:
         """Remove ``point`` from dataset ``side`` and repair the result.
 
-        Returns False (and changes nothing) when the point is absent.
+        Raises a named ``KeyError`` (and changes nothing) when no point
+        with that oid lives on ``side``; returns True on success.
         """
         own, _other = self._trees(side)
-        if not own.delete(point):
-            return False
-        # (i) Pairs involving the departed point die.
-        for key in [k for k in self._pairs if self._involves(k, point, side)]:
-            self._drop(key)
-        # (ii) Pairs freed by the departure.
-        neighborhood = self._neighborhood(point)
-        if neighborhood is None:
-            # A coincident twin remains: every ring that contained the
-            # departed point still contains the twin.
-            return True
-        near_p = [z for z, z_side in neighborhood if z_side == "P"]
-        near_q = [z for z, z_side in neighborhood if z_side == "Q"]
-        candidates: list[Candidate] = []
-        for p in near_p:
-            for q in near_q:
-                if (p.oid, q.oid) in self._pairs:
-                    continue
-                cand = Candidate(p, q)
-                # Only rings that the departed point blocked can be new.
-                if cand.circle.contains_point(point.x, point.y):
-                    candidates.append(cand)
-        verify_circles(self.tree_p, candidates)
-        verify_circles(self.tree_q, candidates)
-        for cand in candidates:
-            if cand.alive:
-                self._store(cand.to_pair())
+        if point.oid not in self._oids[side]:
+            raise KeyError(
+                f"no point with oid {point.oid} on side {side!r}"
+            )
+        with obs_trace("dynamic-delete", backend="obj", side=side) as sp:
+            if not own.delete(point):
+                raise KeyError(
+                    f"no point with oid {point.oid} at "
+                    f"({point.x}, {point.y}) on side {side!r}"
+                )
+            self._oids[side].discard(point.oid)
+            # (i) Pairs involving the departed point die.
+            involved = [
+                k for k in self._pairs if self._involves(k, point, side)
+            ]
+            for key in involved:
+                self._drop(key)
+            # (ii) Pairs freed by the departure.
+            neighborhood = self._neighborhood(point)
+            if neighborhood is None:
+                # A coincident twin remains: every ring that contained
+                # the departed point still contains the twin.
+                if sp is not None:
+                    sp.add("killed", len(involved))
+                return True
+            near_p = [z for z, z_side in neighborhood if z_side == "P"]
+            near_q = [z for z, z_side in neighborhood if z_side == "Q"]
+            candidates: list[Candidate] = []
+            for p in near_p:
+                for q in near_q:
+                    if (p.oid, q.oid) in self._pairs:
+                        continue
+                    cand = Candidate(p, q)
+                    # Only rings the departed point blocked can be new.
+                    if cand.circle.contains_point(point.x, point.y):
+                        candidates.append(cand)
+            verify_circles(self.tree_p, candidates)
+            verify_circles(self.tree_q, candidates)
+            freed = 0
+            for cand in candidates:
+                if cand.alive:
+                    self._store(cand.to_pair())
+                    freed += 1
+            if sp is not None:
+                sp.add("killed", len(involved))
+                sp.add("freed", freed)
         return True
+
+    def apply_batch(self, inserts=(), deletes=()) -> None:
+        """Absorb one update batch: validated deletes, then inserts.
+
+        The *sequential oracle*: after validation
+        (:func:`validate_batch` — atomic, nothing mutates on a
+        malformed batch) the batch is exactly the composition of the
+        per-event updates, deletes first.  The columnar backend's
+        amortized batch path is equivalence-tested against this.
+        """
+        inserts = [(point, side) for point, side in inserts]
+        deletes = [(point, side) for point, side in deletes]
+        validate_batch(
+            inserts, deletes, lambda side, oid: oid in self._oids[side]
+        )
+        t0 = time.perf_counter()
+        with obs_trace(
+            "dynamic-batch",
+            backend="obj",
+            n_inserts=len(inserts),
+            n_deletes=len(deletes),
+        ) as root:
+            for point, side in deletes:
+                self.delete(point, side)
+            for point, side in inserts:
+                self.insert(point, side)
+            if root is not None:
+                root.add("pairs", len(self._pairs))
+        self.last_batch_trace = root
+        self._record_batch(
+            len(inserts) + len(deletes), time.perf_counter() - t0
+        )
+
+    def _record_batch(self, batch_size: int, seconds: float) -> None:
+        """Feed one batch to the calibration log (planned instances
+        only; exception-fenced like every calibration hook)."""
+        if not getattr(self, "record_calibration", False):
+            return
+        try:
+            from repro.calibration.observations import record_observation
+            from repro.parallel.costmodel import estimate_bytes
+
+            n_p, n_q = len(self.tree_p), len(self.tree_q)
+            record_observation(
+                kind="dynamic",
+                engine="obj",
+                workers=1,
+                n_p=n_p,
+                n_q=n_q,
+                density_factor=1.0,
+                est_candidates=batch_size,
+                est_bytes=estimate_bytes(n_p, n_q, 1, 0),
+                stage_seconds=None,
+                total_seconds=seconds,
+            )
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # internals
@@ -291,6 +467,13 @@ class DynamicRCJ:
         because the empty-circle centre witnessing adjacency lies inside
         the cell).  Returns None when a point coincides with ``x`` — no
         ring can have been blocked by ``x`` alone.
+
+        Only points whose bisector reaches the current cell are
+        emitted: the cell is a superset of ``x``'s final Voronoi region
+        throughout, so a bisector leaving every cell vertex strictly on
+        ``x``'s side can never touch it — not a Delaunay neighbour, and
+        its clip would be a no-op.  Hull probes (unbounded cells) would
+        otherwise emit the entire union.
         """
         # The clipping box must cover every possible cell vertex: take
         # the union of the domain, the data MBRs and x, expanded.
@@ -310,6 +493,9 @@ class DynamicRCJ:
         cell = box_polygon(
             span[0] - margin, span[1] - margin, span[2] + margin, span[3] + margin
         )
+        slack = 1e-9 * max(
+            abs(span[0]), abs(span[1]), abs(span[2]), abs(span[3]), 1.0
+        )
 
         def max_vertex_dist() -> float:
             return max(
@@ -323,14 +509,15 @@ class DynamicRCJ:
                 break
             if z.x == x.x and z.y == x.y:
                 return None
+            nx = z.x - x.x
+            ny = z.y - x.y
+            mx = (x.x + z.x) / 2.0
+            my = (x.y + z.y) / 2.0
+            smax = max((vx - mx) * nx + (vy - my) * ny for vx, vy in cell)
+            if smax < -slack * d:
+                continue
             out.append((z, z_side))
-            clipped = clip_halfplane(
-                cell,
-                (x.x + z.x) / 2.0,
-                (x.y + z.y) / 2.0,
-                z.x - x.x,
-                z.y - x.y,
-            )
+            clipped = clip_halfplane(cell, mx, my, nx, ny)
             if clipped:
                 cell = clipped
                 horizon = 2.0 * max_vertex_dist()

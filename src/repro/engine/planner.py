@@ -609,6 +609,8 @@ def make_dynamic(
     points_p: Sequence[Point] = (),
     points_q: Sequence[Point] = (),
     backend: str = "auto",
+    *,
+    batch_size: int = 1,
     **backend_kwargs,
 ):
     """Build a dynamic RCJ maintainer behind the shared protocol.
@@ -619,27 +621,40 @@ def make_dynamic(
     cost model's choice (``"auto"`` —
     :func:`repro.parallel.costmodel.choose_dynamic_backend`: columnar
     while the resident working set fits the memory budget, disk-backed
-    beyond it).  Both backends maintain identical pair sets, so the
-    choice is purely an execution-cost decision.
+    beyond it, and — once ``kind="dynamic"`` calibration observations
+    exist for both backends — whichever the fitted profile predicts
+    faster per batch).  Both backends maintain identical pair sets, so
+    the choice is purely an execution-cost decision.
+
+    ``batch_size`` is the expected ``apply_batch`` size of the
+    deployment (it parameterizes the profile prediction; it does not
+    constrain usage).  Planned (``"auto"``) instances record their
+    batches to the calibration log, which is what makes the next
+    planning decision profile-aware.
 
     ``backend_kwargs`` pass through to the chosen class (``bounds``
     for either; ``page_size`` for the R*-tree backend).
     """
     from repro.engine.streaming import DynamicArrayRCJ
 
-    if backend == "auto":
+    planned = backend == "auto"
+    if planned:
         from repro.parallel.costmodel import choose_dynamic_backend
 
         backend, _reason = choose_dynamic_backend(
-            len(points_p), len(points_q)
+            len(points_p), len(points_q), batch_size
         )
     if backend == "array":
-        return DynamicArrayRCJ(points_p, points_q, **backend_kwargs)
-    if backend == "obj":
+        dyn = DynamicArrayRCJ(points_p, points_q, **backend_kwargs)
+    elif backend == "obj":
         from repro.core.dynamic import DynamicRCJ
 
-        return DynamicRCJ(points_p, points_q, **backend_kwargs)
-    raise ValueError(
-        f"unknown dynamic backend {backend!r}; "
-        "expected 'auto', 'array' or 'obj'"
-    )
+        dyn = DynamicRCJ(points_p, points_q, **backend_kwargs)
+    else:
+        raise ValueError(
+            f"unknown dynamic backend {backend!r}; "
+            "expected 'auto', 'array' or 'obj'"
+        )
+    if planned:
+        dyn.record_calibration = True
+    return dyn

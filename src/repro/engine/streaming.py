@@ -32,7 +32,15 @@ through the unified planner like the bulk join does:
     predicate over endpoint columns (:class:`_RingColumns`, the
     columnar twin of the pair-circle grid), insertion partners from the
     batch candidate kernels, and all verification through
-    :func:`~repro.engine.kernels.verify_rings_batch`.
+    :func:`~repro.engine.kernels.verify_rings_batch`.  Its
+    ``apply_batch`` absorbs a whole update batch with *amortized*
+    maintenance: deletes become lazy tombstones (the stale KD-trees
+    stay up, dead rows masked out of candidate blocks), inserts land in
+    a small per-side buffer probed exactly, and the one compaction +
+    KD-tree rebuild per side is deferred until a tombstone-fraction or
+    buffer-size threshold trips (``REPRO_DYN_TOMBSTONE_FRAC`` /
+    ``REPRO_DYN_BUFFER_CAP``) — at most once per batch, usually far
+    less than once per batch.
 
 Exactness
 ---------
@@ -51,10 +59,14 @@ ties are broken canonically by ``(p.oid, q.oid)``.
 
 from __future__ import annotations
 
+import heapq
+import os
+import time
+
 import numpy as np
 from scipy.spatial import cKDTree
 
-from repro.core.dynamic import Side
+from repro.core.dynamic import Side, validate_batch
 from repro.core.pairs import RCJPair
 from repro.engine.arrays import PointArray
 from repro.engine.kernels import (
@@ -67,7 +79,7 @@ from repro.engine.kernels import (
 from repro.geometry.point import Point
 from repro.geometry.polygon import box_polygon, clip_halfplane
 from repro.geometry.rect import Rect
-from repro.obs.trace import add_counter, set_attr
+from repro.obs.trace import add_counter, set_attr, trace as obs_trace
 
 #: Probe points per ball-query block of the band enumerator.
 _STREAM_Q_BLOCK = 8192
@@ -349,12 +361,134 @@ def topk_array(
 # dynamic maintenance, columnar backend
 # ----------------------------------------------------------------------
 
+#: Env knob: fraction of tombstoned rows in a side's main columns
+#: beyond which ``apply_batch`` compacts (strict: rebuild only when
+#: ``dead > frac * main_rows``).
+TOMBSTONE_FRAC_ENV = "REPRO_DYN_TOMBSTONE_FRAC"
+
+#: Default tombstone-fraction threshold.
+DEFAULT_TOMBSTONE_FRAC = 0.25
+
+#: Env knob: rows a side's insert buffer may hold before the batch
+#: merges it into the main columns (strict: rebuild when
+#: ``buffered > cap``).
+BUFFER_CAP_ENV = "REPRO_DYN_BUFFER_CAP"
+
+#: Default insert-buffer row cap.
+DEFAULT_BUFFER_CAP = 1024
+
+
+def _tombstone_frac() -> float:
+    try:
+        return float(
+            os.environ.get(TOMBSTONE_FRAC_ENV, DEFAULT_TOMBSTONE_FRAC)
+        )
+    except ValueError:
+        return DEFAULT_TOMBSTONE_FRAC
+
+
+def _buffer_cap() -> int:
+    try:
+        return int(os.environ.get(BUFFER_CAP_ENV, DEFAULT_BUFFER_CAP))
+    except ValueError:
+        return DEFAULT_BUFFER_CAP
+
+
+def _voronoi_neighborhood(
+    x: Point,
+    stream,
+    span: list[float],
+    stop_on_coincident: bool = True,
+) -> list[tuple[Point, Side]] | None:
+    """Clip ``x``'s Voronoi cell against an ascending-distance stream.
+
+    ``stream`` yields ``(distance, point, side)`` in ascending distance
+    over some pointset; ``span`` is a bounding box covering the domain,
+    the data and ``x`` (any superset is safe — it only enlarges the
+    starting horizon).  Streaming stops once the next point is beyond
+    twice the farthest cell vertex: no remaining point can be a
+    Delaunay neighbour of ``x``, because the empty-circle centre
+    witnessing adjacency lies inside the cell.  The returned
+    ``(point, side)`` list is therefore a superset of ``x``'s Delaunay
+    neighbours in the streamed set.
+
+    A streamed point coinciding with ``x`` imposes no halfplane.  With
+    ``stop_on_coincident`` (deletion semantics) it aborts the whole
+    neighbourhood — a coincident twin survives, so every ring that
+    contained ``x`` still contains the twin and nothing is freed.
+    Otherwise (insertion probes) the coincident point is *emitted*: a
+    zero-radius ring with it is a legal degenerate pair.
+
+    Only points whose bisector actually reaches the current cell are
+    emitted.  The cell is a superset of ``x``'s final Voronoi region at
+    every step, so a bisector that leaves the whole cell strictly on
+    ``x``'s side can never share an edge (or vertex) with it — such a
+    point is provably not a Delaunay neighbour and its half-plane clip
+    would be a no-op.  Without this filter a probe near the hull (whose
+    cell is unbounded and stays box-sized) emits *every* point inside
+    the horizon — the entire union in the worst case.
+    """
+    margin = max(span[2] - span[0], span[3] - span[1], 1.0)
+    cell = box_polygon(
+        span[0] - margin, span[1] - margin, span[2] + margin, span[3] + margin
+    )
+    # Touch slack: treat a bisector missing the cell by less than this
+    # distance as touching, covering the accumulated float error of the
+    # clipped cell vertices (scaled to the coordinate magnitude).
+    slack = 1e-9 * max(
+        abs(span[0]), abs(span[1]), abs(span[2]), abs(span[3]), 1.0
+    )
+
+    def max_vertex_dist() -> float:
+        return max(
+            ((vx - x.x) ** 2 + (vy - x.y) ** 2) ** 0.5 for vx, vy in cell
+        )
+
+    horizon = 2.0 * max_vertex_dist()
+    out: list[tuple[Point, Side]] = []
+    for d, z, z_side in stream:
+        if d > horizon:
+            break
+        if z.x == x.x and z.y == x.y:
+            if stop_on_coincident:
+                return None
+            out.append((z, z_side))
+            continue
+        nx = z.x - x.x
+        ny = z.y - x.y
+        mx = (x.x + z.x) / 2.0
+        my = (x.y + z.y) / 2.0
+        # (v - m) . n has units length * |n| = length * d: divide the
+        # distance slack through by comparing against -slack * d.
+        smax = max((vx - mx) * nx + (vy - my) * ny for vx, vy in cell)
+        if smax < -slack * d:
+            continue
+        out.append((z, z_side))
+        clipped = clip_halfplane(cell, mx, my, nx, ny)
+        if clipped:
+            cell = clipped
+            horizon = 2.0 * max_vertex_dist()
+        # else: the cell collapsed numerically — keep the previous
+        # (larger) horizon and keep streaming; conservative.
+    return out
+
+
 class _SideColumns:
     """One growable side of the dynamic join, columns plus objects.
 
-    Deletions swap-remove so the columns stay dense; the compacted
-    :class:`PointArray` and its KD-tree are cached and rebuilt lazily
-    after mutations.
+    Two mutation tiers share the storage.  *Eager* ops (``insert`` /
+    ``pop`` — the per-event oracle path) keep the columns dense:
+    deletions swap-remove, and the :class:`PointArray` / KD-tree caches
+    are invalidated per mutation and rebuilt lazily, exactly the
+    pre-batch behaviour.  *Lazy* ops (``tombstone`` /
+    ``buffer_insert`` — the ``apply_batch`` path) never touch the
+    cached main array or tree: a delete only marks its row dead (the
+    row stays in the columns *and* in the stale tree, masked out of
+    candidate blocks via ``alive_main``), and an insert appends past
+    ``_main_n`` into a side buffer the batch path probes exactly.
+    ``flush`` merges the buffer and drops dead rows in one pass — the
+    single compaction + rebuild a batch may pay.  Eager ops flush
+    first, so interleaving the two tiers stays correct.
     """
 
     def __init__(self, points):
@@ -362,24 +496,37 @@ class _SideColumns:
         self._ys: list[float] = []
         self._points: list[Point] = []
         self._row_of: dict[int, int] = {}
+        self._dead: set[int] = set()
+        self._dead_main = 0  # tombstoned rows below _main_n
+        self._main_n = 0  # rows [0, _main_n) are covered by _arr/_tree
         self._arr: PointArray | None = None
         self._tree: cKDTree | None = None
+        self._alive: np.ndarray | None = None
         for point in points:
             self.insert(point)
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._row_of)
 
+    def has(self, oid: int) -> bool:
+        return oid in self._row_of
+
+    # ------------------------------------------------------------------
+    # eager tier (per-event path; dense columns)
+    # ------------------------------------------------------------------
     def insert(self, point: Point) -> None:
+        self.flush()
         if point.oid in self._row_of:
             raise ValueError(f"duplicate oid {point.oid} on one side")
         self._row_of[point.oid] = len(self._points)
         self._xs.append(point.x)
         self._ys.append(point.y)
         self._points.append(point)
-        self._arr = self._tree = None
+        self._main_n = len(self._points)
+        self._arr = self._tree = self._alive = None
 
     def pop(self, oid: int) -> Point | None:
+        self.flush()
         row = self._row_of.pop(oid, None)
         if row is None:
             return None
@@ -392,29 +539,136 @@ class _SideColumns:
             self._points[row] = mover
             self._row_of[mover.oid] = row
         del self._xs[last], self._ys[last], self._points[last]
-        self._arr = self._tree = None
+        self._main_n = len(self._points)
+        self._arr = self._tree = self._alive = None
         return victim
 
+    def array(self) -> PointArray:
+        """The dense compacted array (flushes any lazy state)."""
+        self.flush()
+        return self._main_array()
+
+    def tree(self) -> cKDTree | None:
+        """KD-tree over the dense array (flushes any lazy state)."""
+        self.flush()
+        return self._main_tree()
+
+    # ------------------------------------------------------------------
+    # lazy tier (apply_batch path; tombstones + insert buffer)
+    # ------------------------------------------------------------------
+    def tombstone(self, oid: int) -> Point | None:
+        """Mark ``oid``'s row dead without disturbing the main caches."""
+        row = self._row_of.pop(oid, None)
+        if row is None:
+            return None
+        self._dead.add(row)
+        if row < self._main_n:
+            self._dead_main += 1
+            if self._alive is not None:
+                self._alive[row] = False
+        return self._points[row]
+
+    def buffer_insert(self, point: Point) -> None:
+        """Append past the main rows; the stale tree stays valid."""
+        if point.oid in self._row_of:
+            raise ValueError(f"duplicate oid {point.oid} on one side")
+        self._row_of[point.oid] = len(self._points)
+        self._xs.append(point.x)
+        self._ys.append(point.y)
+        self._points.append(point)
+
+    def main_array(self) -> PointArray | None:
+        """Stale main columns (dead rows included), or None if empty."""
+        return self._main_array() if self._main_n else None
+
+    def main_tree(self) -> cKDTree | None:
+        """Stale main KD-tree (dead rows included), or None if empty."""
+        return self._main_tree()
+
+    def alive_main(self) -> np.ndarray:
+        """Boolean liveness mask over the main rows."""
+        if self._alive is None:
+            mask = np.ones(self._main_n, dtype=bool)
+            for row in self._dead:
+                if row < self._main_n:
+                    mask[row] = False
+            self._alive = mask
+        return self._alive
+
+    def buffer_points(self) -> list[Point]:
+        """Live buffered inserts (rows past ``_main_n``)."""
+        return [
+            self._points[row]
+            for row in range(self._main_n, len(self._points))
+            if row not in self._dead
+        ]
+
+    @property
+    def main_count(self) -> int:
+        return self._main_n
+
+    @property
+    def tombstones(self) -> int:
+        return self._dead_main
+
+    @property
+    def buffered(self) -> int:
+        return len(self._points) - self._main_n
+
+    def needs_compaction(self, frac: float, cap: int) -> bool:
+        """Whether the lazy state crossed a rebuild threshold (strict
+        comparisons: sitting exactly *at* a threshold defers)."""
+        return (
+            self._dead_main > frac * self._main_n or self.buffered > cap
+        )
+
+    def flush(self) -> bool:
+        """Compact: drop dead rows, merge the buffer, invalidate the
+        caches.  Returns True when anything actually changed (the
+        batch path's rebuild counter)."""
+        if not self._dead and self._main_n == len(self._points):
+            return False
+        if self._dead:
+            keep = [
+                row
+                for row in range(len(self._points))
+                if row not in self._dead
+            ]
+            self._xs = [self._xs[row] for row in keep]
+            self._ys = [self._ys[row] for row in keep]
+            self._points = [self._points[row] for row in keep]
+            self._row_of = {
+                p.oid: row for row, p in enumerate(self._points)
+            }
+            self._dead.clear()
+        self._dead_main = 0
+        self._main_n = len(self._points)
+        self._arr = self._tree = self._alive = None
+        return True
+
+    # ------------------------------------------------------------------
+    # shared internals
+    # ------------------------------------------------------------------
     def point(self, row: int) -> Point:
         return self._points[row]
 
-    def array(self) -> PointArray:
+    def _main_array(self) -> PointArray:
         if self._arr is None:
-            n = len(self._points)
+            n = self._main_n
             self._arr = PointArray(
                 np.fromiter(self._xs, np.float64, count=n),
                 np.fromiter(self._ys, np.float64, count=n),
                 np.fromiter(
-                    (p.oid for p in self._points), np.int64, count=n
+                    (p.oid for p in self._points[:n]), np.int64, count=n
                 ),
             )
         return self._arr
 
-    def tree(self) -> cKDTree | None:
-        if not self._points:
+    def _main_tree(self) -> cKDTree | None:
+        if self._main_n == 0:
             return None
         if self._tree is None:
-            self._tree = cKDTree(self.array().coords())
+            self._tree = cKDTree(self._main_array().coords())
         return self._tree
 
 
@@ -496,6 +750,36 @@ class _RingColumns:
         slot = 0 if side == "P" else 1
         return [key for key in self._keys if key[slot] == oid]
 
+    def keys_involving_any(
+        self, oids, side: Side
+    ) -> list[tuple[int, int]]:
+        """Keys of live rings whose ``side`` endpoint is in ``oids`` —
+        one pass over the columns for a whole batch of deletions."""
+        if not oids:
+            return []
+        wanted = set(oids)
+        slot = 0 if side == "P" else 1
+        return [key for key in self._keys if key[slot] in wanted]
+
+    def keys_containing_any(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """Keys of live rings strictly containing *any* of the probe
+        points — the batch kill-scan, chunked so the broadcast stays
+        within a bounded temporary."""
+        if not self._keys or not len(xs):
+            return []
+        px, py, qx, qy = self._columns()
+        n = len(self._keys)
+        hit = np.zeros(n, dtype=bool)
+        chunk = max(1, (1 << 22) // n)
+        for start in range(0, len(xs), chunk):
+            cx = xs[start : start + chunk, None]
+            cy = ys[start : start + chunk, None]
+            t = (cx - px) * (cx - qx) + (cy - py) * (cy - qy)
+            hit |= (t < 0.0).any(axis=0)
+        return [self._keys[i] for i in np.nonzero(hit)[0]]
+
 
 class DynamicArrayRCJ:
     """The RCJ result maintained under updates, columnar backend.
@@ -538,6 +822,17 @@ class DynamicArrayRCJ:
         self._q = _SideColumns(points_q)
         self._pairs: dict[tuple[int, int], RCJPair] = {}
         self._rings = _RingColumns()
+        #: Lifetime maintenance accounting of the batch path.
+        self.stats = {"batches": 0, "events": 0, "rebuilds": 0}
+        #: Set by :func:`repro.engine.planner.make_dynamic` on planned
+        #: (``backend="auto"``) instances: batches then feed the
+        #: calibration observation log.
+        self.record_calibration = False
+        #: Root span of the last ``apply_batch`` (None when tracing is
+        #: off) — the CLI's ``--trace`` sink reads it after each batch.
+        self.last_batch_trace = None
+        #: Per-stage wall seconds of the last ``apply_batch``.
+        self.last_batch_stages: dict[str, float] = {}
         if len(self._p) and len(self._q):
             parr, qarr = self._p.array(), self._q.array()
             p_idx, q_idx, _ = rcj_pair_indices(parr, qarr)
@@ -565,105 +860,512 @@ class DynamicArrayRCJ:
     def insert(self, point: Point, side: Side) -> None:
         """Add ``point`` to dataset ``side`` and repair the result."""
         own, other = self._sides(side)
-        own.insert(point)
-        # (i) Kill every pair whose ring strictly contains the point:
-        # one vectorized exact-predicate scan over the ring columns.
-        for key in self._rings.keys_containing(point.x, point.y):
-            self._drop(key)
-        # (ii) New pairs all involve the new point; partners come from
-        # the batch candidate kernels with the point as the sole probe
-        # (a superset of the true partners — blockers drawn from the
-        # partner side only), verified exactly against the live union.
-        if not len(other):
-            return
-        other_arr = other.array()
-        probe = PointArray(
-            np.array([point.x]), np.array([point.y]), np.array([point.oid])
-        )
-        _q_idx, partner_idx = knn_candidate_blocks(
-            other_arr, probe, tree_p=other.tree()
-        )
-        if not partner_idx.size:
-            return
-        zx = np.full(partner_idx.size, point.x)
-        zy = np.full(partner_idx.size, point.y)
-        ox = other_arr.x[partner_idx]
-        oy = other_arr.y[partner_idx]
-        if side == "P":
-            px, py, qx, qy = zx, zy, ox, oy
-        else:
-            px, py, qx, qy = ox, oy, zx, zy
-        union_tree, ux, uy = self._union()
-        alive = verify_rings_batch(px, py, qx, qy, union_tree, ux, uy)
-        for row in partner_idx[alive].tolist():
-            partner = other.point(row)
-            pair = (
-                RCJPair(point, partner)
-                if side == "P"
-                else RCJPair(partner, point)
+        with obs_trace("dynamic-insert", backend="array", side=side):
+            own.insert(point)
+            # (i) Kill every pair whose ring strictly contains the
+            # point: one vectorized exact-predicate scan over the ring
+            # columns.
+            killed = self._rings.keys_containing(point.x, point.y)
+            for key in killed:
+                self._drop(key)
+            add_counter("killed", len(killed))
+            # (ii) New pairs all involve the new point; partners come
+            # from the batch candidate kernels with the point as the
+            # sole probe (a superset of the true partners — blockers
+            # drawn from the partner side only), verified exactly
+            # against the live union.
+            if not len(other):
+                return
+            other_arr = other.array()
+            probe = PointArray(
+                np.array([point.x]), np.array([point.y]), np.array([point.oid])
             )
-            self._store(pair)
+            _q_idx, partner_idx = knn_candidate_blocks(
+                other_arr, probe, tree_p=other.tree()
+            )
+            if not partner_idx.size:
+                return
+            zx = np.full(partner_idx.size, point.x)
+            zy = np.full(partner_idx.size, point.y)
+            ox = other_arr.x[partner_idx]
+            oy = other_arr.y[partner_idx]
+            if side == "P":
+                px, py, qx, qy = zx, zy, ox, oy
+            else:
+                px, py, qx, qy = ox, oy, zx, zy
+            union_tree, ux, uy = self._union()
+            alive = verify_rings_batch(px, py, qx, qy, union_tree, ux, uy)
+            for row in partner_idx[alive].tolist():
+                partner = other.point(row)
+                pair = (
+                    RCJPair(point, partner)
+                    if side == "P"
+                    else RCJPair(partner, point)
+                )
+                self._store(pair)
+            add_counter("added", int(alive.sum()))
 
     def delete(self, point: Point, side: Side) -> bool:
         """Remove ``point`` from dataset ``side`` and repair the result.
 
-        Returns False (and changes nothing) when the point is absent.
+        Raises a named ``KeyError`` (and changes nothing) when no point
+        with that oid lives on ``side``; returns True on success.
         """
         own, _other = self._sides(side)
-        victim = own.pop(point.oid)
-        if victim is None:
-            return False
-        # (i) Pairs involving the departed point die.
-        for key in self._rings.keys_involving(point.oid, side):
-            self._drop(key)
-        if not len(self._p) or not len(self._q):
-            return True
-        # (ii) Pairs freed by the departure: both endpoints are Delaunay
-        # neighbours of the departed point in the remaining union.  One
-        # union tree serves both the horizon stream and verification.
-        union = self._union()
-        neighborhood = self._neighborhood(victim, union)
+        if not own.has(point.oid):
+            raise KeyError(
+                f"no point with oid {point.oid} on side {side!r}"
+            )
+        with obs_trace("dynamic-delete", backend="array", side=side):
+            victim = own.pop(point.oid)
+            # (i) Pairs involving the departed point die.
+            killed = self._rings.keys_involving(point.oid, side)
+            for key in killed:
+                self._drop(key)
+            add_counter("killed", len(killed))
+            if not len(self._p) or not len(self._q):
+                return True
+            # (ii) Pairs freed by the departure: both endpoints are
+            # Delaunay neighbours of the departed point in the remaining
+            # union.  One union tree serves both the horizon stream and
+            # verification.
+            union = self._union()
+            neighborhood = self._neighborhood(victim, union)
+            if neighborhood is None:
+                # A coincident twin remains: every ring that contained
+                # the departed point still contains the twin.
+                return True
+            near_p = [z for z, z_side in neighborhood if z_side == "P"]
+            near_q = [z for z, z_side in neighborhood if z_side == "Q"]
+            if not near_p or not near_q:
+                return True
+            px = np.fromiter(
+                (z.x for z in near_p), np.float64, count=len(near_p)
+            )
+            py = np.fromiter(
+                (z.y for z in near_p), np.float64, count=len(near_p)
+            )
+            qx = np.fromiter(
+                (z.x for z in near_q), np.float64, count=len(near_q)
+            )
+            qy = np.fromiter(
+                (z.y for z in near_q), np.float64, count=len(near_q)
+            )
+            # Cross the two neighbour sets and keep only rings the
+            # departed point blocked — the exact dot predicate,
+            # vectorized.
+            n_pn, n_qn = len(near_p), len(near_q)
+            pi = np.repeat(np.arange(n_pn), n_qn)
+            qi = np.tile(np.arange(n_qn), n_pn)
+            cx, cy = px[pi], py[pi]
+            dx, dy = qx[qi], qy[qi]
+            blocked = (victim.x - cx) * (victim.x - dx) + (
+                victim.y - cy
+            ) * (victim.y - dy) < 0.0
+            fresh = np.fromiter(
+                (
+                    (near_p[a].oid, near_q[b].oid) not in self._pairs
+                    for a, b in zip(pi.tolist(), qi.tolist())
+                ),
+                bool,
+                count=len(pi),
+            )
+            keep = blocked & fresh
+            pi, qi = pi[keep], qi[keep]
+            if not pi.size:
+                return True
+            union_tree, ux, uy = union
+            alive = verify_rings_batch(
+                px[pi], py[pi], qx[qi], qy[qi], union_tree, ux, uy
+            )
+            for a, b in zip(pi[alive].tolist(), qi[alive].tolist()):
+                self._store(RCJPair(near_p[a], near_q[b]))
+            add_counter("freed", int(alive.sum()))
+        return True
+
+    # ------------------------------------------------------------------
+    # batched updates (DynamicBackend)
+    # ------------------------------------------------------------------
+    def apply_batch(self, inserts=(), deletes=()) -> None:
+        """Absorb one update batch with amortized maintenance.
+
+        ``inserts`` / ``deletes`` are sequences of ``(point, side)``;
+        deletes apply before inserts, so deleting and re-inserting one
+        oid in a batch is a "move".  After validation
+        (:func:`~repro.core.dynamic.validate_batch` — atomic, nothing
+        mutates on a malformed batch) the whole batch is absorbed with
+        *no* per-event column compaction or KD-tree rebuild:
+
+        - deletes become lazy tombstones — the stale per-side KD-trees
+          stay up, dead rows masked out of candidate blocks
+          (``blocker_alive`` in the verify kernel);
+        - inserts land in small per-side buffers probed exactly;
+        - freed-pair candidates come from each victim's Voronoi
+          neighbourhood over the *final* union view (for a ring freed by
+          a deletion, both endpoints are Delaunay neighbours of the
+          departed point in ``final ∪ {victim}`` — the witness circles
+          lie inside the ring, empty of the final union), filtered by
+          the exact "ring strictly contained the victim" predicate;
+        - new-pair candidates come from each inserted point's Voronoi
+          neighbourhood (opposite side);
+        - one exact verification pass over the composite view (stale
+          trees with liveness masks + buffers, identical IEEE predicate
+          term order) settles all candidates — byte-identical survivors
+          to the per-event oracle;
+        - at most one compaction + KD-tree rebuild per side runs at the
+          end, and only past a tombstone-fraction or buffer-size
+          threshold (``REPRO_DYN_TOMBSTONE_FRAC`` /
+          ``REPRO_DYN_BUFFER_CAP``).
+        """
+        inserts = [(point, side) for point, side in inserts]
+        deletes = [(point, side) for point, side in deletes]
+        validate_batch(
+            inserts,
+            deletes,
+            lambda side, oid: self._sides(side)[0].has(oid),
+        )
+        t0 = time.perf_counter()
+        stages: dict[str, float] = {}
+        with obs_trace(
+            "dynamic-batch",
+            backend="array",
+            n_inserts=len(inserts),
+            n_deletes=len(deletes),
+        ) as root:
+            self._apply_batch_inner(inserts, deletes, stages)
+            if root is not None:
+                root.add("pairs", len(self._pairs))
+                root.set(
+                    tombstones=self._p.tombstones + self._q.tombstones,
+                    buffered=self._p.buffered + self._q.buffered,
+                )
+        self.stats["batches"] += 1
+        self.stats["events"] += len(inserts) + len(deletes)
+        self.last_batch_trace = root
+        self.last_batch_stages = stages
+        self._record_batch(
+            len(inserts) + len(deletes), time.perf_counter() - t0, stages
+        )
+
+    def _apply_batch_inner(self, inserts, deletes, stages) -> None:
+        # -- kill stage: tombstone victims, drop their pairs, buffer
+        # the inserts, and kill pre-batch pairs an insert landed in.
+        victims: list[tuple[Point, Side]] = []
+        with stage_timer(stages, "kill"):
+            dead_oids: dict[Side, list[int]] = {"P": [], "Q": []}
+            for point, side in deletes:
+                own, _other = self._sides(side)
+                victims.append((own.tombstone(point.oid), side))
+                dead_oids[side].append(point.oid)
+            kill_set = 0
+            for side in ("P", "Q"):
+                keys = self._rings.keys_involving_any(dead_oids[side], side)
+                kill_set += len(keys)
+                for key in keys:
+                    self._drop(key)
+            for point, side in inserts:
+                self._sides(side)[0].buffer_insert(point)
+            if inserts:
+                ix = np.fromiter(
+                    (p.x for p, _ in inserts), np.float64, count=len(inserts)
+                )
+                iy = np.fromiter(
+                    (p.y for p, _ in inserts), np.float64, count=len(inserts)
+                )
+                keys = self._rings.keys_containing_any(ix, iy)
+                kill_set += len(keys)
+                for key in keys:
+                    self._drop(key)
+            add_counter("killed", kill_set)
+        # -- probe stage: freed-pair candidates per victim, new-pair
+        # candidates per insert, all over one final-union view.
+        if len(self._p) and len(self._q):
+            sources = self._union_sources()
+            candidates: dict[tuple[int, int], RCJPair] = {}
+            with stage_timer(stages, "probe"):
+                for victim, side in victims:
+                    self._probe_victim(victim, sources, candidates)
+                for point, side in inserts:
+                    self._probe_insert(point, side, sources, candidates)
+            add_counter("candidates", len(candidates))
+            # -- verify stage: one exact pass settles every candidate.
+            if candidates:
+                with stage_timer(stages, "verify"):
+                    pairs = list(candidates.values())
+                    m = len(pairs)
+                    px = np.fromiter(
+                        (pr.p.x for pr in pairs), np.float64, count=m
+                    )
+                    py = np.fromiter(
+                        (pr.p.y for pr in pairs), np.float64, count=m
+                    )
+                    qx = np.fromiter(
+                        (pr.q.x for pr in pairs), np.float64, count=m
+                    )
+                    qy = np.fromiter(
+                        (pr.q.y for pr in pairs), np.float64, count=m
+                    )
+                    alive = self._verify_sources(px, py, qx, qy, sources)
+                    for j in np.nonzero(alive)[0].tolist():
+                        self._store(pairs[j])
+                    add_counter("added", int(alive.sum()))
+        # -- rebuild stage: at most one compaction + rebuild per side.
+        with stage_timer(stages, "rebuild"):
+            self._maybe_compact()
+
+    def _probe_victim(self, victim: Point, sources, candidates) -> None:
+        """Freed-pair candidates of one deleted point over the final
+        union view: cross the P/Q split of its Voronoi neighbourhood,
+        keep rings it strictly blocked."""
+        neighborhood = self._batch_neighborhood(
+            victim, sources, stop_on_coincident=True
+        )
         if neighborhood is None:
-            # A coincident twin remains: every ring that contained the
-            # departed point still contains the twin.
-            return True
+            # A coincident live point remains: every ring that contained
+            # the victim still contains that point — nothing is freed.
+            return
         near_p = [z for z, z_side in neighborhood if z_side == "P"]
         near_q = [z for z, z_side in neighborhood if z_side == "Q"]
         if not near_p or not near_q:
-            return True
+            return
         px = np.fromiter((z.x for z in near_p), np.float64, count=len(near_p))
         py = np.fromiter((z.y for z in near_p), np.float64, count=len(near_p))
         qx = np.fromiter((z.x for z in near_q), np.float64, count=len(near_q))
         qy = np.fromiter((z.y for z in near_q), np.float64, count=len(near_q))
-        # Cross the two neighbour sets and keep only rings the departed
-        # point blocked — the exact dot predicate, vectorized.
         n_pn, n_qn = len(near_p), len(near_q)
         pi = np.repeat(np.arange(n_pn), n_qn)
         qi = np.tile(np.arange(n_qn), n_pn)
-        cx, cy = px[pi], py[pi]
-        dx, dy = qx[qi], qy[qi]
-        blocked = (victim.x - cx) * (victim.x - dx) + (victim.y - cy) * (
-            victim.y - dy
-        ) < 0.0
-        fresh = np.fromiter(
-            (
-                (near_p[a].oid, near_q[b].oid) not in self._pairs
-                for a, b in zip(pi.tolist(), qi.tolist())
-            ),
-            bool,
-            count=len(pi),
+        blocked = (victim.x - px[pi]) * (victim.x - qx[qi]) + (
+            victim.y - py[pi]
+        ) * (victim.y - qy[qi]) < 0.0
+        for a, b in zip(pi[blocked].tolist(), qi[blocked].tolist()):
+            key = (near_p[a].oid, near_q[b].oid)
+            if key in self._pairs or key in candidates:
+                continue
+            candidates[key] = RCJPair(near_p[a], near_q[b])
+
+    def _probe_insert(
+        self, point: Point, side: Side, sources, candidates
+    ) -> None:
+        """New-pair candidates of one inserted point: its opposite-side
+        Voronoi neighbours over the final union view (a verified pair's
+        ring is empty of the final union, so its endpoints are Delaunay
+        neighbours there — the neighbourhood is a superset)."""
+        neighborhood = self._batch_neighborhood(
+            point,
+            sources,
+            stop_on_coincident=False,
+            exclude=(side, point.oid),
         )
-        keep = blocked & fresh
-        pi, qi = pi[keep], qi[keep]
-        if not pi.size:
-            return True
-        union_tree, ux, uy = union
-        alive = verify_rings_batch(
-            px[pi], py[pi], qx[qi], qy[qi], union_tree, ux, uy
+        other_side: Side = "Q" if side == "P" else "P"
+        for z, z_side in neighborhood:
+            if z_side != other_side:
+                continue
+            pair = RCJPair(point, z) if side == "P" else RCJPair(z, point)
+            key = pair.key()
+            if key in self._pairs or key in candidates:
+                continue
+            candidates[key] = pair
+
+    def _union_sources(self) -> list[tuple]:
+        """The composite final-union view the batch path probes and
+        verifies against: per side, the stale main tree with its
+        liveness mask, plus the exact insert buffer."""
+        sources: list[tuple] = []
+        for side, cols in (("P", self._p), ("Q", self._q)):
+            tree = cols.main_tree()
+            if tree is not None:
+                sources.append(
+                    (
+                        "tree",
+                        side,
+                        cols,
+                        tree,
+                        cols.main_array(),
+                        cols.alive_main(),
+                    )
+                )
+            buf = cols.buffer_points()
+            if buf:
+                bx = np.fromiter(
+                    (p.x for p in buf), np.float64, count=len(buf)
+                )
+                by = np.fromiter(
+                    (p.y for p in buf), np.float64, count=len(buf)
+                )
+                sources.append(("buffer", side, cols, buf, bx, by))
+        return sources
+
+    def _verify_sources(self, px, py, qx, qy, sources) -> np.ndarray:
+        """Exact ring verification against the composite union view.
+
+        Conjunction over sources: main tiers go through the batch verify
+        kernel with their liveness mask, buffers through a chunked
+        broadcast of the same IEEE predicate term order — together
+        exactly one verification against the full live union."""
+        alive = np.ones(len(px), dtype=bool)
+        for src in sources:
+            if not alive.any():
+                break
+            if src[0] == "tree":
+                _tag, _side, _cols, tree, arr, mask = src
+                if not mask.any():
+                    continue
+                blocker = None if mask.all() else mask
+                alive &= verify_rings_batch(
+                    px, py, qx, qy, tree, arr.x, arr.y,
+                    blocker_alive=blocker,
+                )
+            else:
+                _tag, _side, _cols, _buf, bx, by = src
+                m = len(px)
+                chunk = max(1, (1 << 22) // max(1, len(bx)))
+                for s in range(0, m, chunk):
+                    e = min(s + chunk, m)
+                    t = (bx - px[s:e, None]) * (bx - qx[s:e, None]) + (
+                        by - py[s:e, None]
+                    ) * (by - qy[s:e, None])
+                    alive[s:e] &= ~(t < 0.0).any(axis=1)
+        return alive
+
+    def _batch_neighborhood(
+        self,
+        x: Point,
+        sources,
+        stop_on_coincident: bool,
+        exclude: tuple[Side, int] | None = None,
+    ) -> list[tuple[Point, Side]] | None:
+        """Voronoi neighbourhood of ``x`` over the composite view —
+        ascending-distance streams from each source, heap-merged into
+        the shared clip loop.  ``exclude`` drops one ``(side, oid)``
+        (an inserted point probing for its own partners)."""
+        span = [
+            self.bounds.xmin,
+            self.bounds.ymin,
+            self.bounds.xmax,
+            self.bounds.ymax,
+        ]
+        for src in sources:
+            if src[0] == "tree":
+                arr = src[4]
+                if len(arr.x):
+                    # Dead rows inflate the box — a larger clip box only
+                    # enlarges the starting horizon; conservative.
+                    span[0] = min(span[0], float(arr.x.min()))
+                    span[1] = min(span[1], float(arr.y.min()))
+                    span[2] = max(span[2], float(arr.x.max()))
+                    span[3] = max(span[3], float(arr.y.max()))
+            else:
+                bx, by = src[4], src[5]
+                span[0] = min(span[0], float(bx.min()))
+                span[1] = min(span[1], float(by.min()))
+                span[2] = max(span[2], float(bx.max()))
+                span[3] = max(span[3], float(by.max()))
+        span[0] = min(span[0], x.x)
+        span[1] = min(span[1], x.y)
+        span[2] = max(span[2], x.x)
+        span[3] = max(span[3], x.y)
+        streams = [
+            self._tree_stream(x, src, exclude)
+            if src[0] == "tree"
+            else self._buffer_stream(x, src, exclude)
+            for src in sources
+        ]
+        merged = heapq.merge(*streams, key=lambda t: t[0])
+        return _voronoi_neighborhood(
+            x, merged, span, stop_on_coincident=stop_on_coincident
         )
-        for a, b in zip(pi[alive].tolist(), qi[alive].tolist()):
-            self._store(RCJPair(near_p[a], near_q[b]))
-        return True
+
+    @staticmethod
+    def _tree_stream(x: Point, src, exclude):
+        """Live main-tier points in ascending distance from ``x``
+        (doubling-k KD queries over the stale tree, dead rows skipped)."""
+        _tag, side, cols, tree, _arr, mask = src
+        n_main = cols.main_count
+        done = 0
+        k = 32
+        while True:
+            kk = min(k, n_main)
+            dist, idx = tree.query([x.x, x.y], k=kk)
+            dist = np.atleast_1d(dist)
+            idx = np.atleast_1d(idx)
+            for d, row in zip(dist[done:].tolist(), idx[done:].tolist()):
+                if not mask[row]:
+                    continue
+                z = cols.point(row)
+                if (
+                    exclude is not None
+                    and side == exclude[0]
+                    and z.oid == exclude[1]
+                ):
+                    continue
+                yield float(d), z, side
+            if kk == n_main:
+                return
+            done = kk
+            k *= 2
+
+    @staticmethod
+    def _buffer_stream(x: Point, src, exclude):
+        """Buffered inserts in ascending distance from ``x``."""
+        _tag, side, _cols, buf, bx, by = src
+        d = np.hypot(bx - x.x, by - x.y)
+        for j in np.argsort(d, kind="stable").tolist():
+            z = buf[j]
+            if (
+                exclude is not None
+                and side == exclude[0]
+                and z.oid == exclude[1]
+            ):
+                continue
+            yield float(d[j]), z, side
+
+    def _maybe_compact(self) -> int:
+        """Flush a side's lazy state when it crossed a threshold — the
+        at-most-one compaction + KD-tree rebuild per side per batch."""
+        frac = _tombstone_frac()
+        cap = _buffer_cap()
+        rebuilds = 0
+        for cols in (self._p, self._q):
+            if cols.needs_compaction(frac, cap) and cols.flush():
+                cols.tree()  # rebuild now so the cost lands in "rebuild"
+                rebuilds += 1
+        self.stats["rebuilds"] += rebuilds
+        add_counter("rebuilds", rebuilds)
+        return rebuilds
+
+    def maintenance_stats(self) -> dict:
+        """Lifetime batch accounting plus the current lazy state."""
+        return {
+            **self.stats,
+            "tombstones": self._p.tombstones + self._q.tombstones,
+            "buffered": self._p.buffered + self._q.buffered,
+        }
+
+    def _record_batch(self, batch_size, seconds, stages) -> None:
+        """Feed one batch to the calibration log (planned instances
+        only; exception-fenced like every calibration hook)."""
+        if not getattr(self, "record_calibration", False):
+            return
+        try:
+            from repro.calibration.observations import record_observation
+            from repro.parallel.costmodel import estimate_bytes
+
+            n_p, n_q = len(self._p), len(self._q)
+            record_observation(
+                kind="dynamic",
+                engine="array",
+                workers=1,
+                n_p=n_p,
+                n_q=n_q,
+                density_factor=1.0,
+                est_candidates=batch_size,
+                est_bytes=estimate_bytes(n_p, n_q, 1, 0),
+                stage_seconds=dict(stages) or None,
+                total_seconds=seconds,
+            )
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # internals
@@ -719,53 +1421,31 @@ class DynamicArrayRCJ:
         span[1] = min(span[1], float(uy.min()), x.y)
         span[2] = max(span[2], float(ux.max()), x.x)
         span[3] = max(span[3], float(uy.max()), x.y)
-        margin = max(span[2] - span[0], span[3] - span[1], 1.0)
-        cell = box_polygon(
-            span[0] - margin, span[1] - margin, span[2] + margin, span[3] + margin
-        )
 
-        def max_vertex_dist() -> float:
-            return max(
-                ((vx - x.x) ** 2 + (vy - x.y) ** 2) ** 0.5 for vx, vy in cell
-            )
+        def stream():
+            done = 0
+            k = 32
+            while True:
+                kk = min(k, n_union)
+                dist, idx = union_tree.query([x.x, x.y], k=kk)
+                dist = np.atleast_1d(dist)
+                idx = np.atleast_1d(idx)
+                for d, row in zip(
+                    dist[done:].tolist(), idx[done:].tolist()
+                ):
+                    z_side: Side = "P" if row < n_p else "Q"
+                    z = (
+                        self._p.point(row)
+                        if row < n_p
+                        else self._q.point(row - n_p)
+                    )
+                    yield float(d), z, z_side
+                if kk == n_union:
+                    return
+                done = kk
+                k *= 2
 
-        horizon = 2.0 * max_vertex_dist()
-        out: list[tuple[Point, Side]] = []
-        done = 0
-        k = 32
-        while True:
-            kk = min(k, n_union)
-            dist, idx = union_tree.query([x.x, x.y], k=kk)
-            dist = np.atleast_1d(dist)
-            idx = np.atleast_1d(idx)
-            for d, row in zip(dist[done:].tolist(), idx[done:].tolist()):
-                if d > horizon:
-                    return out
-                z_side: Side = "P" if row < n_p else "Q"
-                z = (
-                    self._p.point(row)
-                    if row < n_p
-                    else self._q.point(row - n_p)
-                )
-                if z.x == x.x and z.y == x.y:
-                    return None
-                out.append((z, z_side))
-                clipped = clip_halfplane(
-                    cell,
-                    (x.x + z.x) / 2.0,
-                    (x.y + z.y) / 2.0,
-                    z.x - x.x,
-                    z.y - x.y,
-                )
-                if clipped:
-                    cell = clipped
-                    horizon = 2.0 * max_vertex_dist()
-                # else: the cell collapsed numerically — keep the
-                # previous (larger) horizon and keep streaming.
-            if kk == n_union:
-                return out
-            done = kk
-            k *= 2
+        return _voronoi_neighborhood(x, stream(), span)
 
     def __repr__(self) -> str:
         return (

@@ -776,7 +776,10 @@ def choose_topk_plan(
 # ----------------------------------------------------------------------
 
 def choose_dynamic_backend(
-    n_p: int, n_q: int, budget_bytes: int | None = None
+    n_p: int,
+    n_q: int,
+    batch_size: int = 1,
+    budget_bytes: int | None = None,
 ) -> tuple[str, str]:
     """``(backend, reason)`` for a dynamic RCJ deployment.
 
@@ -785,7 +788,15 @@ def choose_dynamic_backend(
     pointset (columns plus KD-trees) resident; when that working set
     exceeds the memory budget the R*-tree backend
     (:class:`repro.core.dynamic.DynamicRCJ`) — whose structure *is* the
-    disk-resident index — is the honest choice.
+    disk-resident index — is the honest choice, regardless of timing.
+
+    Within the budget the choice is a timing bet, and a fitted
+    calibration profile settles it when it has per-batch models for
+    *both* dynamic backends (``kind="dynamic"`` observations, recorded
+    by planned instances): predicted seconds per batch of
+    ``batch_size`` events, fastest wins.  Without a profile the static
+    answer stands — the columnar backend, whose amortized ``apply_batch``
+    is the measured fast path everywhere we have run it.
     """
     budget = memory_budget_bytes() if budget_bytes is None else budget_bytes
     resident = estimate_bytes(n_p, n_q, 1, 0)
@@ -795,6 +806,20 @@ def choose_dynamic_backend(
             f"resident columns + KD-trees ({resident} B) exceed the "
             f"{budget} B budget: keep the R*-tree structure on disk",
         )
+    batch = max(batch_size, 1)
+    profile = _calibration_profile()
+    if profile is not None:
+        array_pred = profile.predict_seconds("dynamic", "array", 1, batch)
+        obj_pred = profile.predict_seconds("dynamic", "obj", 1, batch)
+        if array_pred is not None and obj_pred is not None:
+            backend = "array" if array_pred <= obj_pred else "obj"
+            return (
+                backend,
+                f"calibrated profile {profile.host.get('key', '?')} "
+                f"({profile.n_observations} obs): predicted per batch of "
+                f"{batch} events array={array_pred:.4f}s, "
+                f"obj={obj_pred:.4f}s -> {backend} is fastest",
+            )
     return (
         "array",
         f"working set {resident} B fits the {budget} B budget: batched"

@@ -1,0 +1,14 @@
+"""Synthetic workload generators driving the engine's scenarios.
+
+:mod:`repro.workloads.moving` — the sustained moving-objects stream
+(fleet telemetry) that exercises the dynamic backends' batched
+maintenance path.
+"""
+
+from repro.workloads.moving import (
+    BatchAccumulator,
+    FleetSimulator,
+    UpdateBatch,
+)
+
+__all__ = ["BatchAccumulator", "FleetSimulator", "UpdateBatch"]

@@ -1,0 +1,349 @@
+"""Fleet-telemetry simulator: the moving-objects workload behind the
+dynamic backends' batched maintenance path.
+
+The decision-support deployments the paper motivates don't see static
+datasets — vehicles report positions, facilities open and close.  This
+module generates that traffic deterministically:
+
+:class:`FleetSimulator`
+    Side ``P`` is a vehicle fleet: each vehicle carries a three-state
+    Markov machine (``idle`` → ``en_route`` → ``service``) and, while
+    ``en_route``, integrates a jittered heading/speed per tick,
+    bouncing off the domain walls.  A position report is a *move* —
+    a delete of the previous fix plus an insert of the new one under
+    the same oid.  Side ``Q`` is the service infrastructure (depots):
+    static except for slow churn (a depot closes, another opens).
+    Both sides also churn vehicles in and out of service.  Everything
+    derives from one seeded :class:`random.Random`, so a given
+    ``(seed, fleet, depots)`` triple replays the identical event
+    stream forever; timestamps are ``tick * tick_seconds`` — no wall
+    clock anywhere.
+
+:class:`BatchAccumulator`
+    Groups the raw event stream into :class:`UpdateBatch` instances of
+    a fixed raw-event count, *coalescing* per ``(side, oid)`` runs
+    within the open batch (two moves of one vehicle net to one; an
+    insert followed by its delete cancels).  Coalescing is what makes
+    a batch a valid :meth:`~repro.core.dynamic.DynamicBackend.apply_batch`
+    argument — batch validation rejects duplicate deletes or inserts of
+    one oid — and it preserves the sequential semantics exactly: the
+    net batch and the raw event run reach the same final population,
+    and the maintained pair set only depends on the population at the
+    batch boundary.
+
+The module is pure stdlib (``random``, ``math``) — simulation cost must
+not pollute maintenance measurements with numpy dispatch overhead at
+these event volumes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Markov transition table of the vehicle state machine:
+#: ``state -> ((next_state, probability), ...)`` (probabilities sum
+#: to 1 per row; sampled with one uniform draw each tick).
+VEHICLE_TRANSITIONS: dict[str, tuple[tuple[str, float], ...]] = {
+    "idle": (("idle", 0.55), ("en_route", 0.45)),
+    "en_route": (("en_route", 0.75), ("service", 0.13), ("idle", 0.12)),
+    "service": (("service", 0.50), ("idle", 0.30), ("en_route", 0.20)),
+}
+
+#: Per-tick distance bounds of an ``en_route`` vehicle, as a fraction
+#: of the domain diagonal.
+SPEED_RANGE = (0.002, 0.012)
+
+#: Std-dev of the per-tick heading jitter (radians).
+HEADING_JITTER = 0.35
+
+#: Per-tick probability that a vehicle retires (replaced by a fresh
+#: oid at a fresh position).
+VEHICLE_CHURN = 0.002
+
+#: Per-tick probability that a depot relocates (closes + reopens).
+DEPOT_CHURN = 0.001
+
+#: Default simulated seconds between ticks.
+TICK_SECONDS = 1.0
+
+
+@dataclass
+class UpdateBatch:
+    """One timestamped batch of net updates, ready for ``apply_batch``.
+
+    ``events`` counts the *raw* simulator events the batch absorbed
+    (the updates/sec numerator); ``len(batch)`` is the net update count
+    after coalescing (what the backend actually applies).
+    """
+
+    seq: int
+    timestamp: float
+    inserts: list[tuple[Point, str]] = field(default_factory=list)
+    deletes: list[tuple[Point, str]] = field(default_factory=list)
+    events: int = 0
+
+    def __len__(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+class BatchAccumulator:
+    """Coalesce a raw event run into one valid update batch.
+
+    Per ``(side, oid)`` the open batch keeps at most ``(first delete of
+    the pre-batch point, last insert)``.  Feeding events in stream
+    order maintains the invariant that the emitted batch passes
+    :func:`repro.core.dynamic.validate_batch` and reproduces the raw
+    run's final population:
+
+    - a delete of a point inserted *in this batch* cancels the pending
+      insert (net: the pre-batch delete, if any, survives alone);
+    - an insert after a pending delete of the same oid completes a
+      "move" (delete old fix, insert newest fix);
+    - repeated moves keep the first delete and the newest insert.
+    """
+
+    def __init__(self, batch_size: int):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self._seq = 0
+        self._events = 0
+        self._timestamp = 0.0
+        # (side, oid) -> [pre-batch Point to delete | None,
+        #                 Point to insert | None]
+        self._net: dict[tuple[str, int], list[Point | None]] = {}
+
+    def add(
+        self, kind: str, point: Point, side: str, timestamp: float
+    ) -> UpdateBatch | None:
+        """Feed one raw event; returns the batch it closed, if any."""
+        key = (side, point.oid)
+        entry = self._net.get(key)
+        if kind == "delete":
+            if entry is None:
+                self._net[key] = [point, None]
+            elif entry[1] is not None:
+                entry[1] = None  # cancels the in-batch insert
+                if entry[0] is None:
+                    del self._net[key]
+            else:
+                raise ValueError(
+                    f"double delete of oid {point.oid} on side {side!r}"
+                    " without an intervening insert"
+                )
+        elif kind == "insert":
+            if entry is None:
+                self._net[key] = [None, point]
+            elif entry[1] is None:
+                entry[1] = point  # completes a move
+            else:
+                raise ValueError(
+                    f"double insert of oid {point.oid} on side {side!r}"
+                    " without an intervening delete"
+                )
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+        self._events += 1
+        self._timestamp = timestamp
+        if self._events >= self.batch_size:
+            return self.close()
+        return None
+
+    def close(self) -> UpdateBatch | None:
+        """Emit the open batch (None when empty)."""
+        if not self._events:
+            return None
+        batch = UpdateBatch(seq=self._seq, timestamp=self._timestamp)
+        batch.events = self._events
+        for (side, _oid), (dead, born) in sorted(self._net.items()):
+            if dead is not None:
+                batch.deletes.append((dead, side))
+            if born is not None:
+                batch.inserts.append((born, side))
+        self._seq += 1
+        self._events = 0
+        self._net = {}
+        return batch
+
+
+class _Vehicle:
+    __slots__ = ("point", "state", "heading", "speed")
+
+    def __init__(self, point: Point, state: str, heading: float, speed: float):
+        self.point = point
+        self.state = state
+        self.heading = heading
+        self.speed = speed
+
+
+class FleetSimulator:
+    """Deterministic fleet-vs-depots update stream over ``bounds``.
+
+    Parameters
+    ----------
+    fleet, depots:
+        Resident populations of side ``P`` (vehicles) and ``Q``
+        (depots); churn replaces members but keeps the counts fixed.
+    seed:
+        Seeds the single internal :class:`random.Random`; equal
+        parameters replay the identical stream.
+    bounds:
+        Movement domain, the paper's ``[0, 10000]²`` by default.
+    tick_seconds:
+        Simulated seconds per tick (timestamps are
+        ``tick * tick_seconds``).
+    """
+
+    def __init__(
+        self,
+        fleet: int = 1000,
+        depots: int = 1000,
+        seed: int = 42,
+        bounds: Rect | None = None,
+        tick_seconds: float = TICK_SECONDS,
+    ):
+        self.bounds = bounds if bounds is not None else Rect(0, 0, 10000, 10000)
+        self.tick_seconds = tick_seconds
+        self._rng = random.Random(seed)
+        self._tick = 0
+        diag = math.hypot(
+            self.bounds.xmax - self.bounds.xmin,
+            self.bounds.ymax - self.bounds.ymin,
+        )
+        self._speed_lo = SPEED_RANGE[0] * diag
+        self._speed_hi = SPEED_RANGE[1] * diag
+        self._next_oid = {"P": 0, "Q": 1_000_000}
+        self._vehicles: dict[int, _Vehicle] = {}
+        self._depots: dict[int, Point] = {}
+        for _ in range(fleet):
+            v = self._spawn_vehicle()
+            self._vehicles[v.point.oid] = v
+        for _ in range(depots):
+            d = self._spawn_depot()
+            self._depots[d.oid] = d
+
+    # ------------------------------------------------------------------
+    # population access
+    # ------------------------------------------------------------------
+    def initial_points(self) -> tuple[list[Point], list[Point]]:
+        """Alias of :meth:`current_points`, read before any tick."""
+        return self.current_points()
+
+    def current_points(self) -> tuple[list[Point], list[Point]]:
+        """Current live ``(P, Q)`` populations (oid-sorted copies)."""
+        fleet = [
+            self._vehicles[oid].point for oid in sorted(self._vehicles)
+        ]
+        depots = [self._depots[oid] for oid in sorted(self._depots)]
+        return fleet, depots
+
+    # ------------------------------------------------------------------
+    # the event stream
+    # ------------------------------------------------------------------
+    def events(self, ticks: int):
+        """Yield ``(kind, point, side, timestamp)`` raw events.
+
+        A vehicle position report arrives as its delete (the previous
+        fix) immediately followed by its insert (the new fix, same
+        oid); churn arrives as a delete of the retiring oid plus an
+        insert of a fresh one.
+        """
+        for _ in range(ticks):
+            self._tick += 1
+            t = self._tick * self.tick_seconds
+            for oid in sorted(self._vehicles):
+                vehicle = self._vehicles[oid]
+                yield from self._step_vehicle(vehicle, t)
+            for oid in sorted(self._depots):
+                if self._rng.random() < DEPOT_CHURN:
+                    dead = self._depots.pop(oid)
+                    yield "delete", dead, "Q", t
+                    born = self._spawn_depot()
+                    self._depots[born.oid] = born
+                    yield "insert", born, "Q", t
+
+    def batch_stream(self, batch_size: int, ticks: int):
+        """Yield coalesced :class:`UpdateBatch` instances of
+        ``batch_size`` raw events each (final partial batch included)."""
+        acc = BatchAccumulator(batch_size)
+        for kind, point, side, t in self.events(ticks):
+            batch = acc.add(kind, point, side, t)
+            if batch is not None:
+                yield batch
+        tail = acc.close()
+        if tail is not None:
+            yield tail
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _random_position(self) -> tuple[float, float]:
+        return (
+            self._rng.uniform(self.bounds.xmin, self.bounds.xmax),
+            self._rng.uniform(self.bounds.ymin, self.bounds.ymax),
+        )
+
+    def _spawn_vehicle(self) -> _Vehicle:
+        oid = self._next_oid["P"]
+        self._next_oid["P"] += 1
+        x, y = self._random_position()
+        return _Vehicle(
+            Point(x, y, oid),
+            state="idle",
+            heading=self._rng.uniform(0.0, 2.0 * math.pi),
+            speed=self._rng.uniform(self._speed_lo, self._speed_hi),
+        )
+
+    def _spawn_depot(self) -> Point:
+        oid = self._next_oid["Q"]
+        self._next_oid["Q"] += 1
+        x, y = self._random_position()
+        return Point(x, y, oid)
+
+    def _transition(self, state: str) -> str:
+        draw = self._rng.random()
+        acc = 0.0
+        for nxt, prob in VEHICLE_TRANSITIONS[state]:
+            acc += prob
+            if draw < acc:
+                return nxt
+        return VEHICLE_TRANSITIONS[state][-1][0]
+
+    def _step_vehicle(self, vehicle: _Vehicle, t: float):
+        if self._rng.random() < VEHICLE_CHURN:
+            dead = vehicle.point
+            del self._vehicles[dead.oid]
+            yield "delete", dead, "P", t
+            born = self._spawn_vehicle()
+            self._vehicles[born.point.oid] = born
+            yield "insert", born.point, "P", t
+            return
+        vehicle.state = self._transition(vehicle.state)
+        if vehicle.state != "en_route":
+            return  # idle and in-service vehicles hold position
+        vehicle.heading += self._rng.gauss(0.0, HEADING_JITTER)
+        x = vehicle.point.x + vehicle.speed * math.cos(vehicle.heading)
+        y = vehicle.point.y + vehicle.speed * math.sin(vehicle.heading)
+        x, bx = self._bounce(x, self.bounds.xmin, self.bounds.xmax)
+        y, by = self._bounce(y, self.bounds.ymin, self.bounds.ymax)
+        if bx or by:
+            vehicle.heading = math.atan2(
+                (y - vehicle.point.y), (x - vehicle.point.x)
+            )
+        old = vehicle.point
+        vehicle.point = Point(x, y, old.oid)
+        yield "delete", old, "P", t
+        yield "insert", vehicle.point, "P", t
+
+    @staticmethod
+    def _bounce(v: float, lo: float, hi: float) -> tuple[float, bool]:
+        if v < lo:
+            return min(2.0 * lo - v, hi), True
+        if v > hi:
+            return max(2.0 * hi - v, lo), True
+        return v, False

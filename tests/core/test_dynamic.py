@@ -7,6 +7,7 @@ strongest possible check of the update rules.
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -93,9 +94,10 @@ class TestInsert:
 
 
 class TestDelete:
-    def test_delete_missing_point(self):
+    def test_delete_missing_point_raises(self):
         dyn = DynamicRCJ(uniform(10, seed=0), uniform(10, seed=1, start_oid=100))
-        assert dyn.delete(Point(-5, -5, 999), "P") is False
+        with pytest.raises(KeyError, match="999"):
+            dyn.delete(Point(-5, -5, 999), "P")
 
     def test_delete_removes_pairs_of_point(self):
         dyn = DynamicRCJ([Point(0, 0, 0)], [Point(100, 0, 0)])

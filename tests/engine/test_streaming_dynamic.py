@@ -78,10 +78,11 @@ class TestSingleUpdates:
         dyn.delete(Point(50, 0, 1), "P")
         assert dyn.pair_keys() == {(0, 0)}
 
-    def test_delete_missing_point(self):
+    def test_delete_missing_point_raises(self):
         dyn = DynamicArrayRCJ(uniform(10, seed=0), uniform(10, seed=1, start_oid=100))
         before = dyn.pair_keys()
-        assert dyn.delete(Point(-5, -5, 999), "P") is False
+        with pytest.raises(KeyError, match="999"):
+            dyn.delete(Point(-5, -5, 999), "P")
         assert dyn.pair_keys() == before
 
     def test_delete_with_coincident_twin_frees_nothing(self):
